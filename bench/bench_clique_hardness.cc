@@ -1,0 +1,89 @@
+// E15 (DESIGN.md) — the hardness side of Theorem 1.6, empirically: counting
+// k-cliques encoded as #CQ. The class {Clique_k} has unbounded #-hypertree
+// width (quantifier-free cores, clique hypergraphs), and the theorem says
+// no polynomial algorithm exists for such classes (under FPT != #W[1]).
+// The observable shape: counting time grows superpolynomially with k at
+// fixed graph size, and the width found by the decomposition search grows
+// with k.
+//
+// Counters: sharp_htw (grows ~ k/2), answers (ordered cliques = k! per
+// clique).
+
+#include <benchmark/benchmark.h>
+
+#include "core/sharp_counting.h"
+#include "count/enumeration.h"
+#include "gen/paper_queries.h"
+#include "util/check.h"
+
+namespace sharpcq {
+namespace {
+
+constexpr int kGraphNodes = 30;
+constexpr double kEdgeProbability = 0.4;
+
+void BM_Clique_SharpWidthGrows(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeCliqueQuery(k);
+  int width = 0;
+  for (auto _ : state) {
+    width = SharpHypertreeWidth(q, k).value_or(-1);
+    benchmark::DoNotOptimize(width);
+  }
+  SHARPCQ_CHECK(width >= (k - 1) / 2);
+  state.counters["sharp_htw"] = width;
+}
+BENCHMARK(BM_Clique_SharpWidthGrows)->DenseRange(2, 5);
+
+void BM_Clique_CountViaDecomposition(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeCliqueQuery(k);
+  Database db = MakeRandomGraphDatabase(kGraphNodes, kEdgeProbability, 17);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    auto result = CountBySharpHypertree(q, db, k);
+    SHARPCQ_CHECK(result.has_value());
+    answers = result->count;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Clique_CountViaDecomposition)->DenseRange(2, 5);
+
+void BM_Clique_CountByBacktracking(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeCliqueQuery(k);
+  Database db = MakeRandomGraphDatabase(kGraphNodes, kEdgeProbability, 17);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    answers = CountByBacktracking(q, db);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Clique_CountByBacktracking)->DenseRange(2, 5);
+
+// Graph-size scaling at fixed k = 4: even the decomposition-based counter
+// pays n^{Theta(k)} — the class is not fixed-parameter tractable in k, but
+// each member is polynomial in the data, which is exactly the promise
+// boundary of Theorem 1.6.
+void BM_Clique4_GraphScaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeCliqueQuery(4);
+  Database db = MakeRandomGraphDatabase(n, kEdgeProbability, 23);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    auto result = CountBySharpHypertree(q, db, 4);
+    SHARPCQ_CHECK(result.has_value());
+    answers = result->count;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["graph_nodes"] = n;
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Clique4_GraphScaling)->RangeMultiplier(2)->Range(10, 40);
+
+}  // namespace
+}  // namespace sharpcq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+// E12 (DESIGN.md) — Example 6.3/6.5 (Figures 9-10): the hybrid family
+// (Qbar^h_2, Dbar^m_2).
+//
+// Shape claims reproduced:
+//   - the family has unbounded #-hypertree width: the minimal structural k
+//     grows with h (counter structural_k; 0 = not found within budget);
+//   - a width-2 #1-generalized hypertree decomposition always exists
+//     (counters hybrid_k, hybrid_b);
+//   - hybrid counting scales polynomially in h and in the Z-domain size,
+//     while the "compute solutions then project" baseline pays for the
+//     m-fold Z extensions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sharp_decomposition.h"
+#include "count/enumeration.h"
+#include "gen/paper_queries.h"
+#include "hybrid/hybrid_counting.h"
+#include "util/check.h"
+
+namespace sharpcq {
+namespace {
+
+constexpr int kZDomain = 32;
+
+void BM_Qbar_StructuralWidthGrows(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQbarh2(h);
+  int k_min = 0;
+  for (auto _ : state) {
+    k_min = SharpHypertreeWidth(q, /*k_max=*/h + 2).value_or(0);
+    benchmark::DoNotOptimize(k_min);
+  }
+  // The frontier is a clique over the h+1 free variables; covering it needs
+  // the rbar atom plus (h-1)-ish w_i atoms, so k grows with h.
+  SHARPCQ_CHECK(k_min == 0 || k_min > 2 || h <= 1);
+  state.counters["structural_k"] = k_min;
+}
+BENCHMARK(BM_Qbar_StructuralWidthGrows)->DenseRange(2, 5);
+
+void BM_Qbar_HybridSearch(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQbarh2(h);
+  Database db = MakeQbarh2Database(h, kZDomain);
+  int k = 0;
+  std::size_t b = 0;
+  for (auto _ : state) {
+    auto d = FindSharpBDecomposition(q, db, 2);
+    SHARPCQ_CHECK(d.has_value());
+    k = d->decomposition.width;
+    b = d->bound;
+    benchmark::DoNotOptimize(d);
+  }
+  SHARPCQ_CHECK(b == 1);
+  state.counters["hybrid_k"] = k;
+  state.counters["hybrid_b"] = static_cast<double>(b);
+}
+BENCHMARK(BM_Qbar_HybridSearch)->DenseRange(2, 5);
+
+void BM_Qbar_HybridCount(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQbarh2(h);
+  Database db = MakeQbarh2Database(h, kZDomain);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    auto result = CountBySharpBDecomposition(q, db, 2);
+    SHARPCQ_CHECK(result.has_value());
+    answers = result->count;
+    benchmark::DoNotOptimize(result);
+  }
+  SHARPCQ_CHECK(answers == (CountInt{1} << h));
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Qbar_HybridCount)->DenseRange(2, 5);
+
+void BM_Qbar_JoinProjectBaseline(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQbarh2(h);
+  Database db = MakeQbarh2Database(h, kZDomain);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    answers = CountByJoinProject(q, db);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Qbar_JoinProjectBaseline)->DenseRange(2, 5);
+
+void BM_Qbar_BacktrackingBaseline(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQbarh2(h);
+  Database db = MakeQbarh2Database(h, kZDomain);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    answers = CountByBacktracking(q, db);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Qbar_BacktrackingBaseline)->DenseRange(2, 5);
+
+// Scaling in the Z-domain (the paper's m): hybrid counting must stay flat
+// in the number of Z extensions per answer; h is fixed at 3.
+void BM_Qbar_HybridCount_ZScaling(benchmark::State& state) {
+  const int z = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQbarh2(3);
+  Database db = MakeQbarh2Database(3, z);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    auto result = CountBySharpBDecomposition(q, db, 2);
+    SHARPCQ_CHECK(result.has_value());
+    answers = result->count;
+    benchmark::DoNotOptimize(result);
+  }
+  SHARPCQ_CHECK(answers == (CountInt{1} << 3));
+  state.counters["z_domain"] = z;
+}
+BENCHMARK(BM_Qbar_HybridCount_ZScaling)->RangeMultiplier(4)->Range(4, 256);
+
+// The same Z-scaling with the decomposition precomputed: the data-
+// complexity view of Theorem 6.6 (a DBA finds the decomposition once and
+// counts per query). Near-linear in ||D||.
+void BM_Qbar_CountOnly_ZScaling(benchmark::State& state) {
+  const int z = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQbarh2(3);
+  Database db = MakeQbarh2Database(3, z);
+  auto d = FindSharpBDecomposition(q, db, 2);
+  SHARPCQ_CHECK(d.has_value());
+  CountInt answers = 0;
+  for (auto _ : state) {
+    answers = CountViaSharpB(q, db, *d).count;
+    benchmark::DoNotOptimize(answers);
+  }
+  SHARPCQ_CHECK(answers == (CountInt{1} << 3));
+  state.counters["z_domain"] = z;
+}
+BENCHMARK(BM_Qbar_CountOnly_ZScaling)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_Qbar_JoinProject_ZScaling(benchmark::State& state) {
+  const int z = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQbarh2(3);
+  Database db = MakeQbarh2Database(3, z);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    answers = CountByJoinProject(q, db);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["z_domain"] = z;
+}
+BENCHMARK(BM_Qbar_JoinProject_ZScaling)->RangeMultiplier(4)->Range(4, 256);
+
+}  // namespace
+}  // namespace sharpcq
+
+BENCHMARK_MAIN();

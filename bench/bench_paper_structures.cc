@@ -1,0 +1,148 @@
+// E1-E7, E14 (DESIGN.md): the paper's worked structural objects.
+//
+// Each benchmark times the computation that produces a figure's object and
+// records the verified structural fact as a counter, so the bench output
+// doubles as the reproduction table for Figures 1-8 and Theorem A.3:
+//
+//   - fh_edges:     number of hyperedges of FH(Q0,{A,B,C})   (Figure 1(b): 3)
+//   - htw:          hypertree width of Q0                     (Figure 2:   2)
+//   - core_atoms:   atoms of the core of color(Q0)            (Figure 3(a): 7)
+//   - sharp_htw:    #-hypertree width                         (Fig 3(c)/8(e))
+//   - covered:      #-covered w.r.t. the hand-built V0        (Example 3.5)
+
+#include <benchmark/benchmark.h>
+
+#include "core/sharp_counting.h"
+#include "core/sharp_decomposition.h"
+#include "decomp/hypertree.h"
+#include "gen/paper_queries.h"
+#include "hypergraph/hypergraph.h"
+#include "solver/core.h"
+#include "util/check.h"
+
+namespace sharpcq {
+namespace {
+
+void BM_Figure1_FrontierHypergraph(benchmark::State& state) {
+  ConjunctiveQuery q = MakeQ0();
+  Hypergraph h = q.BuildHypergraph();
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    Hypergraph fh = FrontierHypergraph(h, q.free_vars());
+    edges = fh.num_edges();
+    benchmark::DoNotOptimize(fh);
+  }
+  SHARPCQ_CHECK(edges == 3);  // {A,B}, {B}, {B,C}
+  state.counters["fh_edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_Figure1_FrontierHypergraph);
+
+void BM_Figure2_Q0HypertreeWidth(benchmark::State& state) {
+  ConjunctiveQuery q = MakeQ0();
+  int width = 0;
+  for (auto _ : state) {
+    width = HypertreeWidth(q, 3).value_or(-1);
+    benchmark::DoNotOptimize(width);
+  }
+  SHARPCQ_CHECK(width == 2);
+  state.counters["htw"] = width;
+}
+BENCHMARK(BM_Figure2_Q0HypertreeWidth);
+
+void BM_Figure3a_Q0ColoredCore(benchmark::State& state) {
+  ConjunctiveQuery q = MakeQ0();
+  std::size_t atoms = 0;
+  for (auto _ : state) {
+    ConjunctiveQuery core = ComputeColoredCore(q);
+    atoms = core.NumAtoms();
+    benchmark::DoNotOptimize(core);
+  }
+  SHARPCQ_CHECK(atoms == 7);  // drops one subtask branch
+  state.counters["core_atoms"] = static_cast<double>(atoms);
+}
+BENCHMARK(BM_Figure3a_Q0ColoredCore);
+
+void BM_Figure3c_Q0SharpHypertreeWidth(benchmark::State& state) {
+  ConjunctiveQuery q = MakeQ0();
+  int width = 0;
+  for (auto _ : state) {
+    width = SharpHypertreeWidth(q, 3).value_or(-1);
+    benchmark::DoNotOptimize(width);
+  }
+  SHARPCQ_CHECK(width == 2);
+  state.counters["sharp_htw"] = width;
+}
+BENCHMARK(BM_Figure3c_Q0SharpHypertreeWidth);
+
+void BM_Example35_SharpCoveredByV0(benchmark::State& state) {
+  // Figure 4/7: the hand-built view set V0 admits a #-decomposition for the
+  // F-branch core and none for the G-branch core.
+  ConjunctiveQuery q = MakeQ0();
+  std::vector<IdSet> v0_edges = {
+      IdSet{q.VarByName("A"), q.VarByName("B"), q.VarByName("I")},
+      IdSet{q.VarByName("B"), q.VarByName("E")},
+      IdSet{q.VarByName("B"), q.VarByName("C"), q.VarByName("D")},
+      IdSet{q.VarByName("D"), q.VarByName("F"), q.VarByName("H")}};
+  ViewSet v0 = ViewsFromEdges(v0_edges);
+  bool covered = false;
+  for (auto _ : state) {
+    covered = FindSharpDecomposition(q, v0).has_value();
+    benchmark::DoNotOptimize(covered);
+  }
+  SHARPCQ_CHECK(covered);
+  state.counters["covered"] = covered ? 1 : 0;
+}
+BENCHMARK(BM_Example35_SharpCoveredByV0);
+
+void BM_Figure8_Q1SharpWidth(benchmark::State& state) {
+  ConjunctiveQuery q = MakeQ1();
+  int width = 0;
+  for (auto _ : state) {
+    width = SharpHypertreeWidth(q, 3).value_or(-1);
+    benchmark::DoNotOptimize(width);
+  }
+  SHARPCQ_CHECK(width == 2);
+  state.counters["sharp_htw"] = width;
+}
+BENCHMARK(BM_Figure8_Q1SharpWidth);
+
+void BM_Figure5_PseudoFreeFrontierCollapse(benchmark::State& state) {
+  // Example 1.5: with D pseudo-free, all FH edges sit inside original
+  // hyperedges, so any hypertree decomposition covers them for free.
+  ConjunctiveQuery q = MakeQ0();
+  Hypergraph h = q.BuildHypergraph();
+  IdSet w = Union(q.free_vars(), IdSet{q.VarByName("D")});
+  bool collapsed = false;
+  for (auto _ : state) {
+    Hypergraph fh = FrontierHypergraph(h, w);
+    collapsed = true;
+    for (const IdSet& e : fh.edges()) {
+      collapsed = collapsed && CoveredBySome(h.edges(), e);
+    }
+    benchmark::DoNotOptimize(collapsed);
+  }
+  SHARPCQ_CHECK(collapsed);
+  state.counters["fh_inside_hq0"] = collapsed ? 1 : 0;
+}
+BENCHMARK(BM_Figure5_PseudoFreeFrontierCollapse);
+
+void BM_TheoremA3_BicliqueWidthGap(benchmark::State& state) {
+  // Q^n_2: ghw = n but #-htw = 1 (n = state.range(0)).
+  const int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQn2(n);
+  int ghw = 0, sharp = 0;
+  for (auto _ : state) {
+    ghw = HypertreeWidth(q, n + 1).value_or(-1);
+    sharp = SharpHypertreeWidth(q, 2).value_or(-1);
+    benchmark::DoNotOptimize(ghw + sharp);
+  }
+  SHARPCQ_CHECK(ghw == n && sharp == 1);
+  state.counters["ghw"] = ghw;
+  state.counters["sharp_htw"] = sharp;
+}
+BENCHMARK(BM_TheoremA3_BicliqueWidthGap)->DenseRange(2, 4);
+
+}  // namespace
+}  // namespace sharpcq
+
+BENCHMARK_MAIN();

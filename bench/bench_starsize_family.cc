@@ -1,0 +1,104 @@
+// E13 (DESIGN.md) — Example A.2 / Figure 11 / Theorem A.3: the chain
+// family Q^n_1 separates quantified star size from #-hypertree width.
+//
+// Shape claims reproduced:
+//   - qss(Q^n_1) = ceil(n/2) grows with n (counter qss);
+//   - #-htw(Q^n_1) = 1 for every n (counter sharp_htw);
+//   - counting through the colored core (Theorem 1.3) scales mildly with
+//     n, while the frontier-materialization baseline (DM15-shaped, no
+//     cores) blows up with the frontier size.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sharp_counting.h"
+#include "count/enumeration.h"
+#include "count/starsize.h"
+#include "gen/paper_queries.h"
+#include "util/check.h"
+
+namespace sharpcq {
+namespace {
+
+Database ChainDb(int n) {
+  return MakeQn1RandomDatabase(/*d=*/12, /*edges=*/36,
+                               /*seed=*/1000u + static_cast<unsigned>(n));
+}
+
+void BM_Qn1_StructuralParameters(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQn1(n);
+  int qss = 0, width = 0;
+  for (auto _ : state) {
+    qss = QuantifiedStarSize(q);
+    width = SharpHypertreeWidth(q, 2).value_or(-1);
+    benchmark::DoNotOptimize(qss + width);
+  }
+  SHARPCQ_CHECK(qss == (n + 1) / 2);
+  SHARPCQ_CHECK(width == 1);
+  state.counters["qss"] = qss;
+  state.counters["sharp_htw"] = width;
+}
+BENCHMARK(BM_Qn1_StructuralParameters)->DenseRange(2, 6);
+
+void BM_Qn1_SharpCount(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQn1(n);
+  Database db = ChainDb(n);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    auto result = CountBySharpHypertree(q, db, 1);
+    SHARPCQ_CHECK(result.has_value());
+    answers = result->count;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Qn1_SharpCount)->DenseRange(2, 6);
+
+void BM_Qn1_FrontierMaterialization(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQn1(n);
+  Database db = ChainDb(n);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    answers = CountByFrontierMaterialization(q, db);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Qn1_FrontierMaterialization)->DenseRange(2, 6);
+
+void BM_Qn1_Backtracking(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQn1(n);
+  Database db = ChainDb(n);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    answers = CountByBacktracking(q, db);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Qn1_Backtracking)->DenseRange(2, 6);
+
+// Database scaling at fixed n = 4: Theorem 1.3 says polynomial in ||D||.
+void BM_Qn1_SharpCount_DbScaling(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = MakeQn1(4);
+  Database db = MakeQn1RandomDatabase(d, 3 * d, 5);
+  CountInt answers = 0;
+  for (auto _ : state) {
+    auto result = CountBySharpHypertree(q, db, 1);
+    SHARPCQ_CHECK(result.has_value());
+    answers = result->count;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["domain"] = d;
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Qn1_SharpCount_DbScaling)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+}  // namespace sharpcq
+
+BENCHMARK_MAIN();

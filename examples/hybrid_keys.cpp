@@ -1,0 +1,71 @@
+// Example 6.3/6.5: hybrid decompositions exploiting keys in the data.
+//
+// The family (Qbar^h_2, Dbar^m_2) has *unbounded* #-hypertree width — the
+// frontier of the existential block is a clique over all free variables —
+// so the purely structural method fails at any fixed width. But the data
+// holds a functional dependency (X0 determines the Y block), and the hybrid
+// #b-decomposition search (Theorem 6.7) discovers that treating Y0..Yh as
+// pseudo-free yields a width-2 decomposition with degree bound 1, making
+// counting polynomial (Theorem 6.6).
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/sharp_counting.h"
+#include "count/enumeration.h"
+#include "gen/paper_queries.h"
+#include "hybrid/hybrid_counting.h"
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%-4s %-22s %-18s %-12s %-12s %-12s\n", "h",
+              "structural #-width", "hybrid (k, b)", "answers",
+              "hybrid(ms)", "brute(ms)");
+  for (int h : {2, 3, 4}) {
+    sharpcq::ConjunctiveQuery q = sharpcq::MakeQbarh2(h);
+    sharpcq::Database db = sharpcq::MakeQbarh2Database(h, /*z_domain=*/16);
+
+    // Structural attempt at width 2: must fail (frontier clique).
+    bool structural_ok =
+        sharpcq::FindSharpHypertreeDecomposition(q, 2).has_value();
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::optional<sharpcq::SharpBDecomposition> d =
+        sharpcq::FindSharpBDecomposition(q, db, 2);
+    std::optional<sharpcq::CountResult> hybrid;
+    if (d.has_value()) hybrid = sharpcq::CountViaSharpB(q, db, *d);
+    double hybrid_ms = MillisSince(t0);
+
+    auto t1 = std::chrono::steady_clock::now();
+    sharpcq::CountInt brute = sharpcq::CountByBacktracking(q, db);
+    double brute_ms = MillisSince(t1);
+
+    if (!hybrid.has_value() || hybrid->count != brute) {
+      std::fprintf(stderr, "MISMATCH at h=%d\n", h);
+      return 1;
+    }
+    char hybrid_desc[32];
+    std::snprintf(hybrid_desc, sizeof(hybrid_desc), "(k=%d, b=%zu)",
+                  d->decomposition.width, d->bound);
+    std::printf("%-4d %-22s %-18s %-12s %-12.2f %-12.2f\n", h,
+                structural_ok ? "<=2 (unexpected!)" : ">2 (fails)",
+                hybrid_desc, sharpcq::CountToString(hybrid->count).c_str(),
+                hybrid_ms, brute_ms);
+
+    // Show the pseudo-free set the search chose.
+    std::printf("     pseudo-free S-bar = %s\n",
+                d->s_bar
+                    .ToString([&q](std::uint32_t v) { return q.VarName(v); })
+                    .c_str());
+  }
+  return 0;
+}

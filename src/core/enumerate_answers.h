@@ -1,0 +1,40 @@
+#ifndef SHARPCQ_CORE_ENUMERATE_ANSWERS_H_
+#define SHARPCQ_CORE_ENUMERATE_ANSWERS_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/sharp_decomposition.h"
+#include "data/database.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// Answer enumeration with polynomial delay (Greco & Scarcello, GS13 — the
+// companion problem the paper contrasts counting against, Section 1.1).
+//
+// Given a #-decomposition, the Theorem 3.7 pipeline produces a full-reduced
+// acyclic instance over the free variables whose join is exactly the answer
+// set; enumerating that join over the join tree yields each answer once,
+// with delay polynomial in the instance.
+
+// One answer: values for the free variables in ascending VarId order.
+using AnswerCallback =
+    std::function<bool(const std::vector<Value>&)>;  // return false to stop
+
+// Enumerates pi_free(Q)(D) through a width-k #-hypertree decomposition.
+// Returns the number of answers emitted (equals the count when the callback
+// never stops), or nullopt when q has no width-k #-hypertree decomposition.
+std::optional<std::size_t> EnumerateAnswers(const ConjunctiveQuery& q,
+                                            const Database& db, int k,
+                                            const AnswerCallback& callback);
+
+// Convenience: materializes up to `limit` answers.
+std::optional<std::vector<std::vector<Value>>> EnumerateAnswersToVector(
+    const ConjunctiveQuery& q, const Database& db, int k,
+    std::size_t limit = static_cast<std::size_t>(-1));
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_CORE_ENUMERATE_ANSWERS_H_

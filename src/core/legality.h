@@ -1,0 +1,27 @@
+#ifndef SHARPCQ_CORE_LEGALITY_H_
+#define SHARPCQ_CORE_LEGALITY_H_
+
+#include <string>
+
+#include "data/database.h"
+#include "decomp/views.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// Legality of a view database (Section 3): a database is legal on V w.r.t.
+// Q when every view relation contains at least the projection of Q's
+// solutions onto the view's variables — views must not be more restrictive
+// than the query, or answers would be lost. (V^k views materialized by this
+// library are legal by construction: they are joins of subsets of Q's
+// atoms.)
+//
+// Diagnostic/test utility: evaluates Q by join-project, so it costs as much
+// as answering the query; use it to validate hand-supplied named views, not
+// in production paths.
+bool IsLegalViewDatabase(const ConjunctiveQuery& q, const ViewSet& views,
+                         const Database& db, std::string* why = nullptr);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_CORE_LEGALITY_H_

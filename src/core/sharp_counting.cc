@@ -1,0 +1,55 @@
+#include "core/sharp_counting.h"
+
+#include "core/materialize.h"
+#include "count/enumeration.h"
+#include "count/join_tree_instance.h"
+
+namespace sharpcq {
+
+CountResult CountViaSharpDecomposition(const ConjunctiveQuery& q,
+                                       const Database& db,
+                                       const SharpDecomposition& d) {
+  CountResult result;
+  result.method = "#-decomposition";
+  result.width = d.width;
+
+  JoinTreeInstance instance =
+      MaterializeBags(d.core, q, db, d.tree, d.views);
+  if (!FullReduce(&instance)) {
+    result.count = 0;
+    return result;
+  }
+  JoinTreeInstance restricted = RestrictToVars(instance, q.free_vars());
+  result.count = CountFullJoin(restricted);
+  return result;
+}
+
+std::optional<CountResult> CountBySharpHypertree(const ConjunctiveQuery& q,
+                                                 const Database& db, int k,
+                                                 std::size_t max_cores) {
+  std::optional<SharpDecomposition> d =
+      FindSharpHypertreeDecomposition(q, k, max_cores);
+  if (!d.has_value()) return std::nullopt;
+  CountResult result = CountViaSharpDecomposition(q, db, *d);
+  result.method = "#-hypertree(k=" + std::to_string(k) + ")";
+  return result;
+}
+
+CountResult CountAnswers(const ConjunctiveQuery& q, const Database& db,
+                         const CountOptions& options) {
+  for (int k = 1; k <= options.max_width; ++k) {
+    std::optional<SharpDecomposition> d =
+        FindSharpHypertreeDecomposition(q, k, options.max_cores);
+    if (d.has_value()) {
+      CountResult result = CountViaSharpDecomposition(q, db, *d);
+      result.method = "#-hypertree(k=" + std::to_string(k) + ")";
+      return result;
+    }
+  }
+  CountResult result;
+  result.method = "backtracking";
+  result.count = CountByBacktracking(q, db);
+  return result;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,54 @@
+#ifndef SHARPCQ_CORE_SHARP_COUNTING_H_
+#define SHARPCQ_CORE_SHARP_COUNTING_H_
+
+#include <optional>
+#include <string>
+
+#include "core/sharp_decomposition.h"
+#include "data/database.h"
+#include "query/conjunctive_query.h"
+#include "util/count_int.h"
+
+namespace sharpcq {
+
+// Outcome of a counting call, with provenance for diagnostics and the
+// experiment harness.
+struct CountResult {
+  CountInt count = 0;
+  std::string method;  // e.g. "#-hypertree(k=2)", "backtracking"
+  int width = 0;       // decomposition width used (0 for brute force)
+};
+
+// The Theorem 3.7 algorithm, given a #-decomposition: materializes the
+// decomposition's bags over db, runs the full reducer (local consistency on
+// the acyclic instance = global consistency), restricts the bags to the
+// free variables, and counts the resulting full acyclic join. Polynomial in
+// ||Q||, ||D||, ||Ha|| for fixed width. Correct because the tree covers the
+// frontier hypergraph — see DESIGN.md for the equivalence with the paper's
+// construction.
+CountResult CountViaSharpDecomposition(const ConjunctiveQuery& q,
+                                       const Database& db,
+                                       const SharpDecomposition& d);
+
+// Theorem 1.3 for a concrete width: computes a colored core, searches a
+// width-k #-hypertree decomposition, and counts. Returns nullopt when q has
+// no width-k #-hypertree decomposition (promise violated).
+std::optional<CountResult> CountBySharpHypertree(const ConjunctiveQuery& q,
+                                                 const Database& db, int k,
+                                                 std::size_t max_cores = 8);
+
+struct CountOptions {
+  int max_width = 3;          // largest #-hypertree width to attempt
+  std::size_t max_cores = 8;  // substructure cores to try per width
+};
+
+// The library facade: tries #-hypertree decompositions of width 1..
+// max_width and falls back to the backtracking baseline when the query has
+// no bounded-width decomposition. Always returns the exact count.
+// (The hybrid engine of Section 6 lives in hybrid/hybrid_counting.h.)
+CountResult CountAnswers(const ConjunctiveQuery& q, const Database& db,
+                         const CountOptions& options = {});
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_CORE_SHARP_COUNTING_H_

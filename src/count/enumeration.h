@@ -1,0 +1,26 @@
+#ifndef SHARPCQ_COUNT_ENUMERATION_H_
+#define SHARPCQ_COUNT_ENUMERATION_H_
+
+#include "data/database.h"
+#include "query/conjunctive_query.h"
+#include "util/count_int.h"
+
+namespace sharpcq {
+
+// Baseline counters (Section 1.1: "the straightforward approach ... incurs
+// an exponential cost"). Used as ground truth in property tests and as the
+// comparison baselines in the benchmarks.
+
+// Materializes the full join of all atom relations, then counts the
+// projection onto the free variables. Time and memory exponential in the
+// query size in the worst case.
+CountInt CountByJoinProject(const ConjunctiveQuery& q, const Database& db);
+
+// Backtracking over variables, free variables first; counts distinct free
+// assignments, searching only one witness extension over the existential
+// variables per answer (the enumerate-with-projection baseline of GS13).
+CountInt CountByBacktracking(const ConjunctiveQuery& q, const Database& db);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_COUNT_ENUMERATION_H_

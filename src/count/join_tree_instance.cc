@@ -1,0 +1,97 @@
+#include "count/join_tree_instance.h"
+
+#include "util/check.h"
+
+namespace sharpcq {
+
+bool FullReduce(JoinTreeInstance* instance) {
+  std::vector<int> order = instance->shape.TopoOrder();
+  // Upward pass: parents semijoined with children, leaves first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t v = static_cast<std::size_t>(*it);
+    for (int c : instance->shape.children[v]) {
+      instance->nodes[v] = Semijoin(instance->nodes[v],
+                                    instance->nodes[static_cast<std::size_t>(c)]);
+    }
+    if (instance->nodes[v].empty()) return false;
+  }
+  // Downward pass: children semijoined with parents, root first.
+  for (int v : order) {
+    for (int c : instance->shape.children[static_cast<std::size_t>(v)]) {
+      instance->nodes[static_cast<std::size_t>(c)] =
+          Semijoin(instance->nodes[static_cast<std::size_t>(c)],
+                   instance->nodes[static_cast<std::size_t>(v)]);
+      if (instance->nodes[static_cast<std::size_t>(c)].empty()) return false;
+    }
+  }
+  return true;
+}
+
+CountInt CountFullJoin(const JoinTreeInstance& instance) {
+  if (instance.nodes.empty()) return 1;  // the empty join has one solution
+
+  std::vector<int> order = instance.shape.TopoOrder();
+  // weights[v][row] = number of distinct extensions of that row to the
+  // variables occurring strictly below v.
+  std::vector<std::vector<CountInt>> weights(instance.nodes.size());
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t v = static_cast<std::size_t>(*it);
+    const VarRelation& rel = instance.nodes[v];
+    std::vector<CountInt>& w = weights[v];
+    w.assign(rel.size(), CountInt{1});
+
+    for (int child : instance.shape.children[v]) {
+      std::size_t c = static_cast<std::size_t>(child);
+      const VarRelation& crel = instance.nodes[c];
+      IdSet shared = Intersect(rel.vars(), crel.vars());
+
+      // Aggregate child weights per shared-key via an index on the child.
+      std::vector<int> child_cols;
+      child_cols.reserve(shared.size());
+      for (std::uint32_t var : shared) child_cols.push_back(crel.ColumnOf(var));
+      RowIndex index(crel.rel(), child_cols);
+
+      std::vector<int> parent_cols;
+      parent_cols.reserve(shared.size());
+      for (std::uint32_t var : shared) parent_cols.push_back(rel.ColumnOf(var));
+
+      std::vector<Value> key(shared.size());
+      for (std::size_t row = 0; row < rel.size(); ++row) {
+        if (w[row] == 0) continue;
+        auto tuple = rel.rel().Row(row);
+        for (std::size_t j = 0; j < parent_cols.size(); ++j) {
+          key[j] = tuple[static_cast<std::size_t>(parent_cols[j])];
+        }
+        const std::vector<std::uint32_t>* matches = index.Lookup(key);
+        if (matches == nullptr) {
+          w[row] = 0;
+          continue;
+        }
+        CountInt sum = 0;
+        for (std::uint32_t crow : *matches) sum += weights[c][crow];
+        w[row] *= sum;
+      }
+      weights[c].clear();  // release
+      weights[c].shrink_to_fit();
+    }
+  }
+
+  CountInt total = 0;
+  std::size_t root = static_cast<std::size_t>(instance.shape.root);
+  for (CountInt w : weights[root]) total += w;
+  return total;
+}
+
+JoinTreeInstance RestrictToVars(const JoinTreeInstance& instance,
+                                const IdSet& keep) {
+  JoinTreeInstance out;
+  out.shape = instance.shape;
+  out.nodes.reserve(instance.nodes.size());
+  for (const VarRelation& n : instance.nodes) {
+    out.nodes.push_back(Project(n, Intersect(n.vars(), keep)));
+  }
+  return out;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,49 @@
+#ifndef SHARPCQ_COUNT_JOIN_TREE_INSTANCE_H_
+#define SHARPCQ_COUNT_JOIN_TREE_INSTANCE_H_
+
+#include <vector>
+
+#include "data/var_relation.h"
+#include "hypergraph/tree_shape.h"
+#include "util/count_int.h"
+#include "util/id_set.h"
+
+namespace sharpcq {
+
+// A materialized acyclic instance: a join tree whose vertices carry bag
+// relations. All counting engines in this library operate on this shape —
+// the structural (Thm 3.7), degree-bounded (Thm 6.2), and hybrid (Thm 6.6)
+// pipelines differ only in how they produce one.
+struct JoinTreeInstance {
+  TreeShape shape;
+  std::vector<VarRelation> nodes;
+
+  // The union of all bag variable sets.
+  IdSet AllVars() const {
+    IdSet all;
+    for (const VarRelation& n : nodes) all = Union(all, n.vars());
+    return all;
+  }
+};
+
+// Yannakakis' full reducer: one upward and one downward semijoin pass.
+// Afterwards the relations are pairwise consistent along tree edges, which
+// on acyclic instances equals global consistency (Beeri–Fagin–Maier–
+// Yannakakis): every remaining tuple participates in some solution of the
+// acyclic join. Returns false iff some relation became empty.
+bool FullReduce(JoinTreeInstance* instance);
+
+// The number of solutions of the full acyclic join (distinct assignments to
+// all variables), by dynamic programming over the tree: no solution is ever
+// materialized. Bag relations must be deduplicated (VarRelation algebra
+// guarantees this).
+CountInt CountFullJoin(const JoinTreeInstance& instance);
+
+// Projects every bag onto bag ∩ keep (deduplicating). The tree shape is
+// preserved; running intersection survives uniform variable removal.
+JoinTreeInstance RestrictToVars(const JoinTreeInstance& instance,
+                                const IdSet& keep);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_COUNT_JOIN_TREE_INSTANCE_H_

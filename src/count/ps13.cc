@@ -1,0 +1,165 @@
+#include "count/ps13.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace sharpcq {
+
+namespace {
+
+// A #-relation: sets of row ids of the vertex relation, each with a
+// coefficient counting the distinct combinations of free-variable
+// assignments (in the processed subtree) compatible with exactly that set.
+struct SharpSet {
+  std::vector<std::uint32_t> rows;  // sorted
+  CountInt coeff = 0;
+};
+using SharpRelation = std::vector<SharpSet>;
+
+// Initial #-relation of a vertex: the partition of its rows by the
+// projection onto the free variables present in the bag, coefficient 1.
+SharpRelation InitialSharpRelation(const VarRelation& rel,
+                                   const IdSet& free_vars) {
+  IdSet bag_free = Intersect(rel.vars(), free_vars);
+  std::vector<int> cols;
+  cols.reserve(bag_free.size());
+  for (std::uint32_t v : bag_free) cols.push_back(rel.ColumnOf(v));
+
+  std::map<std::vector<Value>, SharpSet> groups;
+  std::vector<Value> key(cols.size());
+  for (std::size_t row = 0; row < rel.size(); ++row) {
+    auto tuple = rel.rel().Row(row);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      key[j] = tuple[static_cast<std::size_t>(cols[j])];
+    }
+    SharpSet& s = groups[key];
+    s.rows.push_back(static_cast<std::uint32_t>(row));
+    s.coeff = 1;
+  }
+  SharpRelation out;
+  out.reserve(groups.size());
+  for (auto& [k, s] : groups) out.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace
+
+CountInt Ps13Count(const JoinTreeInstance& instance, const IdSet& free_vars,
+                   Ps13Stats* stats) {
+  if (instance.nodes.empty()) return 1;
+  Ps13Stats local;
+  Ps13Stats* st = stats != nullptr ? stats : &local;
+  *st = Ps13Stats{};
+
+  const std::size_t n = instance.nodes.size();
+  std::vector<SharpRelation> sharp(n);
+
+  // Per-vertex: key of each row over the variables shared with the parent,
+  // as a dense key id (computed lazily per (parent, child) pair below).
+  std::vector<int> order = instance.shape.TopoOrder();
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t p = static_cast<std::size_t>(*it);
+    const VarRelation& rp = instance.nodes[p];
+    SharpRelation rel_p = InitialSharpRelation(rp, free_vars);
+    // The initial partition is where the degree bound h of Theorem 6.2
+    // shows up: every set is a sigma_theta(r_p) group of size <= h.
+    st->max_sets = std::max(st->max_sets, rel_p.size());
+    for (const SharpSet& s : rel_p) {
+      st->max_set_size = std::max(st->max_set_size, s.rows.size());
+    }
+
+    for (int child : instance.shape.children[p]) {
+      std::size_t q = static_cast<std::size_t>(child);
+      const VarRelation& rq = instance.nodes[q];
+      const SharpRelation& rel_q = sharp[q];
+
+      // Dense join-key ids over the shared variables, for both relations.
+      IdSet shared = Intersect(rp.vars(), rq.vars());
+      std::vector<int> p_cols, q_cols;
+      for (std::uint32_t v : shared) {
+        p_cols.push_back(rp.ColumnOf(v));
+        q_cols.push_back(rq.ColumnOf(v));
+      }
+      std::unordered_map<std::vector<Value>, std::uint32_t, VectorHash<Value>>
+          key_ids;
+      auto key_id_of = [&key_ids](std::vector<Value> key) {
+        auto [kit, inserted] =
+            key_ids.emplace(std::move(key), static_cast<std::uint32_t>(
+                                                key_ids.size()));
+        return kit->second;
+      };
+      auto keys_of = [](const VarRelation& r, const std::vector<int>& cols,
+                        auto& id_of) {
+        std::vector<std::uint32_t> ids(r.size());
+        std::vector<Value> key(cols.size());
+        for (std::size_t row = 0; row < r.size(); ++row) {
+          auto tuple = r.rel().Row(row);
+          for (std::size_t j = 0; j < cols.size(); ++j) {
+            key[j] = tuple[static_cast<std::size_t>(cols[j])];
+          }
+          ids[row] = id_of(key);
+        }
+        return ids;
+      };
+      std::vector<std::uint32_t> p_keys = keys_of(rp, p_cols, key_id_of);
+      std::vector<std::uint32_t> q_keys = keys_of(rq, q_cols, key_id_of);
+
+      // Key sets of each child #-set, for O(1) membership in the semijoin.
+      std::vector<std::unordered_set<std::uint32_t>> q_key_sets(rel_q.size());
+      for (std::size_t s = 0; s < rel_q.size(); ++s) {
+        for (std::uint32_t row : rel_q[s].rows) {
+          q_key_sets[s].insert(q_keys[row]);
+        }
+      }
+
+      // R^alpha_p := R^(alpha-1)_p ⋉ R_q with coefficient accumulation
+      // (collapsing identical result sets).
+      std::map<std::vector<std::uint32_t>, CountInt> accum;
+      for (const SharpSet& sp : rel_p) {
+        for (std::size_t s = 0; s < rel_q.size(); ++s) {
+          ++st->semijoin_ops;
+          std::vector<std::uint32_t> kept;
+          for (std::uint32_t row : sp.rows) {
+            if (q_key_sets[s].count(p_keys[row]) > 0) kept.push_back(row);
+          }
+          if (kept.empty()) continue;
+          accum[std::move(kept)] += sp.coeff * rel_q[s].coeff;
+        }
+      }
+      SharpRelation next;
+      next.reserve(accum.size());
+      for (auto& [rows, coeff] : accum) {
+        next.push_back(SharpSet{rows, coeff});
+      }
+      rel_p = std::move(next);
+      if (rel_p.empty()) break;  // no solutions below this vertex
+    }
+
+    st->max_sets = std::max(st->max_sets, rel_p.size());
+    for (const SharpSet& s : rel_p) {
+      st->max_set_size = std::max(st->max_set_size, s.rows.size());
+    }
+    sharp[p] = std::move(rel_p);
+    // Children's #-relations are no longer needed.
+    for (int child : instance.shape.children[p]) {
+      sharp[static_cast<std::size_t>(child)].clear();
+      sharp[static_cast<std::size_t>(child)].shrink_to_fit();
+    }
+  }
+
+  CountInt total = 0;
+  for (const SharpSet& s :
+       sharp[static_cast<std::size_t>(instance.shape.root)]) {
+    total += s.coeff;
+  }
+  return total;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,147 @@
+#include "count/starsize.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "data/var_relation.h"
+#include "hypergraph/hypergraph.h"
+#include "query/atom_relation.h"
+#include "util/check.h"
+
+namespace sharpcq {
+
+namespace {
+
+// Maximum independent set inside `candidates` under `adjacency` (by node
+// id), simple branch and bound.
+int MaxIndependentSet(const IdSet& candidates,
+                      const std::unordered_map<std::uint32_t, IdSet>& adjacency) {
+  std::vector<std::uint32_t> nodes(candidates.begin(), candidates.end());
+  int best = 0;
+  auto rec = [&](auto&& self, std::size_t i, IdSet chosen) -> void {
+    if (static_cast<int>(chosen.size() + (nodes.size() - i)) <= best) return;
+    if (i == nodes.size()) {
+      best = std::max(best, static_cast<int>(chosen.size()));
+      return;
+    }
+    std::uint32_t v = nodes[i];
+    // Include v if independent of everything chosen.
+    auto it = adjacency.find(v);
+    bool independent = true;
+    if (it != adjacency.end()) {
+      for (std::uint32_t u : chosen) {
+        if (it->second.Contains(u)) {
+          independent = false;
+          break;
+        }
+      }
+    }
+    if (independent) {
+      IdSet with = chosen;
+      with.Insert(v);
+      self(self, i + 1, std::move(with));
+    }
+    self(self, i + 1, std::move(chosen));
+  };
+  rec(rec, 0, IdSet{});
+  return best;
+}
+
+}  // namespace
+
+int QuantifiedStarSize(const ConjunctiveQuery& q) {
+  Hypergraph h = q.BuildHypergraph();
+  WComponents comps = ComputeWComponents(h, q.free_vars());
+
+  // Primal adjacency by node id.
+  std::unordered_map<std::uint32_t, IdSet> adjacency;
+  for (const IdSet& e : h.edges()) {
+    for (std::uint32_t v : e) {
+      IdSet others = e;
+      others.Remove(v);
+      auto [it, inserted] = adjacency.emplace(v, others);
+      if (!inserted) it->second = Union(it->second, others);
+    }
+  }
+
+  int star_size = 0;
+  // All variables of a component share one frontier; iterate components.
+  for (const IdSet& frontier : comps.frontiers) {
+    star_size = std::max(star_size, MaxIndependentSet(frontier, adjacency));
+  }
+  return star_size;
+}
+
+CountInt CountByFrontierMaterialization(const ConjunctiveQuery& q,
+                                        const Database& db) {
+  Hypergraph h = q.BuildHypergraph();
+  WComponents comps = ComputeWComponents(h, q.free_vars());
+
+  std::vector<IdSet> atom_vars;
+  for (const Atom& a : q.atoms()) atom_vars.push_back(a.Vars());
+
+  std::vector<VarRelation> residual;
+  // Frontier relations, one per component of existential variables. Atoms
+  // are joined with early projection (variable elimination): after each
+  // join, variables that appear neither in the frontier nor in a remaining
+  // atom are projected away, so the intermediate width tracks the frontier
+  // size rather than the whole component.
+  for (std::size_t c = 0; c < comps.components.size(); ++c) {
+    std::vector<std::size_t> pending;
+    for (std::size_t a = 0; a < q.NumAtoms(); ++a) {
+      if (atom_vars[a].Intersects(comps.components[c])) pending.push_back(a);
+    }
+    SHARPCQ_CHECK(!pending.empty());
+    VarRelation joined = AtomToVarRelation(q.atoms()[pending[0]], db);
+    pending.erase(pending.begin());
+    while (!pending.empty()) {
+      // Prefer an atom sharing variables with the accumulated relation.
+      std::size_t pick = 0;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (atom_vars[pending[i]].Intersects(joined.vars())) {
+          pick = i;
+          break;
+        }
+      }
+      std::size_t a = pending[pick];
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+      joined = Join(joined, AtomToVarRelation(q.atoms()[a], db));
+      IdSet needed = comps.frontiers[c];
+      for (std::size_t rest : pending) {
+        needed = Union(needed, atom_vars[rest]);
+      }
+      joined = Project(joined, Intersect(joined.vars(), needed));
+    }
+    residual.push_back(Project(joined, comps.frontiers[c]));
+  }
+  // Free-only atoms.
+  for (std::size_t a = 0; a < q.NumAtoms(); ++a) {
+    if (atom_vars[a].IsSubsetOf(q.free_vars())) {
+      residual.push_back(AtomToVarRelation(q.atoms()[a], db));
+    }
+  }
+
+  // Count the residual by join-project over the free variables.
+  VarRelation acc = VarRelation::Unit();
+  std::vector<bool> used(residual.size(), false);
+  for (std::size_t step = 0; step < residual.size(); ++step) {
+    std::size_t pick = residual.size();
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      if (used[i]) continue;
+      if (pick == residual.size() ||
+          residual[i].vars().Intersects(acc.vars())) {
+        if (pick == residual.size()) pick = i;
+        if (residual[i].vars().Intersects(acc.vars())) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    used[pick] = true;
+    acc = Join(acc, residual[pick]);
+    // Project away nothing: all residual vars are free variables already.
+  }
+  return Project(acc, Intersect(acc.vars(), q.free_vars())).size();
+}
+
+}  // namespace sharpcq

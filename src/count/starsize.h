@@ -1,0 +1,28 @@
+#ifndef SHARPCQ_COUNT_STARSIZE_H_
+#define SHARPCQ_COUNT_STARSIZE_H_
+
+#include "data/database.h"
+#include "query/conjunctive_query.h"
+#include "util/count_int.h"
+
+namespace sharpcq {
+
+// The quantified star size of Durand & Mengel (Appendix A): the maximum,
+// over existential variables Y, of the size of a maximum independent set
+// (in the primal graph of HQ) inside the frontier Fr(Y, free(Q), HQ).
+// Exact via branch and bound; frontiers at paper scale are small.
+int QuantifiedStarSize(const ConjunctiveQuery& q);
+
+// The DM15-shaped counting baseline (no cores, per Remark 4.5): for each
+// [free(Q)]-component C_i of the existential variables, materializes the
+// frontier relation pi_{F_i}( join of C_i's atoms ), then counts the
+// residual query (free-only atoms + frontier relations) by join-project.
+// Polynomial when quantified star size and width are bounded; exponential
+// in the frontier size otherwise — exactly the separation Example A.2 is
+// about.
+CountInt CountByFrontierMaterialization(const ConjunctiveQuery& q,
+                                        const Database& db);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_COUNT_STARSIZE_H_

@@ -1,0 +1,102 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace sharpcq {
+
+namespace {
+
+bool ParseField(const std::string& field, ValueDict* dict, Value* out,
+                std::string* error) {
+  if (!field.empty() &&
+      (field[0] == '-' || (field[0] >= '0' && field[0] <= '9'))) {
+    char* end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(field.c_str(), &end, 10);
+    if (errno == 0 && end == field.c_str() + field.size()) {
+      *out = static_cast<Value>(v);
+      return true;
+    }
+  }
+  if (dict == nullptr) {
+    if (error != nullptr) {
+      *error = "non-numeric field '" + field + "' needs a ValueDict";
+    }
+    return false;
+  }
+  *out = dict->Intern(field);
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::size_t> LoadRelationCsv(std::istream& in,
+                                           const std::string& relation,
+                                           Database* db, ValueDict* dict,
+                                           std::string* error) {
+  std::size_t loaded = 0;
+  int arity = -1;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::vector<std::string> fields = SplitAndTrim(stripped, ',');
+    if (arity == -1) {
+      arity = static_cast<int>(fields.size());
+    } else if (static_cast<int>(fields.size()) != arity) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) +
+                 ": arity mismatch (expected " + std::to_string(arity) + ")";
+      }
+      return std::nullopt;
+    }
+    std::vector<Value> row(fields.size());
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!ParseField(fields[i], dict, &row[i], error)) return std::nullopt;
+    }
+    db->AddTuple(relation, std::span<const Value>(row));
+    ++loaded;
+  }
+  if (arity == -1) {
+    if (error != nullptr) *error = "no tuples in input";
+    return std::nullopt;
+  }
+  return loaded;
+}
+
+std::optional<std::size_t> LoadRelationCsvFile(const std::string& path,
+                                               const std::string& relation,
+                                               Database* db, ValueDict* dict,
+                                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return LoadRelationCsv(in, relation, db, dict, error);
+}
+
+void WriteRelationCsv(const Database& db, const std::string& relation,
+                      std::ostream& out, const ValueDict* dict) {
+  const Relation& rel = db.relation(relation);
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    auto row = rel.Row(i);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      if (dict != nullptr) {
+        out << dict->NameOf(row[c]);
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,41 @@
+#ifndef SHARPCQ_DATA_CSV_H_
+#define SHARPCQ_DATA_CSV_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "data/database.h"
+#include "data/value.h"
+
+namespace sharpcq {
+
+// Minimal CSV ingestion for examples and tooling: one tuple per line,
+// comma-separated fields, no quoting. Fields that parse as integers become
+// their numeric value; anything else is interned through `dict` (required
+// if such fields appear). Blank lines and lines starting with '#' are
+// skipped.
+//
+// Returns the number of tuples loaded, or nullopt on malformed input
+// (inconsistent arity, bad field), with a reason in *error.
+std::optional<std::size_t> LoadRelationCsv(std::istream& in,
+                                           const std::string& relation,
+                                           Database* db,
+                                           ValueDict* dict = nullptr,
+                                           std::string* error = nullptr);
+
+// Convenience: loads from a file path.
+std::optional<std::size_t> LoadRelationCsvFile(const std::string& path,
+                                               const std::string& relation,
+                                               Database* db,
+                                               ValueDict* dict = nullptr,
+                                               std::string* error = nullptr);
+
+// Writes a relation as CSV (values rendered through `dict` when provided).
+void WriteRelationCsv(const Database& db, const std::string& relation,
+                      std::ostream& out, const ValueDict* dict = nullptr);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_DATA_CSV_H_

@@ -1,0 +1,44 @@
+#include "data/database.h"
+
+#include "util/check.h"
+
+namespace sharpcq {
+
+Relation& Database::DeclareRelation(const std::string& name, int arity) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    it = relations_.emplace(name, Relation(arity)).first;
+  }
+  SHARPCQ_CHECK_MSG(it->second.arity() == arity, name.c_str());
+  return it->second;
+}
+
+const Relation& Database::relation(const std::string& name) const {
+  auto it = relations_.find(name);
+  SHARPCQ_CHECK_MSG(it != relations_.end(), name.c_str());
+  return it->second;
+}
+
+Relation& Database::mutable_relation(const std::string& name) {
+  auto it = relations_.find(name);
+  SHARPCQ_CHECK_MSG(it != relations_.end(), name.c_str());
+  return it->second;
+}
+
+void Database::DedupAll() {
+  for (auto& [name, rel] : relations_) rel.Dedup();
+}
+
+std::size_t Database::MaxRelationSize() const {
+  std::size_t m = 0;
+  for (const auto& [name, rel] : relations_) m = std::max(m, rel.size());
+  return m;
+}
+
+std::size_t Database::TotalTuples() const {
+  std::size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel.size();
+  return total;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,59 @@
+#ifndef SHARPCQ_DATA_DATABASE_H_
+#define SHARPCQ_DATA_DATABASE_H_
+
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/relation.h"
+#include "data/value.h"
+
+namespace sharpcq {
+
+// A database instance: a finite structure mapping relation symbols to
+// relation instances (Section 2, "Relational Databases").
+class Database {
+ public:
+  Database() = default;
+
+  // Declares `name` with `arity` (idempotent; arity mismatch aborts).
+  Relation& DeclareRelation(const std::string& name, int arity);
+
+  // Adds a tuple, declaring the relation on first use.
+  void AddTuple(const std::string& name, std::initializer_list<Value> row) {
+    DeclareRelation(name, static_cast<int>(row.size())).AddRow(row);
+  }
+  void AddTuple(const std::string& name, std::span<const Value> row) {
+    DeclareRelation(name, static_cast<int>(row.size())).AddRow(row);
+  }
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  // The relation for `name`; aborts if absent (query evaluation treats a
+  // missing relation as a configuration error, not an empty relation).
+  const Relation& relation(const std::string& name) const;
+  Relation& mutable_relation(const std::string& name);
+
+  // Deduplicates every relation (databases are sets of ground atoms).
+  void DedupAll();
+
+  // Number of tuples in the largest relation (the paper's `m`).
+  std::size_t MaxRelationSize() const;
+
+  // Total number of tuples across relations.
+  std::size_t TotalTuples() const;
+
+  const std::unordered_map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+ private:
+  std::unordered_map<std::string, Relation> relations_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_DATA_DATABASE_H_

@@ -1,0 +1,145 @@
+#include "data/relation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/hash.h"
+
+namespace sharpcq {
+
+namespace {
+
+// Sorts row ids of `rel` lexicographically and returns the permutation.
+std::vector<std::uint32_t> SortedRowIds(const Relation& rel) {
+  std::vector<std::uint32_t> ids(rel.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::sort(ids.begin(), ids.end(), [&rel](std::uint32_t a, std::uint32_t b) {
+    auto ra = rel.Row(a);
+    auto rb = rel.Row(b);
+    return std::lexicographical_compare(ra.begin(), ra.end(), rb.begin(),
+                                        rb.end());
+  });
+  return ids;
+}
+
+}  // namespace
+
+void Relation::SortRows() {
+  if (arity_ == 0 || size() <= 1) return;
+  std::vector<std::uint32_t> ids = SortedRowIds(*this);
+  std::vector<Value> sorted;
+  sorted.reserve(data_.size());
+  for (std::uint32_t id : ids) {
+    auto row = Row(id);
+    sorted.insert(sorted.end(), row.begin(), row.end());
+  }
+  data_ = std::move(sorted);
+}
+
+void Relation::Dedup() {
+  if (arity_ == 0) {
+    zero_arity_rows_ = zero_arity_rows_ > 0 ? 1 : 0;
+    return;
+  }
+  if (size() <= 1) return;
+  SortRows();
+  std::vector<Value> deduped;
+  deduped.reserve(data_.size());
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = Row(i);
+    if (i > 0) {
+      auto prev = Row(i - 1);
+      if (std::equal(row.begin(), row.end(), prev.begin())) continue;
+    }
+    deduped.insert(deduped.end(), row.begin(), row.end());
+  }
+  data_ = std::move(deduped);
+}
+
+bool Relation::ContainsRow(std::span<const Value> row) const {
+  SHARPCQ_CHECK(static_cast<int>(row.size()) == arity_);
+  if (arity_ == 0) return zero_arity_rows_ > 0;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto r = Row(i);
+    if (std::equal(row.begin(), row.end(), r.begin())) return true;
+  }
+  return false;
+}
+
+bool SameRowSet(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity()) return false;
+  Relation ca = a;
+  Relation cb = b;
+  ca.Dedup();
+  cb.Dedup();
+  if (ca.size() != cb.size()) return false;
+  return ca.raw_data() == cb.raw_data();
+}
+
+std::string Relation::DebugString() const {
+  std::string out = "{";
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += "(";
+    auto row = Row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(row[j]);
+    }
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+RowIndex::RowIndex(const Relation& rel, std::vector<int> key_columns)
+    : key_columns_(std::move(key_columns)) {
+  for (int c : key_columns_) SHARPCQ_CHECK(c >= 0 && c < rel.arity());
+  std::size_t capacity = 16;
+  while (capacity < rel.size() * 2 + 2) capacity <<= 1;
+  table_.assign(capacity, 0);
+  mask_ = capacity - 1;
+  const std::size_t n = rel.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Value> key = KeyOf(rel.Row(i));
+    std::size_t slot = FindSlot(key);
+    if (table_[slot] == 0) {
+      buckets_.push_back(Bucket{std::move(key), {}});
+      table_[slot] = static_cast<std::uint32_t>(buckets_.size());
+    }
+    buckets_[table_[slot] - 1].rows.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+std::vector<Value> RowIndex::KeyOf(std::span<const Value> row) const {
+  std::vector<Value> key;
+  key.reserve(key_columns_.size());
+  for (int c : key_columns_) key.push_back(row[static_cast<std::size_t>(c)]);
+  return key;
+}
+
+std::size_t RowIndex::FindSlot(std::span<const Value> key) const {
+  std::size_t h = HashRange(key.begin(), key.end()) & mask_;
+  while (true) {
+    std::uint32_t b = table_[h];
+    if (b == 0) return h;
+    const Bucket& bucket = buckets_[b - 1];
+    if (bucket.key.size() == key.size() &&
+        std::equal(key.begin(), key.end(), bucket.key.begin())) {
+      return h;
+    }
+    h = (h + 1) & mask_;
+  }
+}
+
+const std::vector<std::uint32_t>* RowIndex::Lookup(
+    std::span<const Value> key) const {
+  std::size_t slot = FindSlot(key);
+  if (table_[slot] == 0) return nullptr;
+  return &buckets_[table_[slot] - 1].rows;
+}
+
+}  // namespace sharpcq

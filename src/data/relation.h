@@ -1,0 +1,97 @@
+#ifndef SHARPCQ_DATA_RELATION_H_
+#define SHARPCQ_DATA_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+#include "util/check.h"
+
+namespace sharpcq {
+
+// A finite relation instance: a set of fixed-arity tuples stored row-major
+// in one flat buffer. Rows are *not* automatically deduplicated on insert;
+// call Dedup() (the algebra in var_relation.cc does this after projections).
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) { SHARPCQ_CHECK(arity >= 0); }
+
+  int arity() const { return arity_; }
+  std::size_t size() const {
+    return arity_ == 0 ? zero_arity_rows_ : data_.size() / arity_;
+  }
+  bool empty() const { return size() == 0; }
+
+  // Read-only view of row `i`.
+  std::span<const Value> Row(std::size_t i) const {
+    SHARPCQ_DCHECK(i < size());
+    return {data_.data() + i * static_cast<std::size_t>(arity_),
+            static_cast<std::size_t>(arity_)};
+  }
+
+  void AddRow(std::span<const Value> row) {
+    SHARPCQ_CHECK(static_cast<int>(row.size()) == arity_);
+    if (arity_ == 0) {
+      ++zero_arity_rows_;
+      return;
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+  void AddRow(std::initializer_list<Value> row) {
+    AddRow(std::span<const Value>(row.begin(), row.size()));
+  }
+
+  // Removes duplicate rows (sorts the relation as a side effect).
+  void Dedup();
+
+  // Sorts rows lexicographically (canonical order; used for equality tests).
+  void SortRows();
+
+  // True if an identical row is present. O(n) scan; use RowIndex for bulk
+  // lookups.
+  bool ContainsRow(std::span<const Value> row) const;
+
+  // Structural equality as *sets* of rows (both sides get sorted copies).
+  friend bool SameRowSet(const Relation& a, const Relation& b);
+
+  std::string DebugString() const;
+
+  const std::vector<Value>& raw_data() const { return data_; }
+
+ private:
+  int arity_;
+  std::vector<Value> data_;
+  std::size_t zero_arity_rows_ = 0;  // row multiplicity for arity-0 relations
+};
+
+// Hash index over selected key columns of a relation: key -> row ids.
+class RowIndex {
+ public:
+  RowIndex(const Relation& rel, std::vector<int> key_columns);
+
+  // Row ids whose key columns equal `key` (nullptr if none).
+  const std::vector<std::uint32_t>* Lookup(std::span<const Value> key) const;
+
+  // Extracts the key of `row` under this index's key columns.
+  std::vector<Value> KeyOf(std::span<const Value> row) const;
+
+ private:
+  std::vector<int> key_columns_;
+  // Keys stored inline; buckets map hashed key -> row id list.
+  struct Bucket {
+    std::vector<Value> key;
+    std::vector<std::uint32_t> rows;
+  };
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> table_;  // open addressing into buckets_ (+1)
+  std::size_t mask_ = 0;
+
+  std::size_t FindSlot(std::span<const Value> key) const;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_DATA_RELATION_H_

@@ -1,0 +1,54 @@
+#ifndef SHARPCQ_DATA_VALUE_H_
+#define SHARPCQ_DATA_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sharpcq {
+
+// Domain values are 64-bit integers. Symbolic constants (worker names,
+// project codes, ...) are interned through a ValueDict so that examples can
+// speak strings while the engines stay integer-only.
+using Value = std::int64_t;
+
+// Bidirectional string <-> Value dictionary. Values handed out are dense
+// non-negative integers in insertion order.
+class ValueDict {
+ public:
+  ValueDict() = default;
+
+  // Returns the Value for `name`, interning it on first use.
+  Value Intern(const std::string& name) {
+    auto [it, inserted] = index_.emplace(name, static_cast<Value>(names_.size()));
+    if (inserted) names_.push_back(name);
+    return it->second;
+  }
+
+  // Returns the Value for `name` if already interned.
+  std::optional<Value> Find(const std::string& name) const {
+    auto it = index_.find(name);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Name of an interned value; falls back to the decimal rendering.
+  std::string NameOf(Value v) const {
+    if (v >= 0 && static_cast<std::size_t>(v) < names_.size()) {
+      return names_[static_cast<std::size_t>(v)];
+    }
+    return std::to_string(v);
+  }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Value> index_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_DATA_VALUE_H_

@@ -1,0 +1,134 @@
+#include "data/var_relation.h"
+
+#include <algorithm>
+
+namespace sharpcq {
+
+namespace {
+
+// Column positions in `r` of the variables in `vars` (all must be present).
+std::vector<int> ColumnsOf(const VarRelation& r, const IdSet& vars) {
+  std::vector<int> cols;
+  cols.reserve(vars.size());
+  for (std::uint32_t v : vars) cols.push_back(r.ColumnOf(v));
+  return cols;
+}
+
+}  // namespace
+
+int VarRelation::ColumnOf(std::uint32_t var) const {
+  const auto& ids = vars_.ids();
+  auto it = std::lower_bound(ids.begin(), ids.end(), var);
+  SHARPCQ_CHECK_MSG(it != ids.end() && *it == var,
+                    "variable not in relation schema");
+  return static_cast<int>(it - ids.begin());
+}
+
+VarRelation VarRelation::Unit() {
+  VarRelation unit{IdSet{}};
+  unit.rel().AddRow(std::span<const Value>{});
+  return unit;
+}
+
+std::string VarRelation::DebugString() const {
+  return vars_.ToString() + rel_.DebugString();
+}
+
+VarRelation Project(const VarRelation& r, const IdSet& onto) {
+  SHARPCQ_CHECK_MSG(onto.IsSubsetOf(r.vars()), "Project: onto not a subset");
+  VarRelation out(onto);
+  std::vector<int> cols = ColumnsOf(r, onto);
+  std::vector<Value> row(onto.size());
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto src = r.rel().Row(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      row[j] = src[static_cast<std::size_t>(cols[j])];
+    }
+    out.rel().AddRow(row);
+  }
+  out.rel().Dedup();
+  return out;
+}
+
+VarRelation Join(const VarRelation& a, const VarRelation& b) {
+  IdSet shared = Intersect(a.vars(), b.vars());
+  IdSet out_vars = Union(a.vars(), b.vars());
+  VarRelation out(out_vars);
+
+  // Build once: position of every output column in a (or b for b-only vars).
+  std::vector<int> from_a(out_vars.size(), -1);
+  std::vector<int> from_b(out_vars.size(), -1);
+  {
+    std::size_t i = 0;
+    for (std::uint32_t v : out_vars) {
+      if (a.vars().Contains(v)) {
+        from_a[i] = a.ColumnOf(v);
+      } else {
+        from_b[i] = b.ColumnOf(v);
+      }
+      ++i;
+    }
+  }
+
+  RowIndex index(b.rel(), ColumnsOf(b, shared));
+  std::vector<int> a_shared_cols = ColumnsOf(a, shared);
+  std::vector<Value> key(shared.size());
+  std::vector<Value> row(out_vars.size());
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto ra = a.rel().Row(i);
+    for (std::size_t j = 0; j < a_shared_cols.size(); ++j) {
+      key[j] = ra[static_cast<std::size_t>(a_shared_cols[j])];
+    }
+    const std::vector<std::uint32_t>* matches = index.Lookup(key);
+    if (matches == nullptr) continue;
+    for (std::uint32_t bid : *matches) {
+      auto rb = b.rel().Row(bid);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        row[c] = from_a[c] >= 0 ? ra[static_cast<std::size_t>(from_a[c])]
+                                : rb[static_cast<std::size_t>(from_b[c])];
+      }
+      out.rel().AddRow(row);
+    }
+  }
+  out.rel().Dedup();
+  return out;
+}
+
+VarRelation Semijoin(const VarRelation& a, const VarRelation& b,
+                     bool* changed) {
+  IdSet shared = Intersect(a.vars(), b.vars());
+  VarRelation out(a.vars());
+  RowIndex index(b.rel(), ColumnsOf(b, shared));
+  std::vector<int> a_shared_cols = ColumnsOf(a, shared);
+  std::vector<Value> key(shared.size());
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto ra = a.rel().Row(i);
+    for (std::size_t j = 0; j < a_shared_cols.size(); ++j) {
+      key[j] = ra[static_cast<std::size_t>(a_shared_cols[j])];
+    }
+    if (index.Lookup(key) != nullptr) out.rel().AddRow(ra);
+  }
+  if (changed != nullptr) *changed = out.size() != a.size();
+  return out;
+}
+
+VarRelation SelectEqual(const VarRelation& r, std::uint32_t var, Value value) {
+  VarRelation out(r.vars());
+  const int col = r.ColumnOf(var);
+  const std::size_t n = r.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = r.rel().Row(i);
+    if (row[static_cast<std::size_t>(col)] == value) out.rel().AddRow(row);
+  }
+  return out;
+}
+
+bool SameVarRelation(const VarRelation& a, const VarRelation& b) {
+  if (a.vars() != b.vars()) return false;
+  return SameRowSet(a.rel(), b.rel());
+}
+
+}  // namespace sharpcq

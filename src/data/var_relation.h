@@ -1,0 +1,69 @@
+#ifndef SHARPCQ_DATA_VAR_RELATION_H_
+#define SHARPCQ_DATA_VAR_RELATION_H_
+
+#include <optional>
+#include <string>
+
+#include "data/relation.h"
+#include "util/id_set.h"
+
+namespace sharpcq {
+
+// A relation whose columns are bound to variables: the set-of-substitutions
+// view of Section 2 ("Relational Algebra"). Columns are ordered by ascending
+// variable id, which makes the schema canonical and joins positional.
+//
+// Rows are substitutions theta : vars -> Values. All algebra operations
+// produce deduplicated results when their inputs are deduplicated, except
+// Project, which dedups explicitly.
+class VarRelation {
+ public:
+  VarRelation() : rel_(0) {}
+  explicit VarRelation(IdSet vars)
+      : vars_(std::move(vars)), rel_(static_cast<int>(vars_.size())) {}
+
+  const IdSet& vars() const { return vars_; }
+  Relation& rel() { return rel_; }
+  const Relation& rel() const { return rel_; }
+  std::size_t size() const { return rel_.size(); }
+  bool empty() const { return rel_.empty(); }
+
+  // Column position of `var`, which must be in vars().
+  int ColumnOf(std::uint32_t var) const;
+
+  // The substitution with empty domain: the identity for Join. Contains one
+  // (empty) row.
+  static VarRelation Unit();
+
+  std::string DebugString() const;
+
+  // Value of `var` in row `row_id`.
+  Value At(std::size_t row_id, std::uint32_t var) const {
+    return rel_.Row(row_id)[static_cast<std::size_t>(ColumnOf(var))];
+  }
+
+ private:
+  IdSet vars_;
+  Relation rel_;
+};
+
+// pi_onto(r). `onto` must be a subset of r.vars(). Result is deduplicated.
+VarRelation Project(const VarRelation& r, const IdSet& onto);
+
+// Natural join r1 |><| r2 on the shared variables.
+VarRelation Join(const VarRelation& a, const VarRelation& b);
+
+// Semijoin a |>< b: the rows of `a` that join with at least one row of `b`.
+// Sets *changed (if non-null) when rows were removed.
+VarRelation Semijoin(const VarRelation& a, const VarRelation& b,
+                     bool* changed = nullptr);
+
+// sigma_{var=value}(r).
+VarRelation SelectEqual(const VarRelation& r, std::uint32_t var, Value value);
+
+// Set equality of two variable-bound relations (schemas must match).
+bool SameVarRelation(const VarRelation& a, const VarRelation& b);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_DATA_VAR_RELATION_H_

@@ -1,0 +1,66 @@
+#include "decomp/explain.h"
+
+#include <functional>
+
+namespace sharpcq {
+
+namespace {
+
+std::string NamedVars(const IdSet& vars, const ConjunctiveQuery& q) {
+  return vars.ToString([&q](std::uint32_t v) { return q.VarName(v); });
+}
+
+// Renders a rooted tree with per-vertex label function.
+std::string RenderTree(const TreeShape& shape,
+                       const std::function<std::string(std::size_t)>& label) {
+  std::string out;
+  if (shape.parent.empty()) return out;
+  auto rec = [&](auto&& self, int vertex, int depth) -> void {
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += label(static_cast<std::size_t>(vertex));
+    out += '\n';
+    for (int child : shape.children[static_cast<std::size_t>(vertex)]) {
+      self(self, child, depth + 1);
+    }
+  };
+  rec(rec, shape.root, 0);
+  return out;
+}
+
+}  // namespace
+
+std::string ExplainHypertree(const Hypertree& ht, const ConjunctiveQuery& q) {
+  return RenderTree(ht.shape, [&](std::size_t v) {
+    std::string label = NamedVars(ht.chi[v], q) + " [";
+    for (std::size_t g = 0; g < ht.lambda[v].size(); ++g) {
+      if (g > 0) label += ", ";
+      label +=
+          q.atoms()[static_cast<std::size_t>(ht.lambda[v][g])].relation;
+    }
+    label += "]";
+    return label;
+  });
+}
+
+std::string ExplainBagTree(const BagTree& tree, const ViewSet& views,
+                           const ConjunctiveQuery& q) {
+  return RenderTree(tree.shape, [&](std::size_t v) {
+    std::string label = NamedVars(tree.bags[v], q) + " [";
+    std::size_t view_id = static_cast<std::size_t>(tree.view_ids[v]);
+    const std::vector<int>& guard = views.guards[view_id];
+    if (!guard.empty()) {
+      for (std::size_t g = 0; g < guard.size(); ++g) {
+        if (g > 0) label += ", ";
+        label += q.atoms()[static_cast<std::size_t>(guard[g])].relation;
+      }
+    } else if (views.HasName(view_id)) {
+      label += views.names[view_id];
+    } else {
+      label += "view " + NamedVars(views.vars[view_id], q);
+    }
+    label += "]";
+    return label;
+  });
+}
+
+}  // namespace sharpcq

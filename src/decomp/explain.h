@@ -1,0 +1,31 @@
+#ifndef SHARPCQ_DECOMP_EXPLAIN_H_
+#define SHARPCQ_DECOMP_EXPLAIN_H_
+
+#include <string>
+
+#include "decomp/hypertree.h"
+#include "decomp/tree_projection.h"
+#include "decomp/views.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// Human-readable decomposition rendering, in the style of the paper's
+// decomposition figures (Figures 2, 8(e), 10(b), 12(c)): one vertex per
+// line, indentation for tree depth, chi as named variable sets, lambda as
+// the guard atoms. Diagnostic/EXPLAIN-style output for examples and logs.
+//
+//   {A,B,I} [mw]
+//     {B,E} [wi]
+//     {B,C,D} [wt, pt]
+//       {D,F,H} [rr, rr]
+std::string ExplainHypertree(const Hypertree& ht, const ConjunctiveQuery& q);
+
+// Same for a raw BagTree (guards resolved through the view set; named and
+// abstract views are rendered by their name or variable set).
+std::string ExplainBagTree(const BagTree& tree, const ViewSet& views,
+                           const ConjunctiveQuery& q);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_DECOMP_EXPLAIN_H_

@@ -1,0 +1,167 @@
+#include "decomp/hypertree.h"
+
+#include <algorithm>
+
+#include "hypergraph/acyclic.h"
+#include "util/check.h"
+
+namespace sharpcq {
+
+namespace {
+
+bool Fail(std::string* why, const std::string& reason) {
+  if (why != nullptr) *why = reason;
+  return false;
+}
+
+}  // namespace
+
+Hypertree HypertreeFromBagTree(const BagTree& tree, const ViewSet& views) {
+  Hypertree ht;
+  ht.shape = tree.shape;
+  ht.chi = tree.bags;
+  ht.lambda.reserve(tree.view_ids.size());
+  for (int v : tree.view_ids) {
+    SHARPCQ_CHECK_MSG(!views.guards[static_cast<std::size_t>(v)].empty(),
+                      "view has no guard atoms");
+    ht.lambda.push_back(views.guards[static_cast<std::size_t>(v)]);
+  }
+  return ht;
+}
+
+bool IsGeneralizedHypertreeDecomposition(const Hypertree& ht,
+                                         const ConjunctiveQuery& q,
+                                         std::string* why) {
+  if (ht.chi.size() != ht.shape.size() || ht.lambda.size() != ht.chi.size()) {
+    return Fail(why, "inconsistent vertex counts");
+  }
+  // (1) every atom covered by some chi.
+  for (const Atom& a : q.atoms()) {
+    if (!CoveredBySome(ht.chi, a.Vars())) {
+      return Fail(why, "atom not covered: " + a.relation);
+    }
+  }
+  // (2) connectedness.
+  if (!SatisfiesRunningIntersection(ht.chi, ht.shape)) {
+    return Fail(why, "chi labels violate running intersection");
+  }
+  // (3) chi(p) inside vars(lambda(p)).
+  for (std::size_t p = 0; p < ht.chi.size(); ++p) {
+    IdSet guard_vars;
+    for (int ai : ht.lambda[p]) {
+      guard_vars =
+          Union(guard_vars, q.atoms()[static_cast<std::size_t>(ai)].Vars());
+    }
+    if (!ht.chi[p].IsSubsetOf(guard_vars)) {
+      return Fail(why, "chi not guarded at vertex " + std::to_string(p));
+    }
+  }
+  return true;
+}
+
+bool SatisfiesDescendantCondition(const Hypertree& ht,
+                                  const ConjunctiveQuery& q) {
+  // chi(T_p) bottom-up, then check vars(lambda(p)) cap chi(T_p) in chi(p).
+  std::vector<int> order = ht.shape.TopoOrder();
+  std::vector<IdSet> subtree_chi(ht.chi.size());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t p = static_cast<std::size_t>(*it);
+    subtree_chi[p] = ht.chi[p];
+    for (int c : ht.shape.children[p]) {
+      subtree_chi[p] =
+          Union(subtree_chi[p], subtree_chi[static_cast<std::size_t>(c)]);
+    }
+  }
+  for (std::size_t p = 0; p < ht.chi.size(); ++p) {
+    IdSet guard_vars;
+    for (int ai : ht.lambda[p]) {
+      guard_vars =
+          Union(guard_vars, q.atoms()[static_cast<std::size_t>(ai)].Vars());
+    }
+    if (!Intersect(guard_vars, subtree_chi[p]).IsSubsetOf(ht.chi[p])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsCompleteDecomposition(const Hypertree& ht, const ConjunctiveQuery& q) {
+  std::vector<bool> used(q.NumAtoms(), false);
+  for (const auto& l : ht.lambda) {
+    for (int ai : l) used[static_cast<std::size_t>(ai)] = true;
+  }
+  return std::all_of(used.begin(), used.end(), [](bool b) { return b; });
+}
+
+Hypertree MakeComplete(Hypertree ht, const ConjunctiveQuery& q) {
+  std::vector<bool> used(q.NumAtoms(), false);
+  for (const auto& l : ht.lambda) {
+    for (int ai : l) used[static_cast<std::size_t>(ai)] = true;
+  }
+  std::vector<int> parent(ht.shape.parent);
+  for (std::size_t a = 0; a < q.NumAtoms(); ++a) {
+    if (used[a]) continue;
+    IdSet vars = q.atoms()[a].Vars();
+    int host = -1;
+    for (std::size_t p = 0; p < ht.chi.size(); ++p) {
+      if (vars.IsSubsetOf(ht.chi[p])) {
+        host = static_cast<int>(p);
+        break;
+      }
+    }
+    SHARPCQ_CHECK_MSG(host >= 0, "MakeComplete: atom not covered by any chi");
+    ht.chi.push_back(vars);
+    ht.lambda.push_back({static_cast<int>(a)});
+    parent.push_back(host);
+  }
+  ht.shape = TreeShape::FromParents(std::move(parent));
+  return ht;
+}
+
+std::optional<int> HypergraphHypertreeWidth(const std::vector<IdSet>& edges,
+                                            int k_max) {
+  // Edges as pseudo-atoms: reuse BuildVk by constructing a throwaway query.
+  ConjunctiveQuery q;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    std::vector<Term> terms;
+    for (std::uint32_t v : edges[i]) {
+      // Fabricate variable names "v<N>" stable across edges.
+      terms.push_back(Term::Var(q.InternVar("v" + std::to_string(v))));
+    }
+    q.AddAtom("e" + std::to_string(i), std::move(terms));
+  }
+  // Variable ids inside q are remapped; rebuild edges in q's id space.
+  std::vector<IdSet> remapped;
+  remapped.reserve(q.NumAtoms());
+  for (const Atom& a : q.atoms()) remapped.push_back(a.Vars());
+
+  for (int k = 1; k <= k_max; ++k) {
+    ViewSet views = BuildVk(q, k);
+    if (FindTreeProjection(remapped, views).has_value()) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> HypertreeWidth(const ConjunctiveQuery& q, int k_max) {
+  std::vector<IdSet> edges = q.BuildHypergraph().edges();
+  for (int k = 1; k <= k_max; ++k) {
+    ViewSet views = BuildVk(q, k);
+    if (FindTreeProjection(edges, views).has_value()) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<Hypertree> FindHypertreeDecomposition(const ConjunctiveQuery& q,
+                                                    int k_max) {
+  std::vector<IdSet> edges = q.BuildHypergraph().edges();
+  for (int k = 1; k <= k_max; ++k) {
+    ViewSet views = BuildVk(q, k);
+    auto result = FindTreeProjection(edges, views);
+    if (result.has_value()) {
+      return HypertreeFromBagTree(result->tree, views);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sharpcq

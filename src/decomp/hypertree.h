@@ -1,0 +1,73 @@
+#ifndef SHARPCQ_DECOMP_HYPERTREE_H_
+#define SHARPCQ_DECOMP_HYPERTREE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "decomp/tree_projection.h"
+#include "decomp/views.h"
+#include "hypergraph/tree_shape.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// A hypertree <T, chi, lambda> for a query (Appendix C): a rooted tree whose
+// vertices carry a variable set chi(p) and a guard set lambda(p) of query
+// atoms.
+struct Hypertree {
+  TreeShape shape;
+  std::vector<IdSet> chi;
+  std::vector<std::vector<int>> lambda;  // atom indices into the query
+
+  int width() const {
+    std::size_t w = 1;
+    for (const auto& l : lambda) w = std::max(w, l.size());
+    return static_cast<int>(w);
+  }
+  std::size_t num_vertices() const { return chi.size(); }
+};
+
+// Converts a BagTree produced by FindTreeProjection into a hypertree, using
+// the view guards as lambda labels. Views must carry guards (V^k views do;
+// abstract views do not).
+Hypertree HypertreeFromBagTree(const BagTree& tree, const ViewSet& views);
+
+// Checks the generalized hypertree decomposition conditions (1)-(3) for `q`:
+// every atom covered by some chi, connectedness of every variable, and
+// chi(p) inside vars(lambda(p)). On failure, stores a reason in *why.
+bool IsGeneralizedHypertreeDecomposition(const Hypertree& ht,
+                                         const ConjunctiveQuery& q,
+                                         std::string* why = nullptr);
+
+// Condition (4) of full hypertree decompositions (the descendant
+// condition): vars(lambda(p)) that appear in the chi labels of the subtree
+// rooted at p must appear in chi(p).
+bool SatisfiesDescendantCondition(const Hypertree& ht,
+                                  const ConjunctiveQuery& q);
+
+// True when every atom of `q` appears in some lambda label.
+bool IsCompleteDecomposition(const Hypertree& ht, const ConjunctiveQuery& q);
+
+// Completes a decomposition in the manner of the Theorem 6.2 proof: every
+// atom missing from all lambda labels gets a fresh child vertex
+// (chi = vars(atom), lambda = {atom}) under a vertex covering it.
+Hypertree MakeComplete(Hypertree ht, const ConjunctiveQuery& q);
+
+// The (normal-form) generalized hypertree width of q's hypergraph, searched
+// up to `k_max`: the smallest k such that a width-k decomposition exists.
+// Returns nullopt if none exists within the budget. Bounded-arity classes:
+// this is the classical hypertree width used throughout Section 5.
+std::optional<int> HypertreeWidth(const ConjunctiveQuery& q, int k_max);
+
+// Same, for an arbitrary hypergraph (edges are treated as atoms).
+std::optional<int> HypergraphHypertreeWidth(const std::vector<IdSet>& edges,
+                                            int k_max);
+
+// The width-k decomposition itself (smallest k <= k_max), if any.
+std::optional<Hypertree> FindHypertreeDecomposition(const ConjunctiveQuery& q,
+                                                    int k_max);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_DECOMP_HYPERTREE_H_

@@ -1,0 +1,63 @@
+#include "decomp/views.h"
+
+#include <map>
+
+namespace sharpcq {
+
+ViewSet BuildVk(const ConjunctiveQuery& q, int k) {
+  // Collect candidate (var set, guard) pairs; keep the smallest guard per
+  // variable set.
+  std::map<IdSet, std::vector<int>> best;
+  std::vector<IdSet> atom_vars;
+  atom_vars.reserve(q.NumAtoms());
+  for (const Atom& a : q.atoms()) atom_vars.push_back(a.Vars());
+
+  std::vector<int> stack;
+  IdSet current;
+  auto rec = [&](auto&& self, std::size_t start, const IdSet& vars) -> void {
+    if (!stack.empty()) {
+      auto it = best.find(vars);
+      if (it == best.end() || it->second.size() > stack.size()) {
+        best[vars] = stack;
+      }
+    }
+    if (static_cast<int>(stack.size()) == k) return;
+    for (std::size_t i = start; i < atom_vars.size(); ++i) {
+      stack.push_back(static_cast<int>(i));
+      self(self, i + 1, Union(vars, atom_vars[i]));
+      stack.pop_back();
+    }
+  };
+  rec(rec, 0, IdSet{});
+
+  ViewSet out;
+  out.vars.reserve(best.size());
+  out.guards.reserve(best.size());
+  for (auto& [vars, guard] : best) {
+    out.vars.push_back(vars);
+    out.guards.push_back(std::move(guard));
+  }
+  return out;
+}
+
+ViewSet ViewsFromEdges(const std::vector<IdSet>& edges) {
+  ViewSet out;
+  out.vars = edges;
+  out.guards.assign(edges.size(), {});
+  return out;
+}
+
+ViewSet ViewsFromNamedRelations(
+    const std::vector<std::pair<std::string, IdSet>>& views) {
+  ViewSet out;
+  out.vars.reserve(views.size());
+  out.names.reserve(views.size());
+  for (const auto& [name, vars] : views) {
+    out.vars.push_back(vars);
+    out.names.push_back(name);
+  }
+  out.guards.assign(views.size(), {});
+  return out;
+}
+
+}  // namespace sharpcq

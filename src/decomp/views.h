@@ -1,0 +1,49 @@
+#ifndef SHARPCQ_DECOMP_VIEWS_H_
+#define SHARPCQ_DECOMP_VIEWS_H_
+
+#include <vector>
+
+#include "query/conjunctive_query.h"
+#include "util/id_set.h"
+
+namespace sharpcq {
+
+// A view set (Section 3): the available "resources" a decomposition may use.
+// Every structural method differs only in how this set is built; V^k_Q
+// (Section 4) takes one view per subset of at most k query atoms. Views in
+// the general tree-projection framework may instead be *named*: their
+// relations are stored in the database (columns in ascending-VarId order)
+// and must be legal w.r.t. the query (see IsLegalViewDatabase).
+struct ViewSet {
+  // Variable set of each view.
+  std::vector<IdSet> vars;
+  // Atom indices (into the generating query) whose join defines the view.
+  // Empty for abstract or named views.
+  std::vector<std::vector<int>> guards;
+  // Relation names for named views ("" when the view is guard-defined or
+  // purely abstract). Parallel to `vars` when non-empty.
+  std::vector<std::string> names;
+
+  std::size_t size() const { return vars.size(); }
+  bool HasName(std::size_t i) const {
+    return i < names.size() && !names[i].empty();
+  }
+};
+
+// V^k_Q: one view per subset C of atoms(Q) with 1 <= |C| <= k, deduplicated
+// by variable set (keeping a smallest guard). Includes the query views
+// (k = 1 subsets).
+ViewSet BuildVk(const ConjunctiveQuery& q, int k);
+
+// Abstract views from explicit variable sets (e.g. the paper's hand-drawn
+// view hypergraphs like HV0 of Figure 4). Guards are left empty.
+ViewSet ViewsFromEdges(const std::vector<IdSet>& edges);
+
+// Named views: each (name, variable set) pair refers to a database relation
+// holding the view's tuples, columns ordered by ascending VarId.
+ViewSet ViewsFromNamedRelations(
+    const std::vector<std::pair<std::string, IdSet>>& views);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_DECOMP_VIEWS_H_

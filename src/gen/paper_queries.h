@@ -1,0 +1,106 @@
+#ifndef SHARPCQ_GEN_PAPER_QUERIES_H_
+#define SHARPCQ_GEN_PAPER_QUERIES_H_
+
+#include <cstdint>
+
+#include "data/database.h"
+#include "decomp/hypertree.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// Every worked example of the paper, as constructors. Variable names match
+// the paper's figures so test output reads against the text.
+
+// --- Example 1.1 / Figures 1-5,7: the workforce query Q0 -------------------
+//
+//   Q0(A,B,C) <- mw(A,B,I), wt(B,D), wi(B,E), pt(C,D),
+//                st(D,F), st(D,G), rr(G,H), rr(F,H), rr(D,H)
+ConjunctiveQuery MakeQ0();
+
+struct Q0DatabaseParams {
+  int machines = 8;
+  int workers = 12;
+  int tasks = 10;
+  int projects = 5;
+  int subtasks = 12;
+  int resources = 8;
+  int mw_tuples = 24;   // machine-worker assignments
+  int wt_tuples = 20;   // worker-task assignments
+  int pt_tuples = 12;   // project-task requirements
+  int st_tuples = 24;   // task-subtask pairs
+  int rr_tuples = 30;   // task/subtask-resource requirements
+  std::uint64_t seed = 1;
+};
+// A synthetic workforce database for Q0. Entity ids live in disjoint ranges
+// so joins are only possible along the intended columns. st/rr tuples are
+// drawn over tasks *and* subtasks so that the rr(D,H) and rr(F,H)/rr(G,H)
+// atoms interact as in the paper's schema.
+Database MakeQ0Database(const Q0DatabaseParams& params);
+
+// --- Example 4.1 / Figure 8: the square query Q1 ---------------------------
+//
+//   Q1(A,C) <- s1(A,B), s2(B,C), s3(C,D), s4(D,A)
+ConjunctiveQuery MakeQ1();
+// Random binary relations s1..s4 over a domain of size n (tuple count per
+// relation = tuples).
+Database MakeQ1Database(int n, int tuples, std::uint64_t seed);
+
+// --- Example C.1/C.2 / Figure 12: the family Q^h_2 -------------------------
+//
+//   Q^h_2(X0,...,Xh) <- r(X0,Y1,...,Yh), s(Y0,Y1,...,Yh),
+//                       w1(X1,Y1), ..., wh(Xh,Yh)
+ConjunctiveQuery MakeQh2(int h);
+// The database D_2 (m = 2^h): r pairs a_j with the binary encoding of j,
+// s enumerates all encodings (Y0 = parity), w_i maps {b, c} to {0, 1}.
+// The number of answers is exactly m.
+Database MakeQh2Database(int h);
+// Figure 12(c): the natural width-1 hypertree decomposition HD_2, whose
+// degree value bound(D_2, HD_2) is m = 2^h (the s-vertex covers no free
+// variable).
+Hypertree MakeQh2NaiveHypertree(const ConjunctiveQuery& q, int h);
+// Example C.2: HD'_2 — r and s merged into one width-2 root; X0 then acts
+// as a key, so bound(D_2, HD'_2) = 1.
+Hypertree MakeQh2MergedHypertree(const ConjunctiveQuery& q, int h);
+
+// --- Example 6.3/6.5 / Figures 9-10: the hybrid family Qbar^h_2 ------------
+//
+//   Qbar^h_2(X0,...,Xh) <- rbar(X0,Y1,...,Yh,Z), s(Y0,...,Yh),
+//                          w1(X1,Y1), ..., wh(Xh,Yh), v(Z,X1)
+ConjunctiveQuery MakeQbarh2(int h);
+// Dbar^m_2: like D_2, but rbar extends every (a_j, enc(j)) with every value
+// of Z (domain size z_domain, the paper's m) and v is the full cross
+// product — Z extends every answer in z_domain ways, defeating pure degree
+// arguments while the Y variables stay functionally determined.
+Database MakeQbarh2Database(int h, int z_domain);
+
+// --- Example A.2 / Figure 11: the chain family Q^n_1 -----------------------
+//
+//   Q^n_1(X1,...,Xn) <- r(X1,Y1), ..., r(Xn,Yn),
+//                       r(X1,X2), ..., r(X_{n-1},X_n),
+//                       r(Y1,Y2), ..., r(Y_{n-1},Y_n)
+// Quantified star size ceil(n/2), #-hypertree width 1 (the colored core is
+// the X-chain plus one pendant edge).
+ConjunctiveQuery MakeQn1(int n);
+// A cycle digraph r = {(i, i+1 mod d)}: the count is exactly d.
+Database MakeQn1CycleDatabase(int d);
+// A random digraph with `edges` arcs over domain d.
+Database MakeQn1RandomDatabase(int d, int edges, std::uint64_t seed);
+
+// --- Theorem A.3: the biclique family Q^n_2 --------------------------------
+//
+//   Q^n_2() <- r(Xi,Yj) for all i,j in [n]   (Boolean: all vars quantified)
+// Generalized hypertree width n, #-hypertree width 1 (core = one atom).
+ConjunctiveQuery MakeQn2(int n);
+
+// --- Theorem 1.6 shape: counting k-cliques as #CQ --------------------------
+//
+//   Clique_k(V1,...,Vk) <- e(Vi,Vj) for all i<j
+// Over a symmetric edge relation each k-clique is counted k! times.
+ConjunctiveQuery MakeCliqueQuery(int k);
+// G(n, p) with a symmetric edge relation (no self-loops).
+Database MakeRandomGraphDatabase(int n, double p, std::uint64_t seed);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_GEN_PAPER_QUERIES_H_

@@ -1,0 +1,41 @@
+#ifndef SHARPCQ_GEN_RANDOM_GEN_H_
+#define SHARPCQ_GEN_RANDOM_GEN_H_
+
+#include <cstdint>
+
+#include "data/database.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// Random instance generators for the property-test suites: every counting
+// engine must agree with brute force on whatever these produce.
+
+struct RandomQueryParams {
+  int num_vars = 6;
+  int num_atoms = 5;
+  int max_arity = 3;
+  int num_free = 2;       // clamped to the variables actually used
+  int num_relations = 3;  // relation symbols are reused (non-simple queries)
+  bool force_acyclic = false;
+  std::uint64_t seed = 1;
+};
+
+// A random conjunctive query. With force_acyclic, atoms are generated along
+// a random tree (each atom shares a subset of its parent's variables and
+// adds fresh ones), so the hypergraph is alpha-acyclic by construction.
+ConjunctiveQuery MakeRandomQuery(const RandomQueryParams& params);
+
+struct RandomDatabaseParams {
+  int domain = 4;
+  int tuples_per_relation = 12;
+  std::uint64_t seed = 1;
+};
+
+// A random database for q's vocabulary (arities read off q's atoms).
+Database MakeRandomDatabase(const ConjunctiveQuery& q,
+                            const RandomDatabaseParams& params);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_GEN_RANDOM_GEN_H_

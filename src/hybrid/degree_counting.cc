@@ -1,0 +1,30 @@
+#include "hybrid/degree_counting.h"
+
+#include "hybrid/degree.h"
+
+namespace sharpcq {
+
+CountResult CountByPs13OnHypertree(const ConjunctiveQuery& q,
+                                   const Database& db, const Hypertree& ht,
+                                   Ps13Stats* stats) {
+  Hypertree complete = MakeComplete(ht, q);
+  JoinTreeInstance instance = MaterializeHypertree(q, db, complete);
+
+  // Filter the completion vertices by their host, as in the Theorem 6.2
+  // proof: the fresh vertex for an uncovered atom inherits the degree bound
+  // from its parent only after dropping tuples the parent rules out.
+  for (std::size_t v = ht.chi.size(); v < complete.chi.size(); ++v) {
+    int parent = complete.shape.parent[v];
+    instance.nodes[v] =
+        Semijoin(instance.nodes[v],
+                 instance.nodes[static_cast<std::size_t>(parent)]);
+  }
+
+  CountResult result;
+  result.method = "ps13(k=" + std::to_string(complete.width()) + ")";
+  result.width = complete.width();
+  result.count = Ps13Count(instance, q.free_vars(), stats);
+  return result;
+}
+
+}  // namespace sharpcq

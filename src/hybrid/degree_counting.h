@@ -1,0 +1,22 @@
+#ifndef SHARPCQ_HYBRID_DEGREE_COUNTING_H_
+#define SHARPCQ_HYBRID_DEGREE_COUNTING_H_
+
+#include "core/sharp_counting.h"
+#include "count/ps13.h"
+#include "data/database.h"
+#include "decomp/hypertree.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// Theorem 6.2: counting via a width-k hypertree decomposition with the
+// Figure 13 algorithm — cost O(|vertices(T)| * m^{2k} * 4^h) where
+// h = bound(D, HD). The decomposition is completed first (every atom gets a
+// lambda home, fresh vertices are filtered by their host as in the proof).
+CountResult CountByPs13OnHypertree(const ConjunctiveQuery& q,
+                                   const Database& db, const Hypertree& ht,
+                                   Ps13Stats* stats = nullptr);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_HYBRID_DEGREE_COUNTING_H_

@@ -1,0 +1,63 @@
+#include "hybrid/hybrid_counting.h"
+
+#include "core/materialize.h"
+#include "count/enumeration.h"
+#include "count/join_tree_instance.h"
+
+namespace sharpcq {
+
+CountResult CountViaSharpB(const ConjunctiveQuery& q, const Database& db,
+                           const SharpBDecomposition& d, Ps13Stats* stats) {
+  CountResult result;
+  result.width = d.decomposition.width;
+  result.method = "#b-hypertree(k=" + std::to_string(result.width) +
+                  ",b=" + std::to_string(d.bound) + ")";
+
+  JoinTreeInstance instance = MaterializeBags(d.decomposition.core, q, db,
+                                              d.decomposition.tree,
+                                              d.decomposition.views);
+  if (!FullReduce(&instance)) {
+    result.count = 0;
+    return result;
+  }
+  // chi_{S-bar} labels: drop the structurally-handled existential variables.
+  JoinTreeInstance restricted = RestrictToVars(instance, d.s_bar);
+  result.count = Ps13Count(restricted, q.free_vars(), stats);
+  return result;
+}
+
+std::optional<CountResult> CountBySharpBDecomposition(
+    const ConjunctiveQuery& q, const Database& db, int k,
+    const SharpBOptions& options) {
+  std::optional<SharpBDecomposition> d =
+      FindSharpBDecomposition(q, db, k, options);
+  if (!d.has_value()) return std::nullopt;
+  return CountViaSharpB(q, db, *d);
+}
+
+CountResult CountAnswersWithHybrid(const ConjunctiveQuery& q,
+                                   const Database& db,
+                                   const CountOptions& options) {
+  for (int k = 1; k <= options.max_width; ++k) {
+    std::optional<SharpDecomposition> d =
+        FindSharpHypertreeDecomposition(q, k, options.max_cores);
+    if (d.has_value()) {
+      CountResult result = CountViaSharpDecomposition(q, db, *d);
+      result.method = "#-hypertree(k=" + std::to_string(k) + ")";
+      return result;
+    }
+  }
+  for (int k = 2; k <= options.max_width; ++k) {
+    SharpBOptions hybrid_options;
+    hybrid_options.max_cores = options.max_cores;
+    std::optional<CountResult> result =
+        CountBySharpBDecomposition(q, db, k, hybrid_options);
+    if (result.has_value()) return *result;
+  }
+  CountResult result;
+  result.method = "backtracking";
+  result.count = CountByBacktracking(q, db);
+  return result;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,22 @@
+#include "hybrid/optimal_decomp.h"
+
+#include "hybrid/min_degree_search.h"
+
+namespace sharpcq {
+
+std::optional<DOptimalResult> FindDOptimalDecomposition(
+    const ConjunctiveQuery& q, const Database& db, int k) {
+  ViewSet views = BuildVk(q, k);
+  std::vector<IdSet> cover = q.BuildHypergraph().edges();
+  IdSet all_vars = q.AllVars();
+  std::optional<MinDegreeResult> found = FindMinDegreeTreeProjection(
+      cover, views, q, db, q.free_vars(), /*project_to=*/all_vars,
+      /*max_b=*/static_cast<std::size_t>(-1));
+  if (!found.has_value()) return std::nullopt;
+  DOptimalResult result;
+  result.hypertree = HypertreeFromBagTree(found->tree, views);
+  result.bound = found->bound;
+  return result;
+}
+
+}  // namespace sharpcq

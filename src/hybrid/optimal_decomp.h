@@ -1,0 +1,32 @@
+#ifndef SHARPCQ_HYBRID_OPTIMAL_DECOMP_H_
+#define SHARPCQ_HYBRID_OPTIMAL_DECOMP_H_
+
+#include <optional>
+
+#include "data/database.h"
+#include "decomp/hypertree.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+struct DOptimalResult {
+  Hypertree hypertree;
+  std::size_t bound = 0;  // bound(D, HD) of the returned decomposition
+};
+
+// D-optimal decompositions (Definition C.3, Theorem C.5): a width-<=k
+// hypertree decomposition of q minimizing bound(D, HD) over the normal-form
+// class C^nf_k. The paper obtains the minimizer through the weighted
+// aggregate F_{Q,D}(HD) = sum_p (w+1)^{deg_D(free, p)}; we compute the same
+// minimizer with a parametric min-max-degree search (see
+// min_degree_search.h), which avoids the astronomically large weights.
+//
+// Example C.2's separation — the natural width-1 decomposition of Q^h_2 has
+// bound 2^h while merging two vertices yields bound 1 at width 2 — is found
+// automatically by this search at k = 2.
+std::optional<DOptimalResult> FindDOptimalDecomposition(
+    const ConjunctiveQuery& q, const Database& db, int k);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_HYBRID_OPTIMAL_DECOMP_H_

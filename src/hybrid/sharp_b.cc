@@ -1,0 +1,94 @@
+#include "hybrid/sharp_b.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "hybrid/min_degree_search.h"
+#include "solver/core.h"
+#include "util/check.h"
+
+namespace sharpcq {
+
+namespace {
+
+// Enumerates subsets of `candidates` by increasing size, invoking
+// fn(subset) until it returns true (stop) or `max_subsets` are visited.
+void ForEachSubsetBySize(const IdSet& candidates, std::size_t max_subsets,
+                         const std::function<bool(const IdSet&)>& fn) {
+  std::vector<std::uint32_t> pool(candidates.begin(), candidates.end());
+  std::size_t visited = 0;
+  bool stop = false;
+  std::vector<std::uint32_t> chosen;
+  auto rec = [&](auto&& self, std::size_t start,
+                 std::size_t remaining) -> void {
+    if (stop) return;
+    if (remaining == 0) {
+      if (visited++ >= max_subsets || fn(IdSet::FromVector(chosen))) {
+        stop = true;
+      }
+      return;
+    }
+    for (std::size_t i = start; i + remaining <= pool.size() && !stop; ++i) {
+      chosen.push_back(pool[i]);
+      self(self, i + 1, remaining - 1);
+      chosen.pop_back();
+    }
+  };
+  for (std::size_t size = 0; size <= pool.size() && !stop; ++size) {
+    rec(rec, 0, size);
+  }
+}
+
+}  // namespace
+
+std::optional<SharpBDecomposition> FindSharpBDecomposition(
+    const ConjunctiveQuery& q, const Database& db, int k,
+    const SharpBOptions& options) {
+  ViewSet views = BuildVk(q, k);
+  IdSet existential = q.ExistentialVars();
+
+  std::optional<SharpBDecomposition> best;
+
+  auto try_s_bar = [&](const IdSet& extra) -> bool {
+    if (best.has_value() && best->bound <= 1) return true;  // can't improve
+    IdSet s_bar = Union(q.free_vars(), extra);
+    ConjunctiveQuery q_s = q.WithFree(s_bar);
+    std::size_t cap = best.has_value() ? best->bound - 1 : options.max_b;
+
+    auto try_core = [&](ConjunctiveQuery core) -> bool {
+      std::vector<IdSet> cover = SharpCoverEdges(core, s_bar);
+      std::optional<MinDegreeResult> found = FindMinDegreeTreeProjection(
+          cover, views, q, db, q.free_vars(), s_bar, cap);
+      if (!found.has_value()) return false;
+      SharpBDecomposition d;
+      d.s_bar = s_bar;
+      d.decomposition.core = std::move(core);
+      d.decomposition.tree = std::move(found->tree);
+      d.decomposition.views = views;
+      d.decomposition.width = d.decomposition.tree.Width(views);
+      d.bound = std::max<std::size_t>(found->bound, 1);
+      if (!best.has_value() || d.bound < best->bound) best = std::move(d);
+      return true;
+    };
+
+    // Greedy core first; enumerate alternatives only when it fails against
+    // the views (Example 3.5's situation).
+    if (!try_core(ComputeColoredCore(q_s)) && options.max_cores > 1) {
+      bool skipped_first = false;
+      for (ConjunctiveQuery& core :
+           EnumerateColoredCores(q_s, options.max_cores)) {
+        if (!skipped_first) {
+          skipped_first = true;  // the greedy core, already tried
+          continue;
+        }
+        if (try_core(std::move(core))) break;
+      }
+    }
+    return best.has_value() && best->bound <= 1;
+  };
+
+  ForEachSubsetBySize(existential, options.max_subsets, try_s_bar);
+  return best;
+}
+
+}  // namespace sharpcq

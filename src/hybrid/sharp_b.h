@@ -1,0 +1,46 @@
+#ifndef SHARPCQ_HYBRID_SHARP_B_H_
+#define SHARPCQ_HYBRID_SHARP_B_H_
+
+#include <optional>
+
+#include "core/sharp_decomposition.h"
+#include "data/database.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// A width-k #b-generalized hypertree decomposition of Q w.r.t. D
+// (Definition 6.4): a pseudo-free set S-bar ⊇ free(Q) and a width-k
+// #-generalized hypertree decomposition of Q[S-bar] whose chi_{S-bar}
+// relations have degree at most b w.r.t. the *original* free variables.
+struct SharpBDecomposition {
+  IdSet s_bar;
+  // #-decomposition of Q[S-bar]; its core is a core of color(Q[S-bar]).
+  SharpDecomposition decomposition;
+  // The achieved degree value b = bound_free(D, <T, chi_{S-bar}, lambda>).
+  std::size_t bound = 0;
+};
+
+struct SharpBOptions {
+  // Reject decompositions with bound > max_b (SIZE_MAX = any bound).
+  std::size_t max_b = static_cast<std::size_t>(-1);
+  // Substructure cores tried per pseudo-free set.
+  std::size_t max_cores = 4;
+  // Cap on the number of pseudo-free sets enumerated (FPT in ||Q||, still
+  // exponential: 2^|existential vars|). Sets are tried by increasing size,
+  // so S-bar = free(Q) — the purely structural case — always comes first.
+  std::size_t max_subsets = 4096;
+};
+
+// Theorem 6.7: computes a width-k #b-generalized hypertree decomposition
+// with the minimum achievable degree value b over the enumerated
+// pseudo-free sets (and over the normal-form decomposition class — see
+// min_degree_search.h). Returns nullopt when no pseudo-free set admits a
+// width-k decomposition within the bound cap.
+std::optional<SharpBDecomposition> FindSharpBDecomposition(
+    const ConjunctiveQuery& q, const Database& db, int k,
+    const SharpBOptions& options = {});
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_HYBRID_SHARP_B_H_

@@ -1,0 +1,100 @@
+#include "hypergraph/acyclic.h"
+
+#include <unordered_map>
+
+namespace sharpcq {
+
+std::optional<TreeShape> BuildJoinTree(const std::vector<IdSet>& edges) {
+  const std::size_t n = edges.size();
+  if (n == 0) return TreeShape{};
+
+  std::vector<IdSet> work = edges;  // working copies shrink during GYO
+  std::vector<bool> alive(n, true);
+  std::vector<int> parent(n, -2);  // -2 = undecided
+  std::size_t alive_count = n;
+
+  bool progress = true;
+  while (progress && alive_count > 1) {
+    progress = false;
+
+    // Ear vertices: nodes occurring in exactly one alive edge.
+    std::unordered_map<std::uint32_t, int> occurrences;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (std::uint32_t v : work[i]) ++occurrences[v];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      IdSet kept;
+      for (std::uint32_t v : work[i]) {
+        if (occurrences[v] > 1) kept.Insert(v);
+      }
+      if (kept.size() != work[i].size()) {
+        work[i] = std::move(kept);
+        progress = true;
+      }
+    }
+
+    // Subsumed edges: attach i under j when work[i] is a subset of work[j].
+    for (std::size_t i = 0; i < n && alive_count > 1; ++i) {
+      if (!alive[i]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j || !alive[j]) continue;
+        if (!work[i].IsSubsetOf(work[j])) continue;
+        // Equal working edges: remove the larger index only, so exactly one
+        // survives.
+        if (work[i] == work[j] && i < j) continue;
+        alive[i] = false;
+        parent[i] = static_cast<int>(j);
+        --alive_count;
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  // Acyclic iff at most one edge survived (its working copy is whatever is
+  // left; a single edge is always a valid join tree root).
+  if (alive_count > 1) return std::nullopt;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i]) parent[i] = -1;
+  }
+
+  // Parents may point to dead edges whose own parent was decided later;
+  // this is fine (they point to alive-at-the-time edges, which form a valid
+  // join tree inductively). Just sanity-check all parents were decided.
+  for (std::size_t i = 0; i < n; ++i) SHARPCQ_CHECK(parent[i] != -2);
+
+  TreeShape shape = TreeShape::FromParents(std::move(parent));
+  SHARPCQ_DCHECK(SatisfiesRunningIntersection(edges, shape));
+  return shape;
+}
+
+bool IsAcyclic(const std::vector<IdSet>& edges) {
+  return BuildJoinTree(edges).has_value();
+}
+
+bool SatisfiesRunningIntersection(const std::vector<IdSet>& bags,
+                                  const TreeShape& shape) {
+  if (bags.size() != shape.size()) return false;
+  if (bags.empty()) return true;
+  // For each node x, the bags containing x must induce a connected subtree.
+  // The induced subgraph of a tree is connected iff it has exactly one
+  // "local root": a bag containing x whose parent does not contain x.
+  std::unordered_map<std::uint32_t, std::vector<int>> bags_with;
+  for (std::size_t i = 0; i < bags.size(); ++i) {
+    for (std::uint32_t x : bags[i]) bags_with[x].push_back(static_cast<int>(i));
+  }
+  for (const auto& [x, vs] : bags_with) {
+    int roots = 0;
+    for (int v : vs) {
+      int p = shape.parent[static_cast<std::size_t>(v)];
+      if (p < 0 || !bags[static_cast<std::size_t>(p)].Contains(x)) ++roots;
+    }
+    if (roots != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace sharpcq

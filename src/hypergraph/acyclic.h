@@ -1,0 +1,34 @@
+#ifndef SHARPCQ_HYPERGRAPH_ACYCLIC_H_
+#define SHARPCQ_HYPERGRAPH_ACYCLIC_H_
+
+#include <optional>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/tree_shape.h"
+#include "util/id_set.h"
+
+namespace sharpcq {
+
+// alpha-acyclicity via GYO reduction (Section 2): a hypergraph is acyclic
+// iff repeated ear-vertex removal (a node occurring in exactly one edge) and
+// subsumed-edge removal empties it.
+
+// Builds a join tree whose vertex i is edges[i]; returns nullopt when the
+// edge set is not alpha-acyclic. For disconnected hypergraphs the component
+// trees are stitched under one root (valid: no shared nodes across
+// components). The empty edge set yields an empty tree.
+std::optional<TreeShape> BuildJoinTree(const std::vector<IdSet>& edges);
+
+bool IsAcyclic(const std::vector<IdSet>& edges);
+inline bool IsAcyclic(const Hypergraph& h) { return IsAcyclic(h.edges()); }
+
+// The join tree/running intersection property: for every node, the set of
+// bags containing it induces a connected subtree. Used to validate every
+// tree this library produces.
+bool SatisfiesRunningIntersection(const std::vector<IdSet>& bags,
+                                  const TreeShape& shape);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_HYPERGRAPH_ACYCLIC_H_

@@ -1,0 +1,179 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace sharpcq {
+
+namespace {
+
+// Union-find over arbitrary (non-dense) node ids.
+class UnionFind {
+ public:
+  void Ensure(std::uint32_t x) { parent_.try_emplace(x, x); }
+
+  std::uint32_t Find(std::uint32_t x) {
+    Ensure(x);
+    std::uint32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      std::uint32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  void Merge(std::uint32_t a, std::uint32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> parent_;
+};
+
+}  // namespace
+
+Hypergraph::Hypergraph(IdSet nodes, std::vector<IdSet> edges)
+    : nodes_(std::move(nodes)), edges_(std::move(edges)) {
+  for (const IdSet& e : edges_) nodes_ = Union(nodes_, e);
+}
+
+void Hypergraph::AddEdge(IdSet edge) {
+  nodes_ = Union(nodes_, edge);
+  edges_.push_back(std::move(edge));
+}
+
+void Hypergraph::DedupEdges() {
+  std::vector<IdSet> unique;
+  for (const IdSet& e : edges_) {
+    if (std::find(unique.begin(), unique.end(), e) == unique.end()) {
+      unique.push_back(e);
+    }
+  }
+  edges_ = std::move(unique);
+}
+
+void Hypergraph::RemoveSubsumedEdges() {
+  DedupEdges();
+  std::vector<IdSet> kept;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    bool subsumed = false;
+    for (std::size_t j = 0; j < edges_.size(); ++j) {
+      if (i == j) continue;
+      if (edges_[i].IsSubsetOf(edges_[j]) &&
+          (edges_[i] != edges_[j] || j < i)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(edges_[i]);
+  }
+  edges_ = std::move(kept);
+}
+
+std::string Hypergraph::ToString() const {
+  return ToString([](std::uint32_t v) { return std::to_string(v); });
+}
+
+bool CoveredBySome(const std::vector<IdSet>& edges, const IdSet& edge) {
+  for (const IdSet& e : edges) {
+    if (edge.IsSubsetOf(e)) return true;
+  }
+  return false;
+}
+
+bool CoversEdges(const std::vector<IdSet>& covering_edges,
+                 const std::vector<IdSet>& covered_edges) {
+  for (const IdSet& e : covered_edges) {
+    if (!CoveredBySome(covering_edges, e)) return false;
+  }
+  return true;
+}
+
+bool Covers(const Hypergraph& h2, const Hypergraph& h1) {
+  return CoversEdges(h2.edges(), h1.edges());
+}
+
+WComponents ComputeWComponents(const Hypergraph& h, const IdSet& w) {
+  UnionFind uf;
+  IdSet outside = Difference(h.nodes(), w);
+  for (std::uint32_t v : outside) uf.Ensure(v);
+  for (const IdSet& e : h.edges()) {
+    IdSet rest = Difference(e, w);
+    for (std::size_t i = 1; i < rest.size(); ++i) uf.Merge(rest[0], rest[i]);
+  }
+
+  // Group nodes by representative.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> groups;
+  for (std::uint32_t v : outside) groups[uf.Find(v)].push_back(v);
+
+  WComponents out;
+  for (auto& [rep, members] : groups) {
+    out.components.push_back(IdSet::FromVector(std::move(members)));
+  }
+  // Deterministic order (components sorted by their smallest node).
+  std::sort(out.components.begin(), out.components.end());
+
+  out.edge_ids.resize(out.components.size());
+  out.frontiers.resize(out.components.size());
+  for (std::size_t c = 0; c < out.components.size(); ++c) {
+    IdSet touched;  // nodes(edges(C))
+    for (std::size_t e = 0; e < h.edges().size(); ++e) {
+      if (h.edges()[e].Intersects(out.components[c])) {
+        out.edge_ids[c].push_back(static_cast<int>(e));
+        touched = Union(touched, h.edges()[e]);
+      }
+    }
+    out.frontiers[c] = Intersect(w, touched);
+  }
+  return out;
+}
+
+IdSet Frontier(const Hypergraph& h, std::uint32_t y, const IdSet& w) {
+  SHARPCQ_CHECK(h.nodes().Contains(y));
+  if (w.Contains(y)) return IdSet{};
+  WComponents comps = ComputeWComponents(h, w);
+  for (std::size_t c = 0; c < comps.components.size(); ++c) {
+    if (comps.components[c].Contains(y)) return comps.frontiers[c];
+  }
+  // y outside W but in no component: impossible (singleton components exist).
+  SHARPCQ_CHECK(false);
+  return IdSet{};
+}
+
+Hypergraph FrontierHypergraph(const Hypergraph& h, const IdSet& w) {
+  Hypergraph fh(Union(h.nodes(), w), {});
+  WComponents comps = ComputeWComponents(h, w);
+  for (const IdSet& fr : comps.frontiers) {
+    if (!fr.empty()) fh.AddEdge(fr);
+  }
+  for (const IdSet& e : h.edges()) {
+    if (e.IsSubsetOf(w)) fh.AddEdge(e);
+  }
+  fh.DedupEdges();
+  return fh;
+}
+
+std::vector<IdSet> PrimalGraphAdjacency(const Hypergraph& h) {
+  std::unordered_map<std::uint32_t, IdSet> adj;
+  for (std::uint32_t v : h.nodes()) adj.emplace(v, IdSet{});
+  for (const IdSet& e : h.edges()) {
+    for (std::uint32_t v : e) adj[v] = Union(adj[v], e);
+  }
+  std::vector<IdSet> out;
+  out.reserve(h.nodes().size());
+  for (std::uint32_t v : h.nodes()) {
+    IdSet neighbors = adj[v];
+    neighbors.Remove(v);
+    out.push_back(std::move(neighbors));
+  }
+  return out;
+}
+
+std::vector<IdSet> ConnectedComponents(const Hypergraph& h) {
+  return ComputeWComponents(h, IdSet{}).components;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,87 @@
+#ifndef SHARPCQ_HYPERGRAPH_HYPERGRAPH_H_
+#define SHARPCQ_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/id_set.h"
+
+namespace sharpcq {
+
+// A hypergraph H = (V, H) over dense node ids (Section 2). Nodes are kept
+// explicitly because subqueries/cores drop variables: the node set is not
+// derivable from the edges alone (isolated nodes matter for components).
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+  Hypergraph(IdSet nodes, std::vector<IdSet> edges);
+
+  const IdSet& nodes() const { return nodes_; }
+  const std::vector<IdSet>& edges() const { return edges_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  // Adds an edge (its nodes are added to the node set).
+  void AddEdge(IdSet edge);
+
+  // Removes duplicate edges (order-preserving on first occurrences).
+  void DedupEdges();
+
+  // Drops edges that are subsets of other edges (the "reduction" of H).
+  // Irrelevant for tree-projection existence; useful for display.
+  void RemoveSubsumedEdges();
+
+  std::string ToString() const;
+  template <typename NameFn>
+  std::string ToString(NameFn name) const {
+    std::string out = "nodes=" + nodes_.ToString(name) + " edges=[";
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += edges_[i].ToString(name);
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  IdSet nodes_;
+  std::vector<IdSet> edges_;
+};
+
+// H1 <= H2: every edge of `h1` is contained in some edge of `h2` (Section 2,
+// "Tree Projections").
+bool Covers(const Hypergraph& h2, const Hypergraph& h1);
+bool CoversEdges(const std::vector<IdSet>& covering_edges,
+                 const std::vector<IdSet>& covered_edges);
+// True if `edge` is a subset of some member of `edges`.
+bool CoveredBySome(const std::vector<IdSet>& edges, const IdSet& edge);
+
+// The [W]-components of H (Section 3.1): maximal [W]-connected sets of
+// nodes(H) \ W, where X,Y are [W]-adjacent if some edge contains both
+// outside W. For each component C the struct also records edges(C) (ids of
+// edges meeting C) and the frontier Fr(C, W) = W  intersect  nodes(edges(C)).
+struct WComponents {
+  std::vector<IdSet> components;
+  std::vector<std::vector<int>> edge_ids;
+  std::vector<IdSet> frontiers;
+};
+WComponents ComputeWComponents(const Hypergraph& h, const IdSet& w);
+
+// Fr(Y, W, H) per Section 3.1: empty if Y is in W; otherwise the frontier of
+// the [W]-component containing Y. Y must be a node of H.
+IdSet Frontier(const Hypergraph& h, std::uint32_t y, const IdSet& w);
+
+// The frontier hypergraph FH(Q', W) of Definition 3.3, computed from the
+// hypergraph `h` of Q'. Nodes: nodes(h) union W. Edges: the frontiers of all
+// nodes of h plus the edges of h contained in W. Empty frontiers (of nodes
+// inside W) are dropped; duplicates are removed.
+Hypergraph FrontierHypergraph(const Hypergraph& h, const IdSet& w);
+
+// Adjacency lists of the primal (Gaifman) graph of H over nodes(H).
+std::vector<IdSet> PrimalGraphAdjacency(const Hypergraph& h);
+
+// Connected components of H (equivalently its [empty set]-components).
+std::vector<IdSet> ConnectedComponents(const Hypergraph& h);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,54 @@
+#ifndef SHARPCQ_HYPERGRAPH_TREE_SHAPE_H_
+#define SHARPCQ_HYPERGRAPH_TREE_SHAPE_H_
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace sharpcq {
+
+// A rooted tree over vertices 0..n-1, shared by join trees, hypertrees, and
+// materialized join-tree instances.
+struct TreeShape {
+  int root = -1;
+  std::vector<int> parent;                 // -1 for the root
+  std::vector<std::vector<int>> children;  // derived from parent
+
+  std::size_t size() const { return parent.size(); }
+
+  static TreeShape FromParents(std::vector<int> parents) {
+    TreeShape t;
+    t.parent = std::move(parents);
+    t.children.assign(t.parent.size(), {});
+    for (std::size_t i = 0; i < t.parent.size(); ++i) {
+      if (t.parent[i] < 0) {
+        SHARPCQ_CHECK_MSG(t.root == -1, "multiple roots");
+        t.root = static_cast<int>(i);
+      } else {
+        t.children[static_cast<std::size_t>(t.parent[i])].push_back(
+            static_cast<int>(i));
+      }
+    }
+    SHARPCQ_CHECK_MSG(t.root >= 0 || t.parent.empty(), "no root");
+    return t;
+  }
+
+  // Vertices in an order where every parent precedes its children.
+  std::vector<int> TopoOrder() const {
+    std::vector<int> order;
+    if (parent.empty()) return order;
+    order.reserve(size());
+    order.push_back(root);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (int c : children[static_cast<std::size_t>(order[i])]) {
+        order.push_back(c);
+      }
+    }
+    SHARPCQ_CHECK_MSG(order.size() == size(), "tree is not connected");
+    return order;
+  }
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_HYPERGRAPH_TREE_SHAPE_H_

@@ -1,0 +1,56 @@
+#ifndef SHARPCQ_QUERY_ATOM_H_
+#define SHARPCQ_QUERY_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+#include "util/id_set.h"
+
+namespace sharpcq {
+
+// Variables are interned per ConjunctiveQuery into dense ids.
+using VarId = std::uint32_t;
+
+// A term: a variable or a constant.
+struct Term {
+  enum class Kind { kVar, kConst };
+  Kind kind = Kind::kVar;
+  VarId var = 0;
+  Value value = 0;
+
+  static Term Var(VarId v) { return Term{Kind::kVar, v, 0}; }
+  static Term Const(Value c) { return Term{Kind::kConst, 0, c}; }
+  bool is_var() const { return kind == Kind::kVar; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return false;
+    return a.is_var() ? a.var == b.var : a.value == b.value;
+  }
+};
+
+// An atom r(u1, ..., u_rho).
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+
+  // The set of variables occurring in the atom.
+  IdSet Vars() const {
+    IdSet vars;
+    for (const Term& t : terms) {
+      if (t.is_var()) vars.Insert(t.var);
+    }
+    return vars;
+  }
+
+  int arity() const { return static_cast<int>(terms.size()); }
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation == b.relation && a.terms == b.terms;
+  }
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_QUERY_ATOM_H_

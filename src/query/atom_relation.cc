@@ -1,0 +1,54 @@
+#include "query/atom_relation.h"
+
+#include "util/check.h"
+
+namespace sharpcq {
+
+VarRelation AtomToVarRelation(const Atom& atom, const Database& db) {
+  const Relation& rel = db.relation(atom.relation);
+  SHARPCQ_CHECK_MSG(rel.arity() == atom.arity(), atom.relation.c_str());
+
+  IdSet vars = atom.Vars();
+  VarRelation out(vars);
+
+  // For each output column (sorted var), the first atom position holding it.
+  std::vector<int> first_pos(vars.size(), -1);
+  {
+    std::size_t c = 0;
+    for (VarId v : vars) {
+      for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+        if (atom.terms[p].is_var() && atom.terms[p].var == v) {
+          first_pos[c] = static_cast<int>(p);
+          break;
+        }
+      }
+      ++c;
+    }
+  }
+
+  std::vector<Value> row(vars.size());
+  const std::size_t n = rel.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto tuple = rel.Row(i);
+    bool ok = true;
+    for (std::size_t p = 0; p < atom.terms.size() && ok; ++p) {
+      const Term& t = atom.terms[p];
+      if (!t.is_var()) {
+        ok = tuple[p] == t.value;
+      } else {
+        // Repeated-variable consistency against the first occurrence.
+        std::size_t c = static_cast<std::size_t>(out.ColumnOf(t.var));
+        ok = tuple[static_cast<std::size_t>(first_pos[c])] == tuple[p];
+      }
+    }
+    if (!ok) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] = tuple[static_cast<std::size_t>(first_pos[c])];
+    }
+    out.rel().AddRow(row);
+  }
+  out.rel().Dedup();
+  return out;
+}
+
+}  // namespace sharpcq

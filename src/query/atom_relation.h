@@ -1,0 +1,20 @@
+#ifndef SHARPCQ_QUERY_ATOM_RELATION_H_
+#define SHARPCQ_QUERY_ATOM_RELATION_H_
+
+#include "data/database.h"
+#include "data/var_relation.h"
+#include "query/atom.h"
+
+namespace sharpcq {
+
+// The substitutions over Vars(atom) that satisfy `atom` on `db`: rows of the
+// atom's relation filtered by constant positions and repeated-variable
+// equality, projected onto the variable positions. Deduplicated.
+//
+// This is the bridge from the positional world (Database) to the
+// variable-bound world (VarRelation) used by every counting engine.
+VarRelation AtomToVarRelation(const Atom& atom, const Database& db);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_QUERY_ATOM_RELATION_H_

@@ -1,0 +1,170 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace sharpcq {
+
+namespace {
+
+bool SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses "name(arg1,...,argN)" from `text`; returns false on syntax error.
+bool ParseAtomText(std::string_view text, std::string* name,
+                   std::vector<std::string>* args, std::string* error) {
+  text = StripWhitespace(text);
+  std::size_t open = text.find('(');
+  if (open == std::string_view::npos || text.back() != ')') {
+    return SetError(error, "malformed atom: " + std::string(text));
+  }
+  *name = std::string(StripWhitespace(text.substr(0, open)));
+  if (name->empty()) return SetError(error, "atom with empty relation name");
+  for (char c : *name) {
+    if (!IsIdentChar(c) && c != '#') {
+      return SetError(error, "bad relation name: " + *name);
+    }
+  }
+  std::string_view inner = text.substr(open + 1, text.size() - open - 2);
+  args->clear();
+  for (const std::string& piece : SplitAndTrim(inner, ',')) {
+    args->push_back(piece);
+  }
+  return true;
+}
+
+// Classifies an argument string into a Term.
+bool ParseTerm(const std::string& arg, ConjunctiveQuery* q, ValueDict* dict,
+               Term* out, std::string* error) {
+  if (arg.empty()) return SetError(error, "empty term");
+  char c = arg[0];
+  if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+    for (char ch : arg) {
+      if (!IsIdentChar(ch)) return SetError(error, "bad variable: " + arg);
+    }
+    *out = Term::Var(q->InternVar(arg));
+    return true;
+  }
+  if (c == '\'') {
+    if (arg.size() < 2 || arg.back() != '\'') {
+      return SetError(error, "unterminated string constant: " + arg);
+    }
+    if (dict == nullptr) {
+      return SetError(error, "string constant requires a ValueDict: " + arg);
+    }
+    *out = Term::Const(dict->Intern(arg.substr(1, arg.size() - 2)));
+    return true;
+  }
+  if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+    char* end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(arg.c_str(), &end, 10);
+    if (errno != 0 || end != arg.c_str() + arg.size()) {
+      return SetError(error, "bad integer constant: " + arg);
+    }
+    *out = Term::Const(static_cast<Value>(v));
+    return true;
+  }
+  // Bare lowercase identifiers are symbolic constants.
+  if (dict == nullptr) {
+    return SetError(error, "symbolic constant requires a ValueDict: " + arg);
+  }
+  for (char ch : arg) {
+    if (!IsIdentChar(ch)) return SetError(error, "bad constant: " + arg);
+  }
+  *out = Term::Const(dict->Intern(arg));
+  return true;
+}
+
+// Splits the body on commas that are not inside parentheses.
+std::vector<std::string> SplitAtoms(std::string_view body) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string current;
+  for (char c : body) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!StripWhitespace(current).empty() || !out.empty()) {
+    out.push_back(current);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                           ValueDict* dict,
+                                           std::string* error) {
+  std::size_t arrow = text.find("<-");
+  if (arrow == std::string_view::npos) arrow = text.find(":-");
+  if (arrow == std::string_view::npos) {
+    SetError(error, "missing '<-' between head and body");
+    return std::nullopt;
+  }
+  std::string_view head = text.substr(0, arrow);
+  std::string_view body = text.substr(arrow + 2);
+
+  std::string head_name;
+  std::vector<std::string> head_args;
+  if (!ParseAtomText(head, &head_name, &head_args, error)) return std::nullopt;
+
+  ConjunctiveQuery q;
+  std::vector<std::string> free_names;
+  for (const std::string& arg : head_args) {
+    if (arg.empty() || !(std::isupper(static_cast<unsigned char>(arg[0])) ||
+                         arg[0] == '_')) {
+      SetError(error, "head arguments must be variables: " + arg);
+      return std::nullopt;
+    }
+    free_names.push_back(arg);
+  }
+
+  std::vector<std::string> atom_texts = SplitAtoms(body);
+  if (atom_texts.empty()) {
+    SetError(error, "query body is empty");
+    return std::nullopt;
+  }
+  for (const std::string& atom_text : atom_texts) {
+    std::string name;
+    std::vector<std::string> args;
+    if (!ParseAtomText(atom_text, &name, &args, error)) return std::nullopt;
+    std::vector<Term> terms;
+    terms.reserve(args.size());
+    for (const std::string& arg : args) {
+      Term t;
+      if (!ParseTerm(arg, &q, dict, &t, error)) return std::nullopt;
+      terms.push_back(t);
+    }
+    q.AddAtom(name, std::move(terms));
+  }
+  q.SetFreeByName(free_names);
+
+  // Free variables must occur in the body (otherwise their domain would be
+  // undefined).
+  IdSet body_vars = q.AllVars();
+  for (VarId v : q.free_vars()) {
+    if (!body_vars.Contains(v)) {
+      SetError(error, "free variable not used in body: " + q.VarName(v));
+      return std::nullopt;
+    }
+  }
+  return q;
+}
+
+}  // namespace sharpcq

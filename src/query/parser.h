@@ -1,0 +1,31 @@
+#ifndef SHARPCQ_QUERY_PARSER_H_
+#define SHARPCQ_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "data/value.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// Parses a datalog-style conjunctive query:
+//
+//   Q(A,B,C) <- mw(A,B,I), wt(B,D), pt(C,D), st(D,F), rr(F,H)
+//
+// Head variables are the free variables. Tokens starting with an uppercase
+// letter or '_' are variables; integer literals are constants; single-quoted
+// strings are symbolic constants interned through `dict` (required if any
+// appear). ":-" is accepted as a synonym for "<-". A query with no free
+// variables is written "Q() <- ...".
+//
+// Returns nullopt on malformed input and, if `error` is non-null, stores a
+// human-readable reason.
+std::optional<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                           ValueDict* dict = nullptr,
+                                           std::string* error = nullptr);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_QUERY_PARSER_H_

@@ -1,0 +1,56 @@
+#ifndef SHARPCQ_REDUCTIONS_COLOR_ELIMINATION_H_
+#define SHARPCQ_REDUCTIONS_COLOR_ELIMINATION_H_
+
+#include <functional>
+#include <optional>
+
+#include "data/database.h"
+#include "query/conjunctive_query.h"
+#include "util/count_int.h"
+
+namespace sharpcq {
+
+// Executable case-complexity machinery (Section 5.3, Lemma 5.10).
+//
+// The lemma's counting slice reduction shows that unary "color" relations —
+// per-variable domain restrictions — add no counting power when color(Q) is
+// a core: the count of fullcolor(Q) on B can be recovered from #CQ oracle
+// calls on plain (Q, D') instances. The construction is the engine room of
+// the trichotomy's hardness proofs (it lets the lower bounds tell variables
+// apart), and it is fully effective: product structures D = vars(Q) x B,
+// variable-copy databases D_{j,T} for interpolation, a Vandermonde solve
+// per subset T of the free variables, inclusion-exclusion across subsets,
+// and division by the automorphism count |I|.
+
+// A #CQ oracle: given (Q, D), returns |pi_free(Q)(D)|. Any counter from
+// core/ or count/ qualifies.
+using CountOracle =
+    std::function<CountInt(const ConjunctiveQuery&, const Database&)>;
+
+// The number of answers of fullcolor(Q) on `b`: assignments theta of the
+// free variables, extendable to homomorphisms h with h(X) in the unary
+// relation `#color_<X>` of `b` for *every* variable X. The database `b`
+// must provide those unary relations (use ColorRelationName) alongside Q's
+// relations.
+//
+// Computed exclusively through `oracle` calls on constructed plain
+// instances, per Lemma 5.10. Requires color(Q) to be a core (the lemma's
+// hypothesis); returns nullopt otherwise.
+//
+// This is exponential in |free(Q)| (2^f subsets, f+1 interpolation points
+// each) and therefore FPT in the query — exactly the lemma's budget.
+std::optional<CountInt> CountFullColorViaOracle(const ConjunctiveQuery& q,
+                                                const Database& b,
+                                                const CountOracle& oracle);
+
+// Reference implementation (direct evaluation of the colored instance),
+// used to validate the reduction in tests and benchmarks.
+CountInt CountFullColorDirect(const ConjunctiveQuery& q, const Database& b);
+
+// |I|: the number of distinct restrictions to free(Q) of automorphisms of
+// Q's structure (exposed for tests).
+std::size_t CountFreeAutomorphismRestrictions(const ConjunctiveQuery& q);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_REDUCTIONS_COLOR_ELIMINATION_H_

@@ -1,0 +1,34 @@
+#include "solver/consistency.h"
+
+namespace sharpcq {
+
+bool EnforcePairwiseConsistency(std::vector<VarRelation>* views) {
+  const std::size_t n = views->size();
+  // Precompute which pairs interact.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && (*views)[i].vars().Intersects((*views)[j].vars())) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto [i, j] : pairs) {
+      bool local = false;
+      (*views)[i] = Semijoin((*views)[i], (*views)[j], &local);
+      if (local) {
+        changed = true;
+        if ((*views)[i].empty()) return false;
+      }
+    }
+  }
+  for (const VarRelation& v : *views) {
+    if (v.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,22 @@
+#ifndef SHARPCQ_SOLVER_CONSISTENCY_H_
+#define SHARPCQ_SOLVER_CONSISTENCY_H_
+
+#include <vector>
+
+#include "data/var_relation.h"
+
+namespace sharpcq {
+
+// Enforces pairwise consistency on a set of views to fixpoint (Sections 3.2
+// and 4): repeatedly semijoins every view with every other view sharing
+// variables until nothing changes. Returns false iff some view became empty
+// (no solution can exist).
+//
+// This is the local-consistency engine behind Lemma 4.3 (polynomial core
+// computation) and the reference implementation for the Theorem 3.7
+// pipeline (which uses the cheaper join-tree full reducer in count/).
+bool EnforcePairwiseConsistency(std::vector<VarRelation>* views);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_SOLVER_CONSISTENCY_H_

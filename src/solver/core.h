@@ -1,0 +1,52 @@
+#ifndef SHARPCQ_SOLVER_CORE_H_
+#define SHARPCQ_SOLVER_CORE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// Core computation (Section 2, Lemma 4.3). A core of Q is a minimal
+// substructure homomorphically equivalent to Q; the paper works with cores
+// of the *colored* query color(Q), which pin the free variables.
+
+// Greedy minimization with the exact homomorphism oracle (Chandra–Merlin):
+// repeatedly drops an atom when the remaining query still receives a
+// homomorphism from the current one. Exponential in the worst case, like
+// every exact core algorithm; instant at paper scale.
+ConjunctiveQuery ComputeCoreSubquery(const ConjunctiveQuery& q);
+
+// The paper's Q': a core of color(Q) with the color atoms stripped. It
+// contains every free variable and satisfies
+// pi_free(Q')(D) = pi_free(Q)(D) for every database D.
+ConjunctiveQuery ComputeColoredCore(const ConjunctiveQuery& q);
+
+// Lemma 4.3: the same computation with the homomorphism oracle replaced by
+// pairwise consistency over the view set V^k (polynomial for fixed k).
+// Correct whenever the cores of color(Q) have generalized hypertree width
+// at most k; tested against the exact oracle.
+ConjunctiveQuery ComputeColoredCoreViaConsistency(const ConjunctiveQuery& q,
+                                                  int k);
+
+// The pairwise-consistency homomorphism oracle itself (exposed for tests
+// and benchmarks): decides whether src -> target has a homomorphism by
+// enforcing pairwise consistency on the views over all <=k-subsets of
+// src's atoms, evaluated on target-as-database. Sound and complete when the
+// cores of src have generalized hypertree width <= k.
+bool HomomorphismExistsViaConsistency(const ConjunctiveQuery& src,
+                                      const ConjunctiveQuery& target, int k);
+
+// Enumerates the distinct substructure cores of color(Q), colors stripped.
+// Cores are isomorphic to one another, but as substructures they can behave
+// differently with respect to a view set (Example 3.5), so #-decomposition
+// search must try several. Exploration is capped at `max_cores` results
+// (and an internal state budget); the first result equals
+// ComputeColoredCore(q).
+std::vector<ConjunctiveQuery> EnumerateColoredCores(const ConjunctiveQuery& q,
+                                                    std::size_t max_cores);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_SOLVER_CORE_H_

@@ -1,0 +1,76 @@
+#ifndef SHARPCQ_SOLVER_HOM_TARGET_H_
+#define SHARPCQ_SOLVER_HOM_TARGET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/database.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// A homomorphism target: a finite relational structure presented as lists of
+// element-coded tuples per relation symbol. Elements are int64 codes; the
+// two implementations are a query viewed as a structure (Section 2,
+// "Conjunctive Queries": tuples of terms) and a plain database.
+class HomTarget {
+ public:
+  virtual ~HomTarget() = default;
+
+  // Tuples of relation `name`, or nullptr if the relation is absent (absent
+  // means empty: no homomorphism can map an atom over it).
+  virtual const std::vector<std::vector<std::int64_t>>* TuplesOf(
+      const std::string& name) const = 0;
+
+  // Element code of constant `c`, or nullopt if `c` is not in the universe.
+  virtual std::optional<std::int64_t> ConstCode(Value c) const = 0;
+};
+
+// A conjunctive query viewed as a structure: universe = terms; relation r
+// holds the tuple of terms of every atom over r. Codes: variable v -> v;
+// constant c -> kConstOffset + dense index.
+class QueryTarget : public HomTarget {
+ public:
+  static constexpr std::int64_t kConstOffset = std::int64_t{1} << 40;
+
+  explicit QueryTarget(const ConjunctiveQuery& q);
+
+  const std::vector<std::vector<std::int64_t>>* TuplesOf(
+      const std::string& name) const override;
+  std::optional<std::int64_t> ConstCode(Value c) const override;
+
+  // True if `code` encodes a variable.
+  static bool IsVarCode(std::int64_t code) { return code < kConstOffset; }
+  // The variable encoded by `code` (must be a var code).
+  static VarId VarOfCode(std::int64_t code) {
+    return static_cast<VarId>(code);
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::vector<std::int64_t>>>
+      relations_;
+  std::unordered_map<Value, std::int64_t> const_codes_;
+};
+
+// A database viewed as a target: elements are the values themselves.
+class DatabaseTarget : public HomTarget {
+ public:
+  explicit DatabaseTarget(const Database& db);
+
+  const std::vector<std::vector<std::int64_t>>* TuplesOf(
+      const std::string& name) const override;
+  std::optional<std::int64_t> ConstCode(Value c) const override {
+    return c;  // identity: databases contain every value they mention
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::vector<std::int64_t>>>
+      relations_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_SOLVER_HOM_TARGET_H_

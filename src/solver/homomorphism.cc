@@ -1,0 +1,164 @@
+#include "solver/homomorphism.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sharpcq {
+
+namespace {
+
+// Atom-oriented backtracking: repeatedly pick the unmatched atom with the
+// most bound variables (fewest remaining choices first in spirit), scan the
+// target tuples of its relation, bind, recurse.
+class HomSearch {
+ public:
+  HomSearch(const ConjunctiveQuery& src, const HomTarget& target)
+      : src_(src), target_(target) {}
+
+  bool Run(Homomorphism* assignment) {
+    matched_.assign(src_.atoms().size(), false);
+    // Fail fast: every relation must exist in the target.
+    for (const Atom& a : src_.atoms()) {
+      if (target_.TuplesOf(a.relation) == nullptr) return false;
+    }
+    if (!Backtrack(assignment, 0)) return false;
+    return true;
+  }
+
+  // Enumeration mode: visits every complete assignment; `visit` returns
+  // false to stop. Returns true if stopped early.
+  bool RunAll(Homomorphism* assignment,
+              const std::function<bool(const Homomorphism&)>& visit) {
+    matched_.assign(src_.atoms().size(), false);
+    for (const Atom& a : src_.atoms()) {
+      if (target_.TuplesOf(a.relation) == nullptr) return false;
+    }
+    visit_ = &visit;
+    bool stopped = Backtrack(assignment, 0);
+    visit_ = nullptr;
+    return stopped;
+  }
+
+ private:
+  // Number of already-bound variables in atom i, or -1 if matched.
+  int BoundScore(const Homomorphism& assignment, std::size_t i) const {
+    if (matched_[i]) return -1;
+    int bound = 0;
+    for (const Term& t : src_.atoms()[i].terms) {
+      if (!t.is_var() || assignment.count(t.var) > 0) ++bound;
+    }
+    return bound;
+  }
+
+  // In find-one mode, returns true when a homomorphism was found. In
+  // enumeration mode, returns true when the visitor asked to stop.
+  bool Backtrack(Homomorphism* assignment, std::size_t matched_count) {
+    if (matched_count == src_.atoms().size()) {
+      if (visit_ == nullptr) return true;
+      return !(*visit_)(*assignment);  // false from visitor = stop = true
+    }
+
+    // Pick the unmatched atom with the highest bound-variable count;
+    // tie-break toward fewer target tuples.
+    std::size_t best = src_.atoms().size();
+    int best_score = -1;
+    std::size_t best_tuples = 0;
+    for (std::size_t i = 0; i < src_.atoms().size(); ++i) {
+      if (matched_[i]) continue;
+      int score = BoundScore(*assignment, i);
+      std::size_t tuples = target_.TuplesOf(src_.atoms()[i].relation)->size();
+      if (score > best_score ||
+          (score == best_score && tuples < best_tuples)) {
+        best = i;
+        best_score = score;
+        best_tuples = tuples;
+      }
+    }
+    SHARPCQ_CHECK(best < src_.atoms().size());
+
+    const Atom& atom = src_.atoms()[best];
+    const auto* tuples = target_.TuplesOf(atom.relation);
+    matched_[best] = true;
+    for (const auto& tuple : *tuples) {
+      if (tuple.size() != atom.terms.size()) continue;
+      // Try to extend the assignment with this tuple.
+      std::vector<VarId> newly_bound;
+      bool ok = true;
+      for (std::size_t p = 0; p < atom.terms.size() && ok; ++p) {
+        const Term& t = atom.terms[p];
+        if (!t.is_var()) {
+          std::optional<std::int64_t> code = target_.ConstCode(t.value);
+          ok = code.has_value() && *code == tuple[p];
+          continue;
+        }
+        auto it = assignment->find(t.var);
+        if (it != assignment->end()) {
+          ok = it->second == tuple[p];
+        } else {
+          assignment->emplace(t.var, tuple[p]);
+          newly_bound.push_back(t.var);
+        }
+      }
+      if (ok && Backtrack(assignment, matched_count + 1)) return true;
+      for (VarId v : newly_bound) assignment->erase(v);
+    }
+    matched_[best] = false;
+    return false;
+  }
+
+  const ConjunctiveQuery& src_;
+  const HomTarget& target_;
+  std::vector<bool> matched_;
+  const std::function<bool(const Homomorphism&)>* visit_ = nullptr;
+};
+
+}  // namespace
+
+std::optional<Homomorphism> FindHomomorphism(const ConjunctiveQuery& src,
+                                             const HomTarget& target,
+                                             const Homomorphism& forced) {
+  Homomorphism assignment = forced;
+  HomSearch search(src, target);
+  if (!search.Run(&assignment)) return std::nullopt;
+  // Variables not occurring in any atom (possible for degenerate queries)
+  // stay unassigned; callers treat the map as partial on those.
+  return assignment;
+}
+
+bool HomomorphismExists(const ConjunctiveQuery& src, const HomTarget& target,
+                        const Homomorphism& forced) {
+  return FindHomomorphism(src, target, forced).has_value();
+}
+
+std::size_t ForEachHomomorphism(
+    const ConjunctiveQuery& src, const HomTarget& target,
+    const std::function<bool(const Homomorphism&)>& callback) {
+  // The DFS revisits an assignment only when the target holds literally
+  // duplicated tuples; deduplicate to present each homomorphism once.
+  std::set<std::vector<std::pair<VarId, std::int64_t>>> seen;
+  std::size_t visited = 0;
+  Homomorphism assignment;
+  HomSearch search(src, target);
+  search.RunAll(&assignment, [&](const Homomorphism& h) {
+    std::vector<std::pair<VarId, std::int64_t>> canonical(h.begin(), h.end());
+    std::sort(canonical.begin(), canonical.end());
+    if (!seen.insert(std::move(canonical)).second) return true;
+    ++visited;
+    return callback(h);
+  });
+  return visited;
+}
+
+bool MapsInto(const ConjunctiveQuery& from, const ConjunctiveQuery& to) {
+  QueryTarget target(to);
+  return HomomorphismExists(from, target);
+}
+
+bool HomEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return MapsInto(a, b) && MapsInto(b, a);
+}
+
+}  // namespace sharpcq

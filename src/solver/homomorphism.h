@@ -1,0 +1,46 @@
+#ifndef SHARPCQ_SOLVER_HOMOMORPHISM_H_
+#define SHARPCQ_SOLVER_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "query/conjunctive_query.h"
+#include "solver/hom_target.h"
+
+namespace sharpcq {
+
+// A homomorphism from the structure of `src` to a target: an assignment of
+// src variables to target element codes such that every atom maps into the
+// target's relation and constants are fixed (Section 2).
+using Homomorphism = std::unordered_map<VarId, std::int64_t>;
+
+// Backtracking search (most-constrained-atom-first ordering). Returns a
+// witness or nullopt. `forced` pre-binds variables (used for colored-core
+// reasoning and tests).
+std::optional<Homomorphism> FindHomomorphism(
+    const ConjunctiveQuery& src, const HomTarget& target,
+    const Homomorphism& forced = {});
+
+bool HomomorphismExists(const ConjunctiveQuery& src, const HomTarget& target,
+                        const Homomorphism& forced = {});
+
+// Enumerates every homomorphism from `src` into `target`; the callback
+// returns false to stop early. Returns the number of homomorphisms visited.
+// (Used by the Section 5 reduction machinery to compute automorphism
+// groups; exponential in general, fine at query scale.)
+std::size_t ForEachHomomorphism(
+    const ConjunctiveQuery& src, const HomTarget& target,
+    const std::function<bool(const Homomorphism&)>& callback);
+
+// Convenience: does `from` map homomorphically into `to` (query-to-query)?
+// Colors (if present in `from`) constrain the mapping as usual.
+bool MapsInto(const ConjunctiveQuery& from, const ConjunctiveQuery& to);
+
+// True iff `a` and `b` are homomorphically equivalent as structures.
+bool HomEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_SOLVER_HOMOMORPHISM_H_

@@ -1,0 +1,37 @@
+#ifndef SHARPCQ_UTIL_CHECK_H_
+#define SHARPCQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checking. SHARPCQ_CHECK is always on (counting
+// correctness is the whole point of this library and the checks are cheap);
+// SHARPCQ_DCHECK compiles out of release builds.
+
+#define SHARPCQ_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SHARPCQ_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SHARPCQ_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SHARPCQ_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define SHARPCQ_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define SHARPCQ_DCHECK(cond) SHARPCQ_CHECK(cond)
+#endif
+
+#endif  // SHARPCQ_UTIL_CHECK_H_

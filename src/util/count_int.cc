@@ -1,0 +1,31 @@
+#include "util/count_int.h"
+
+#include <algorithm>
+
+namespace sharpcq {
+
+std::string CountToString(CountInt value) {
+  if (value == 0) return "0";
+  std::string digits;
+  while (value > 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(value % 10)));
+    value /= 10;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+bool ParseCount(const std::string& text, CountInt* out) {
+  if (text.empty()) return false;
+  CountInt value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    CountInt next = value * 10 + static_cast<CountInt>(c - '0');
+    if (next < value) return false;  // overflow
+    value = next;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace sharpcq

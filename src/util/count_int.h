@@ -1,0 +1,22 @@
+#ifndef SHARPCQ_UTIL_COUNT_INT_H_
+#define SHARPCQ_UTIL_COUNT_INT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sharpcq {
+
+// Answer counts. The paper assumes unit-cost arithmetic; 128 bits is ample
+// for every workload generated in this repository (property tests check for
+// overflow in debug builds).
+using CountInt = unsigned __int128;
+
+// Decimal rendering of a 128-bit count (no std::to_string overload exists).
+std::string CountToString(CountInt value);
+
+// Parses a non-negative decimal string; returns false on malformed input.
+bool ParseCount(const std::string& text, CountInt* out);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_UTIL_COUNT_INT_H_

@@ -1,0 +1,155 @@
+#ifndef SHARPCQ_UTIL_ID_SET_H_
+#define SHARPCQ_UTIL_ID_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace sharpcq {
+
+// A small set of dense ids (variables, nodes, atom indexes), stored as a
+// sorted unique vector. This is the workhorse set type of the library:
+// hypergraph nodes, decomposition bags, and relation schemas are all IdSets.
+// At decomposition scale (tens of ids) sorted vectors beat bitsets and hash
+// sets on every operation we need, and make debugging output deterministic.
+class IdSet {
+ public:
+  using value_type = std::uint32_t;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  IdSet() = default;
+  IdSet(std::initializer_list<value_type> ids)
+      : ids_(ids) {
+    Normalize();
+  }
+  // Takes an arbitrary (possibly unsorted, possibly duplicated) vector.
+  static IdSet FromVector(std::vector<value_type> ids) {
+    IdSet s;
+    s.ids_ = std::move(ids);
+    s.Normalize();
+    return s;
+  }
+  // Builds {0, 1, ..., n-1}.
+  static IdSet Range(value_type n) {
+    IdSet s;
+    s.ids_.reserve(n);
+    for (value_type i = 0; i < n; ++i) s.ids_.push_back(i);
+    return s;
+  }
+
+  bool empty() const { return ids_.empty(); }
+  std::size_t size() const { return ids_.size(); }
+  const_iterator begin() const { return ids_.begin(); }
+  const_iterator end() const { return ids_.end(); }
+  value_type operator[](std::size_t i) const { return ids_[i]; }
+  const std::vector<value_type>& ids() const { return ids_; }
+
+  bool Contains(value_type id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  void Insert(value_type id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) ids_.insert(it, id);
+  }
+
+  void Remove(value_type id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) ids_.erase(it);
+  }
+
+  bool IsSubsetOf(const IdSet& other) const {
+    return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(),
+                         ids_.end());
+  }
+
+  bool Intersects(const IdSet& other) const {
+    auto a = ids_.begin();
+    auto b = other.ids_.begin();
+    while (a != ids_.end() && b != other.ids_.end()) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  friend IdSet Union(const IdSet& a, const IdSet& b) {
+    IdSet out;
+    out.ids_.reserve(a.size() + b.size());
+    std::set_union(a.ids_.begin(), a.ids_.end(), b.ids_.begin(), b.ids_.end(),
+                   std::back_inserter(out.ids_));
+    return out;
+  }
+
+  friend IdSet Intersect(const IdSet& a, const IdSet& b) {
+    IdSet out;
+    std::set_intersection(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
+                          b.ids_.end(), std::back_inserter(out.ids_));
+    return out;
+  }
+
+  friend IdSet Difference(const IdSet& a, const IdSet& b) {
+    IdSet out;
+    std::set_difference(a.ids_.begin(), a.ids_.end(), b.ids_.begin(),
+                        b.ids_.end(), std::back_inserter(out.ids_));
+    return out;
+  }
+
+  friend bool operator==(const IdSet& a, const IdSet& b) {
+    return a.ids_ == b.ids_;
+  }
+  friend bool operator!=(const IdSet& a, const IdSet& b) {
+    return a.ids_ != b.ids_;
+  }
+  friend bool operator<(const IdSet& a, const IdSet& b) {
+    return a.ids_ < b.ids_;
+  }
+
+  // Renders as "{0,3,7}"; with a name function, "{A,D,H}".
+  template <typename NameFn>
+  std::string ToString(NameFn name) const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += name(ids_[i]);
+    }
+    out += "}";
+    return out;
+  }
+  std::string ToString() const {
+    return ToString([](value_type v) { return std::to_string(v); });
+  }
+
+ private:
+  void Normalize() {
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  }
+
+  std::vector<value_type> ids_;
+};
+
+struct IdSetHash {
+  std::size_t operator()(const IdSet& s) const {
+    return HashRange(s.begin(), s.end());
+  }
+};
+
+struct IdSetPairHash {
+  std::size_t operator()(const std::pair<IdSet, IdSet>& p) const {
+    return HashCombine(IdSetHash()(p.first), IdSetHash()(p.second));
+  }
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_UTIL_ID_SET_H_

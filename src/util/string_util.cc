@@ -1,0 +1,44 @@
+#include "util/string_util.h"
+
+#include <cctype>
+
+namespace sharpcq {
+
+std::string_view StripWhitespace(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  std::size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) pos = text.size();
+    std::string_view piece = StripWhitespace(text.substr(start, pos - start));
+    if (!piece.empty()) pieces.emplace_back(piece);
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+}  // namespace sharpcq

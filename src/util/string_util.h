@@ -1,0 +1,23 @@
+#ifndef SHARPCQ_UTIL_STRING_UTIL_H_
+#define SHARPCQ_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sharpcq {
+
+// Splits `text` on `sep`, trimming ASCII whitespace from each piece and
+// dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_UTIL_STRING_UTIL_H_

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "core/analyze.h"
+#include "gen/paper_queries.h"
+
+namespace sharpcq {
+namespace {
+
+TEST(AnalyzeTest, Q0Profile) {
+  QueryAnalysis a = AnalyzeQuery(MakeQ0(), 3);
+  EXPECT_EQ(a.num_atoms, 9u);
+  EXPECT_EQ(a.num_vars, 9u);
+  EXPECT_EQ(a.num_free, 3u);
+  EXPECT_FALSE(a.is_simple);
+  EXPECT_FALSE(a.is_acyclic);
+  EXPECT_EQ(a.core_atoms, 7u);
+  EXPECT_EQ(a.hypertree_width, 2);
+  EXPECT_EQ(a.sharp_hypertree_width, 2);
+  EXPECT_EQ(a.quantified_star_size, 2);
+  // Frontier hypergraph of the core: {A,B}, {B}, {B,C} (Figure 3(b)).
+  EXPECT_EQ(a.frontier_edges, 3u);
+  EXPECT_EQ(a.max_frontier_size, 2u);
+  std::string report = a.ToString();
+  EXPECT_NE(report.find("cyclic"), std::string::npos);
+  EXPECT_NE(report.find("#-hypertree width: 2"), std::string::npos);
+}
+
+TEST(AnalyzeTest, Qn1ProfileSeparatesParameters) {
+  QueryAnalysis a = AnalyzeQuery(MakeQn1(5), 3);
+  EXPECT_EQ(a.quantified_star_size, 3);       // ceil(5/2)
+  EXPECT_EQ(a.sharp_hypertree_width, 1);      // Example A.2
+  EXPECT_EQ(a.hypertree_width, 2);
+  EXPECT_TRUE(a.core_is_acyclic);
+}
+
+TEST(AnalyzeTest, WidthBudgetReportedAsUnknown) {
+  QueryAnalysis a = AnalyzeQuery(MakeQn2(4), 2);
+  EXPECT_FALSE(a.hypertree_width.has_value());       // ghw = 4 > 2
+  EXPECT_EQ(a.sharp_hypertree_width, 1);             // core is one atom
+  EXPECT_NE(a.ToString().find("> budget"), std::string::npos);
+}
+
+TEST(AnalyzeTest, AcyclicSimpleQuery) {
+  QueryAnalysis a = AnalyzeQuery(MakeQh2(3), 2);
+  EXPECT_TRUE(a.is_simple);
+  EXPECT_TRUE(a.is_acyclic);
+  EXPECT_EQ(a.hypertree_width, 1);
+}
+
+}  // namespace
+}  // namespace sharpcq

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "data/database.h"
+#include "data/relation.h"
+#include "data/value.h"
+#include "data/var_relation.h"
+
+namespace sharpcq {
+namespace {
+
+TEST(ValueDictTest, InternAndLookup) {
+  ValueDict dict;
+  Value a = dict.Intern("alice");
+  Value b = dict.Intern("bob");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alice"), a);
+  EXPECT_EQ(dict.NameOf(a), "alice");
+  EXPECT_EQ(dict.Find("bob"), b);
+  EXPECT_FALSE(dict.Find("carol").has_value());
+  EXPECT_EQ(dict.NameOf(999), "999");  // un-interned falls back to decimal
+}
+
+TEST(RelationTest, AddAndRead) {
+  Relation r(2);
+  r.AddRow({1, 2});
+  r.AddRow({3, 4});
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.Row(0)[0], 1);
+  EXPECT_EQ(r.Row(1)[1], 4);
+}
+
+TEST(RelationTest, DedupRemovesDuplicates) {
+  Relation r(2);
+  r.AddRow({1, 2});
+  r.AddRow({1, 2});
+  r.AddRow({0, 9});
+  r.Dedup();
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.ContainsRow(std::vector<Value>{1, 2}));
+  EXPECT_TRUE(r.ContainsRow(std::vector<Value>{0, 9}));
+}
+
+TEST(RelationTest, ZeroArityMultiplicity) {
+  Relation r(0);
+  EXPECT_TRUE(r.empty());
+  r.AddRow(std::span<const Value>{});
+  r.AddRow(std::span<const Value>{});
+  EXPECT_EQ(r.size(), 2u);
+  r.Dedup();
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, SameRowSetIgnoresOrderAndDuplicates) {
+  Relation a(1), b(1);
+  a.AddRow({1});
+  a.AddRow({2});
+  b.AddRow({2});
+  b.AddRow({1});
+  b.AddRow({1});
+  EXPECT_TRUE(SameRowSet(a, b));
+  b.AddRow({3});
+  EXPECT_FALSE(SameRowSet(a, b));
+}
+
+TEST(RowIndexTest, LookupByKeyColumns) {
+  Relation r(3);
+  r.AddRow({1, 10, 100});
+  r.AddRow({1, 20, 200});
+  r.AddRow({2, 10, 300});
+  RowIndex index(r, {0});
+  std::vector<Value> key{1};
+  const auto* rows = index.Lookup(key);
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+  key[0] = 7;
+  EXPECT_EQ(index.Lookup(key), nullptr);
+}
+
+TEST(RowIndexTest, EmptyKeyMatchesAllRows) {
+  Relation r(2);
+  r.AddRow({1, 2});
+  r.AddRow({3, 4});
+  RowIndex index(r, {});
+  const auto* rows = index.Lookup(std::span<const Value>{});
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+VarRelation MakeVarRel(IdSet vars, std::vector<std::vector<Value>> rows) {
+  VarRelation r(std::move(vars));
+  for (const auto& row : rows) {
+    r.rel().AddRow(std::span<const Value>(row));
+  }
+  return r;
+}
+
+TEST(VarRelationTest, ColumnOfFollowsSortedVarOrder) {
+  VarRelation r(IdSet{7, 2, 5});
+  EXPECT_EQ(r.ColumnOf(2), 0);
+  EXPECT_EQ(r.ColumnOf(5), 1);
+  EXPECT_EQ(r.ColumnOf(7), 2);
+}
+
+TEST(VarRelationTest, ProjectDedups) {
+  VarRelation r = MakeVarRel(IdSet{0, 1}, {{1, 10}, {1, 20}, {2, 10}});
+  VarRelation p = Project(r, IdSet{0});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.rel().ContainsRow(std::vector<Value>{1}));
+  EXPECT_TRUE(p.rel().ContainsRow(std::vector<Value>{2}));
+}
+
+TEST(VarRelationTest, NaturalJoinOnSharedVar) {
+  VarRelation a = MakeVarRel(IdSet{0, 1}, {{1, 10}, {2, 20}});
+  VarRelation b = MakeVarRel(IdSet{1, 2}, {{10, 100}, {10, 101}, {30, 300}});
+  VarRelation j = Join(a, b);
+  EXPECT_EQ(j.vars(), (IdSet{0, 1, 2}));
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_TRUE(j.rel().ContainsRow(std::vector<Value>{1, 10, 100}));
+  EXPECT_TRUE(j.rel().ContainsRow(std::vector<Value>{1, 10, 101}));
+}
+
+TEST(VarRelationTest, JoinWithDisjointVarsIsCartesian) {
+  VarRelation a = MakeVarRel(IdSet{0}, {{1}, {2}});
+  VarRelation b = MakeVarRel(IdSet{1}, {{10}, {20}, {30}});
+  EXPECT_EQ(Join(a, b).size(), 6u);
+}
+
+TEST(VarRelationTest, JoinWithUnitIsIdentity) {
+  VarRelation a = MakeVarRel(IdSet{0, 3}, {{1, 2}, {4, 5}});
+  VarRelation j = Join(VarRelation::Unit(), a);
+  EXPECT_TRUE(SameVarRelation(j, a));
+}
+
+TEST(VarRelationTest, SemijoinFiltersAndReportsChange) {
+  VarRelation a = MakeVarRel(IdSet{0, 1}, {{1, 10}, {2, 20}, {3, 30}});
+  VarRelation b = MakeVarRel(IdSet{1}, {{10}, {30}});
+  bool changed = false;
+  VarRelation s = Semijoin(a, b, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(s.size(), 2u);
+  changed = true;
+  VarRelation s2 = Semijoin(s, b, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(s2.size(), 2u);
+}
+
+TEST(VarRelationTest, SemijoinOnDisjointVarsKeepsAllWhenNonEmpty) {
+  VarRelation a = MakeVarRel(IdSet{0}, {{1}, {2}});
+  VarRelation b = MakeVarRel(IdSet{5}, {{7}});
+  EXPECT_EQ(Semijoin(a, b).size(), 2u);
+  VarRelation empty(IdSet{5});
+  EXPECT_EQ(Semijoin(a, empty).size(), 0u);
+}
+
+TEST(VarRelationTest, SelectEqual) {
+  VarRelation a = MakeVarRel(IdSet{0, 1}, {{1, 10}, {2, 20}, {1, 30}});
+  VarRelation s = SelectEqual(a, 0, 1);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(DatabaseTest, DeclareAndAdd) {
+  Database db;
+  db.AddTuple("r", {1, 2});
+  db.AddTuple("r", {3, 4});
+  db.AddTuple("s", {5});
+  EXPECT_TRUE(db.HasRelation("r"));
+  EXPECT_FALSE(db.HasRelation("t"));
+  EXPECT_EQ(db.relation("r").size(), 2u);
+  EXPECT_EQ(db.MaxRelationSize(), 2u);
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+TEST(DatabaseTest, DedupAll) {
+  Database db;
+  db.AddTuple("r", {1, 2});
+  db.AddTuple("r", {1, 2});
+  db.DedupAll();
+  EXPECT_EQ(db.relation("r").size(), 1u);
+}
+
+}  // namespace
+}  // namespace sharpcq

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "decomp/hypertree.h"
+#include "decomp/tree_projection.h"
+#include "decomp/views.h"
+#include "gen/paper_queries.h"
+#include "gen/random_gen.h"
+#include "hypergraph/acyclic.h"
+#include "tests/test_util.h"
+
+namespace sharpcq {
+namespace {
+
+// --- view sets --------------------------------------------------------------
+
+TEST(ViewsTest, VkContainsQueryViewsAndUnions) {
+  ConjunctiveQuery q = MakeQ1();  // 4 binary atoms in a square
+  ViewSet v1 = BuildVk(q, 1);
+  EXPECT_EQ(v1.size(), 4u);
+  ViewSet v2 = BuildVk(q, 2);
+  // 4 singletons + C(4,2)=6 unions, but the two diagonal unions both give
+  // {A,B,C,D} and deduplicate: 4 + 6 - 1 = 9 distinct variable sets.
+  EXPECT_EQ(v2.size(), 9u);
+  for (std::size_t i = 0; i < v2.size(); ++i) {
+    EXPECT_LE(v2.guards[i].size(), 2u);
+    EXPECT_GE(v2.guards[i].size(), 1u);
+  }
+}
+
+TEST(ViewsTest, DedupKeepsSmallestGuard) {
+  // Two atoms over the same variables: the pair-union equals each
+  // singleton's variable set, and the kept guard must have size 1.
+  ConjunctiveQuery q;
+  q.AddAtomVars("r", {"X", "Y"});
+  q.AddAtomVars("s", {"Y", "X"});
+  ViewSet v = BuildVk(q, 2);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.guards[0].size(), 1u);
+}
+
+TEST(ViewsTest, ViewsFromEdgesAreAbstract) {
+  ViewSet v = ViewsFromEdges({IdSet{0, 1}, IdSet{1, 2}});
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.guards[0].empty());
+}
+
+// --- tree projections -------------------------------------------------------
+
+TEST(TreeProjectionTest, AcyclicCoverProjectsOntoItself) {
+  std::vector<IdSet> cover = {IdSet{0, 1}, IdSet{1, 2}};
+  auto result = FindTreeProjection(cover, ViewsFromEdges(cover));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(IsTreeProjection(result->tree, cover, ViewsFromEdges(cover)));
+}
+
+TEST(TreeProjectionTest, TriangleNeedsABigView) {
+  std::vector<IdSet> triangle = {IdSet{0, 1}, IdSet{1, 2}, IdSet{0, 2}};
+  EXPECT_FALSE(
+      FindTreeProjection(triangle, ViewsFromEdges(triangle)).has_value());
+  std::vector<IdSet> views = triangle;
+  views.push_back(IdSet{0, 1, 2});
+  EXPECT_TRUE(FindTreeProjection(triangle, ViewsFromEdges(views)).has_value());
+}
+
+TEST(TreeProjectionTest, UncoverableEdgeFails) {
+  std::vector<IdSet> cover = {IdSet{0, 1, 2}};
+  std::vector<IdSet> views = {IdSet{0, 1}, IdSet{1, 2}};
+  EXPECT_FALSE(FindTreeProjection(cover, ViewsFromEdges(views)).has_value());
+}
+
+TEST(TreeProjectionTest, DisconnectedCoverIsStitched) {
+  std::vector<IdSet> cover = {IdSet{0, 1}, IdSet{5, 6}};
+  auto result = FindTreeProjection(cover, ViewsFromEdges(cover));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->tree.bags.size(), 2u);
+  EXPECT_TRUE(IsTreeProjection(result->tree, cover, ViewsFromEdges(cover)));
+}
+
+TEST(TreeProjectionTest, EmptyCoverYieldsEmptyTree) {
+  auto result = FindTreeProjection({}, ViewsFromEdges({IdSet{0}}));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->tree.bags.empty());
+}
+
+TEST(TreeProjectionTest, CostMinimizationPrefersCheaperViews) {
+  // Two ways to cover {0,1}: view 0 (cost 10) or view 1 (cost 1).
+  std::vector<IdSet> cover = {IdSet{0, 1}};
+  ViewSet views = ViewsFromEdges({IdSet{0, 1}, IdSet{0, 1, 2}});
+  TreeProjectionOptions options;
+  options.bag_cost = [](const IdSet&, int view_id) {
+    return view_id == 0 ? 10.0 : 1.0;
+  };
+  auto result = FindTreeProjection(cover, views, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->tree.view_ids[0], 1);
+  EXPECT_EQ(result->total_cost, 1.0);
+}
+
+TEST(TreeProjectionTest, InfeasibleCostsActAsFilters) {
+  std::vector<IdSet> cover = {IdSet{0, 1}};
+  ViewSet views = ViewsFromEdges({IdSet{0, 1}});
+  TreeProjectionOptions options;
+  options.bag_cost = [](const IdSet&, int) {
+    return std::numeric_limits<double>::infinity();
+  };
+  EXPECT_FALSE(FindTreeProjection(cover, views, options).has_value());
+}
+
+// Normal-form search vs exhaustive-bags search on random small instances:
+// they must agree on existence.
+TEST(TreeProjectionTest, NormalFormAgreesWithExhaustiveOnRandomInstances) {
+  std::mt19937_64 rng(7);
+  int disagreements = 0;
+  int feasible = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    int n = 4 + static_cast<int>(rng() % 3);  // 4..6 nodes
+    auto random_edge = [&rng, n](int max_size) {
+      IdSet e;
+      int size = 1 + static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                                  max_size));
+      for (int i = 0; i < size; ++i) {
+        e.Insert(static_cast<std::uint32_t>(rng() %
+                                            static_cast<std::uint64_t>(n)));
+      }
+      return e;
+    };
+    std::vector<IdSet> cover;
+    for (int i = 0; i < 4; ++i) cover.push_back(random_edge(2));
+    std::vector<IdSet> view_edges;
+    for (int i = 0; i < 4; ++i) view_edges.push_back(random_edge(3));
+    ViewSet views = ViewsFromEdges(view_edges);
+
+    bool normal = FindTreeProjection(cover, views).has_value();
+    TreeProjectionOptions exhaustive;
+    exhaustive.exhaustive_bags = true;
+    bool reference = FindTreeProjection(cover, views, exhaustive).has_value();
+    if (normal != reference) ++disagreements;
+    if (reference) ++feasible;
+  }
+  EXPECT_EQ(disagreements, 0);
+  EXPECT_GT(feasible, 10);  // the sample covers both outcomes
+}
+
+// --- hypertree widths of the paper's structures ------------------------------
+
+TEST(HypertreeWidthTest, AcyclicQueriesHaveWidthOne) {
+  EXPECT_EQ(HypertreeWidth(MakeQh2(3), 3), 1);
+}
+
+TEST(HypertreeWidthTest, Q0HasHypertreeWidthTwo) {
+  // Figure 2: a width-2 hypertree decomposition exists; Q0 is cyclic, so
+  // width 1 is impossible.
+  EXPECT_EQ(HypertreeWidth(MakeQ0(), 3), 2);
+}
+
+TEST(HypertreeWidthTest, Q1SquareHasWidthTwo) {
+  EXPECT_EQ(HypertreeWidth(MakeQ1(), 3), 2);
+}
+
+TEST(HypertreeWidthTest, Qn1HasWidthTwo) {
+  // Example A.2: every Q^n_1 has hypertree width 2.
+  EXPECT_EQ(HypertreeWidth(MakeQn1(4), 3), 2);
+}
+
+TEST(HypertreeWidthTest, BicliqueWidthGrowsWithN) {
+  // Theorem A.3: ghw(Q^n_2) = n.
+  EXPECT_EQ(HypertreeWidth(MakeQn2(2), 4), 2);
+  EXPECT_EQ(HypertreeWidth(MakeQn2(3), 4), 3);
+}
+
+TEST(HypertreeWidthTest, WidthBudgetRespected) {
+  EXPECT_FALSE(HypertreeWidth(MakeQn2(3), 2).has_value());
+}
+
+TEST(HypergraphWidthTest, StandaloneHypergraph) {
+  // Triangle: width 2. Path: width 1.
+  EXPECT_EQ(HypergraphHypertreeWidth(
+                {IdSet{0, 1}, IdSet{1, 2}, IdSet{0, 2}}, 3),
+            2);
+  EXPECT_EQ(HypergraphHypertreeWidth({IdSet{0, 1}, IdSet{1, 2}}, 3), 1);
+}
+
+// --- hypertree validation ----------------------------------------------------
+
+TEST(HypertreeTest, FindDecompositionSatisfiesGhdConditions) {
+  ConjunctiveQuery q = MakeQ0();
+  auto ht = FindHypertreeDecomposition(q, 3);
+  ASSERT_TRUE(ht.has_value());
+  std::string why;
+  EXPECT_TRUE(IsGeneralizedHypertreeDecomposition(*ht, q, &why)) << why;
+  EXPECT_EQ(ht->width(), 2);
+}
+
+TEST(HypertreeTest, NormalFormSearchSatisfiesDescendantCondition) {
+  // The normal-form candidates chi = vars(lambda) ∩ (component ∪ connector)
+  // yield full hypertree decompositions on the paper's queries.
+  for (int n : {3, 4}) {
+    ConjunctiveQuery q = MakeQn1(n);
+    auto ht = FindHypertreeDecomposition(q, 3);
+    ASSERT_TRUE(ht.has_value());
+    EXPECT_TRUE(SatisfiesDescendantCondition(*ht, q));
+  }
+}
+
+TEST(HypertreeTest, MakeCompleteAddsMissingAtoms) {
+  ConjunctiveQuery q = MakeQh2(2);
+  auto ht = FindHypertreeDecomposition(q, 2);
+  ASSERT_TRUE(ht.has_value());
+  Hypertree complete = MakeComplete(*ht, q);
+  EXPECT_TRUE(IsCompleteDecomposition(complete, q));
+  std::string why;
+  EXPECT_TRUE(IsGeneralizedHypertreeDecomposition(complete, q, &why)) << why;
+}
+
+TEST(HypertreeTest, PaperHypertreesForQh2AreValid) {
+  const int h = 3;
+  ConjunctiveQuery q = MakeQh2(h);
+  Hypertree naive = MakeQh2NaiveHypertree(q, h);
+  Hypertree merged = MakeQh2MergedHypertree(q, h);
+  std::string why;
+  EXPECT_TRUE(IsGeneralizedHypertreeDecomposition(naive, q, &why)) << why;
+  EXPECT_TRUE(IsGeneralizedHypertreeDecomposition(merged, q, &why)) << why;
+  EXPECT_TRUE(IsCompleteDecomposition(naive, q));
+  EXPECT_TRUE(IsCompleteDecomposition(merged, q));
+  EXPECT_EQ(naive.width(), 1);
+  EXPECT_EQ(merged.width(), 2);
+}
+
+// Random acyclic queries must always admit width-1 decompositions.
+TEST(HypertreeWidthTest, RandomAcyclicQueriesHaveWidthOne) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    RandomQueryParams p;
+    p.num_vars = 8;
+    p.num_atoms = 6;
+    p.max_arity = 3;
+    p.force_acyclic = true;
+    p.seed = seed;
+    ConjunctiveQuery q = MakeRandomQuery(p);
+    ASSERT_TRUE(IsAcyclic(q.BuildHypergraph())) << "seed " << seed;
+    EXPECT_EQ(HypertreeWidth(q, 2), 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sharpcq

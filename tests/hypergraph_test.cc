@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper_queries.h"
+#include "hypergraph/acyclic.h"
+#include "hypergraph/hypergraph.h"
+#include "tests/test_util.h"
+
+namespace sharpcq {
+namespace {
+
+TEST(HypergraphTest, NodesIncludeEdgeNodesAndIsolated) {
+  Hypergraph h(IdSet{9}, {IdSet{1, 2}, IdSet{2, 3}});
+  EXPECT_EQ(h.nodes(), (IdSet{1, 2, 3, 9}));
+  h.AddEdge(IdSet{4});
+  EXPECT_TRUE(h.nodes().Contains(4));
+}
+
+TEST(HypergraphTest, DedupAndSubsumedEdges) {
+  Hypergraph h({}, {IdSet{1, 2}, IdSet{1, 2}, IdSet{1}, IdSet{2, 3}});
+  h.DedupEdges();
+  EXPECT_EQ(h.num_edges(), 3u);
+  h.RemoveSubsumedEdges();
+  EXPECT_EQ(h.num_edges(), 2u);
+  EXPECT_TRUE(HasEdge(h.edges(), IdSet{1, 2}));
+  EXPECT_TRUE(HasEdge(h.edges(), IdSet{2, 3}));
+}
+
+TEST(HypergraphTest, Covers) {
+  Hypergraph small({}, {IdSet{1, 2}, IdSet{3}});
+  Hypergraph big({}, {IdSet{1, 2, 3}});
+  EXPECT_TRUE(Covers(big, small));
+  EXPECT_FALSE(Covers(small, big));
+  EXPECT_TRUE(CoveredBySome(big.edges(), IdSet{2, 3}));
+  EXPECT_FALSE(CoveredBySome(small.edges(), IdSet{1, 3}));
+}
+
+// Example 1.1 / Figure 1(a): the hypergraph of Q0.
+class Q0HypergraphTest : public ::testing::Test {
+ protected:
+  Q0HypergraphTest() : q_(MakeQ0()), h_(q_.BuildHypergraph()) {}
+  ConjunctiveQuery q_;
+  Hypergraph h_;
+};
+
+TEST_F(Q0HypergraphTest, ComponentsAfterRemovingFreeVariables) {
+  // Removing {A,B,C} splits Q0's hypergraph into {I}, {E}, {D,F,G,H}
+  // (Section 1.2).
+  WComponents comps = ComputeWComponents(h_, q_.free_vars());
+  ASSERT_EQ(comps.components.size(), 3u);
+  EXPECT_TRUE(HasEdge(comps.components, VarsOf(q_, {"I"})));
+  EXPECT_TRUE(HasEdge(comps.components, VarsOf(q_, {"E"})));
+  EXPECT_TRUE(HasEdge(comps.components, VarsOf(q_, {"D", "F", "G", "H"})));
+}
+
+TEST_F(Q0HypergraphTest, FrontiersOfSection12) {
+  // Fr(I) = {A,B}; Fr(E) = {B}; Fr of D,F,G,H = {B,C} (Section 1.2).
+  IdSet free = q_.free_vars();
+  EXPECT_EQ(Frontier(h_, q_.VarByName("I"), free), VarsOf(q_, {"A", "B"}));
+  EXPECT_EQ(Frontier(h_, q_.VarByName("E"), free), VarsOf(q_, {"B"}));
+  for (const char* v : {"D", "F", "G", "H"}) {
+    EXPECT_EQ(Frontier(h_, q_.VarByName(v), free), VarsOf(q_, {"B", "C"}))
+        << v;
+  }
+  // Frontier of a free variable is empty.
+  EXPECT_TRUE(Frontier(h_, q_.VarByName("A"), free).empty());
+}
+
+TEST_F(Q0HypergraphTest, Example32Frontiers) {
+  // Example 3.2: Fr(A, {D,E,G}) = {D,E} and Fr(H, {D,E,G}) = {D,G}.
+  IdSet w = VarsOf(q_, {"D", "E", "G"});
+  EXPECT_EQ(Frontier(h_, q_.VarByName("A"), w), VarsOf(q_, {"D", "E"}));
+  EXPECT_EQ(Frontier(h_, q_.VarByName("H"), w), VarsOf(q_, {"D", "G"}));
+}
+
+TEST_F(Q0HypergraphTest, FrontierHypergraphOfFigure1b) {
+  // FH(Q0, {A,B,C}) has hyperedges {A,B}, {B}, {B,C} (Figure 1(b); no edge
+  // of HQ0 lies inside the free variables).
+  Hypergraph fh = FrontierHypergraph(h_, q_.free_vars());
+  std::vector<IdSet> expected = {VarsOf(q_, {"A", "B"}), VarsOf(q_, {"B"}),
+                                 VarsOf(q_, {"B", "C"})};
+  EXPECT_EQ(SortedEdges(fh.edges()), SortedEdges(expected));
+}
+
+TEST_F(Q0HypergraphTest, PseudoFreeDShrinksFrontiers) {
+  // Example 1.5 / Figure 5: with D treated as free, every frontier edge is
+  // a subset of an original hyperedge.
+  IdSet w = Union(q_.free_vars(), VarsOf(q_, {"D"}));
+  Hypergraph fh = FrontierHypergraph(h_, w);
+  for (const IdSet& e : fh.edges()) {
+    EXPECT_TRUE(CoveredBySome(h_.edges(), e)) << e.ToString();
+  }
+}
+
+TEST(FrontierHypergraphTest, EdgesInsideWAreKept) {
+  // An edge fully inside W is an FH edge (Definition 3.3).
+  Hypergraph h({}, {IdSet{0, 1}, IdSet{1, 2}});
+  Hypergraph fh = FrontierHypergraph(h, IdSet{0, 1});
+  EXPECT_TRUE(HasEdge(fh.edges(), IdSet{0, 1}));
+  // Frontier of 2 is {1}.
+  EXPECT_TRUE(HasEdge(fh.edges(), IdSet{1}));
+}
+
+TEST(PrimalGraphTest, AdjacencyFromHyperedges) {
+  Hypergraph h({}, {IdSet{0, 1, 2}, IdSet{2, 3}});
+  std::vector<IdSet> adj = PrimalGraphAdjacency(h);
+  // nodes sorted: 0,1,2,3.
+  EXPECT_EQ(adj[0], (IdSet{1, 2}));
+  EXPECT_EQ(adj[2], (IdSet{0, 1, 3}));
+  EXPECT_EQ(adj[3], (IdSet{2}));
+}
+
+TEST(ConnectedComponentsTest, SplitsDisconnectedHypergraph) {
+  Hypergraph h(IdSet{9}, {IdSet{0, 1}, IdSet{2, 3}, IdSet{3, 4}});
+  std::vector<IdSet> comps = ConnectedComponents(h);
+  ASSERT_EQ(comps.size(), 3u);  // {0,1}, {2,3,4}, {9}
+  EXPECT_TRUE(HasEdge(comps, IdSet{0, 1}));
+  EXPECT_TRUE(HasEdge(comps, IdSet{2, 3, 4}));
+  EXPECT_TRUE(HasEdge(comps, IdSet{9}));
+}
+
+// --- GYO acyclicity ---------------------------------------------------------
+
+TEST(AcyclicTest, SingleEdgeIsAcyclic) {
+  EXPECT_TRUE(IsAcyclic(std::vector<IdSet>{IdSet{0, 1, 2}}));
+}
+
+TEST(AcyclicTest, PathIsAcyclic) {
+  EXPECT_TRUE(IsAcyclic(std::vector<IdSet>{IdSet{0, 1}, IdSet{1, 2},
+                                           IdSet{2, 3}}));
+}
+
+TEST(AcyclicTest, TriangleIsCyclic) {
+  EXPECT_FALSE(IsAcyclic(std::vector<IdSet>{IdSet{0, 1}, IdSet{1, 2},
+                                            IdSet{0, 2}}));
+}
+
+TEST(AcyclicTest, TriangleWithCoveringEdgeIsAcyclic) {
+  // Alpha-acyclicity: adding {0,1,2} absorbs the triangle.
+  EXPECT_TRUE(IsAcyclic(std::vector<IdSet>{IdSet{0, 1}, IdSet{1, 2},
+                                           IdSet{0, 2}, IdSet{0, 1, 2}}));
+}
+
+TEST(AcyclicTest, FourCycleIsCyclic) {
+  EXPECT_FALSE(IsAcyclic(std::vector<IdSet>{IdSet{0, 1}, IdSet{1, 2},
+                                            IdSet{2, 3}, IdSet{0, 3}}));
+}
+
+TEST(AcyclicTest, Q0IsCyclic) {
+  ConjunctiveQuery q = MakeQ0();
+  EXPECT_FALSE(IsAcyclic(q.BuildHypergraph()));
+}
+
+TEST(AcyclicTest, Qh2IsAcyclic) {
+  // Example C.1: Q^h_2 is acyclic.
+  ConjunctiveQuery q = MakeQh2(4);
+  EXPECT_TRUE(IsAcyclic(q.BuildHypergraph()));
+}
+
+TEST(AcyclicTest, DisconnectedAcyclicHasJoinForestStitched) {
+  std::vector<IdSet> edges = {IdSet{0, 1}, IdSet{5, 6}};
+  auto tree = BuildJoinTree(edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(SatisfiesRunningIntersection(edges, *tree));
+}
+
+TEST(AcyclicTest, JoinTreeSatisfiesRunningIntersection) {
+  std::vector<IdSet> edges = {IdSet{0, 1, 2}, IdSet{1, 2, 3}, IdSet{2, 3, 4},
+                              IdSet{0, 5}};
+  auto tree = BuildJoinTree(edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(SatisfiesRunningIntersection(edges, *tree));
+}
+
+TEST(AcyclicTest, DuplicateEdgesHandled) {
+  std::vector<IdSet> edges = {IdSet{0, 1}, IdSet{0, 1}, IdSet{1, 2}};
+  auto tree = BuildJoinTree(edges);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(SatisfiesRunningIntersection(edges, *tree));
+}
+
+TEST(AcyclicTest, EmptyEdgeSet) {
+  EXPECT_TRUE(IsAcyclic(std::vector<IdSet>{}));
+}
+
+TEST(RunningIntersectionTest, DetectsViolation) {
+  // Bags {0,1} - {2} - {0,3}: variable 0 occurs in two disconnected bags.
+  std::vector<IdSet> bags = {IdSet{0, 1}, IdSet{2}, IdSet{0, 3}};
+  TreeShape shape = TreeShape::FromParents({-1, 0, 1});
+  EXPECT_FALSE(SatisfiesRunningIntersection(bags, shape));
+  // Moving variable 0 into the middle bag fixes it.
+  bags[1] = IdSet{0, 2};
+  EXPECT_TRUE(SatisfiesRunningIntersection(bags, shape));
+}
+
+TEST(TreeShapeTest, TopoOrderParentsFirst) {
+  TreeShape t = TreeShape::FromParents({-1, 0, 0, 1});
+  std::vector<int> order = t.TopoOrder();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);
+  // Every node appears after its parent.
+  std::vector<int> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (int v = 1; v < 4; ++v) {
+    EXPECT_LT(pos[static_cast<std::size_t>(t.parent[static_cast<std::size_t>(
+                  v)])],
+              pos[static_cast<std::size_t>(v)]);
+  }
+}
+
+}  // namespace
+}  // namespace sharpcq

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/sharp_counting.h"
+#include "count/enumeration.h"
+#include "count/starsize.h"
+#include "gen/random_gen.h"
+#include "hybrid/degree.h"
+#include "hybrid/degree_counting.h"
+#include "hybrid/hybrid_counting.h"
+#include "tests/test_util.h"
+
+namespace sharpcq {
+namespace {
+
+// Every counting engine in the library must produce the same number on the
+// same instance. Parameters: (seed, force_acyclic, domain size).
+using Params = std::tuple<int, bool, int>;
+
+class CountingAgreementTest : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    auto [seed, acyclic, domain] = GetParam();
+    RandomQueryParams qp;
+    qp.num_vars = 6;
+    qp.num_atoms = 5;
+    qp.max_arity = 3;
+    qp.num_free = 2;
+    qp.num_relations = 3;
+    qp.force_acyclic = acyclic;
+    qp.seed = static_cast<std::uint64_t>(seed);
+    query_ = MakeRandomQuery(qp);
+
+    RandomDatabaseParams dp;
+    dp.domain = domain;
+    dp.tuples_per_relation = 10;
+    dp.seed = static_cast<std::uint64_t>(seed) * 65537 + 13;
+    db_ = MakeRandomDatabase(query_, dp);
+
+    truth_ = CountByBacktracking(query_, db_);
+  }
+
+  ConjunctiveQuery query_;
+  Database db_;
+  CountInt truth_ = 0;
+};
+
+TEST_P(CountingAgreementTest, JoinProjectAgrees) {
+  EXPECT_EQ(CountByJoinProject(query_, db_), truth_);
+}
+
+TEST_P(CountingAgreementTest, FrontierMaterializationAgrees) {
+  EXPECT_EQ(CountByFrontierMaterialization(query_, db_), truth_);
+}
+
+TEST_P(CountingAgreementTest, FacadeAgrees) {
+  CountResult result = CountAnswers(query_, db_);
+  EXPECT_EQ(result.count, truth_) << "method: " << result.method;
+}
+
+TEST_P(CountingAgreementTest, SharpHypertreeAgreesWhenApplicable) {
+  auto result = CountBySharpHypertree(query_, db_, 3);
+  if (result.has_value()) {
+    EXPECT_EQ(result->count, truth_);
+  }
+}
+
+TEST_P(CountingAgreementTest, Ps13OnHypertreeAgreesWhenApplicable) {
+  auto ht = FindHypertreeDecomposition(query_, 3);
+  if (!ht.has_value()) return;
+  Ps13Stats stats;
+  EXPECT_EQ(CountByPs13OnHypertree(query_, db_, *ht, &stats).count, truth_);
+  // The #-relation set sizes are bounded by the decomposition's degree
+  // value (the quantity Theorem 6.2's runtime depends on).
+  Hypertree complete = MakeComplete(*ht, query_);
+  std::size_t bound = HypertreeBound(query_, db_, complete);
+  EXPECT_LE(stats.max_set_size, std::max<std::size_t>(bound, 1));
+}
+
+TEST_P(CountingAgreementTest, HybridAgreesWhenApplicable) {
+  auto result = CountBySharpBDecomposition(query_, db_, 2);
+  if (result.has_value()) {
+    EXPECT_EQ(result->count, truth_);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCyclic, CountingAgreementTest,
+    ::testing::Combine(::testing::Range(1, 21), ::testing::Values(false),
+                       ::testing::Values(3, 4)));
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomAcyclic, CountingAgreementTest,
+    ::testing::Combine(::testing::Range(1, 21), ::testing::Values(true),
+                       ::testing::Values(3)));
+
+// --- structural invariants on random instances -------------------------------
+
+class SharpWidthPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharpWidthPropertyTest, WidthSearchIsMonotoneInK) {
+  RandomQueryParams qp;
+  qp.num_vars = 6;
+  qp.num_atoms = 5;
+  qp.max_arity = 2;
+  qp.num_free = 2;
+  qp.seed = static_cast<std::uint64_t>(GetParam());
+  ConjunctiveQuery q = MakeRandomQuery(qp);
+  bool found = false;
+  for (int k = 1; k <= 4; ++k) {
+    bool now = FindSharpHypertreeDecomposition(q, k).has_value();
+    // Once found at some k, every larger k must also succeed (V^k grows).
+    if (found) {
+      EXPECT_TRUE(now) << "k=" << k;
+    }
+    found = found || now;
+  }
+  EXPECT_TRUE(found);  // binary-arity queries of 5 atoms always fit by k=4
+}
+
+TEST_P(SharpWidthPropertyTest, DecompositionIsValidTreeProjection) {
+  RandomQueryParams qp;
+  qp.num_vars = 6;
+  qp.num_atoms = 5;
+  qp.max_arity = 3;
+  qp.num_free = 2;
+  qp.seed = static_cast<std::uint64_t>(GetParam()) * 7 + 3;
+  ConjunctiveQuery q = MakeRandomQuery(qp);
+  auto d = FindSharpHypertreeDecomposition(q, 3);
+  if (!d.has_value()) return;
+  std::vector<IdSet> cover = SharpCoverEdges(d->core, q.free_vars());
+  EXPECT_TRUE(IsTreeProjection(d->tree, cover, d->views));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharpWidthPropertyTest,
+                         ::testing::Range(1, 26));
+
+// --- degree invariants --------------------------------------------------------
+
+class DegreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DegreePropertyTest, FullReduceNeverIncreasesBound) {
+  RandomQueryParams qp;
+  qp.num_vars = 6;
+  qp.num_atoms = 5;
+  qp.max_arity = 3;
+  qp.num_free = 2;
+  qp.force_acyclic = true;
+  qp.seed = static_cast<std::uint64_t>(GetParam());
+  ConjunctiveQuery q = MakeRandomQuery(qp);
+  RandomDatabaseParams dp;
+  dp.domain = 3;
+  dp.tuples_per_relation = 10;
+  dp.seed = static_cast<std::uint64_t>(GetParam()) * 37;
+  Database db = MakeRandomDatabase(q, dp);
+  auto ht = FindHypertreeDecomposition(q, 1);
+  if (!ht.has_value()) return;
+  Hypertree complete = MakeComplete(*ht, q);
+  JoinTreeInstance instance = MaterializeHypertree(q, db, complete);
+  std::size_t before = BoundOfInstance(instance, q.free_vars());
+  if (!FullReduce(&instance)) return;
+  std::size_t after = BoundOfInstance(instance, q.free_vars());
+  EXPECT_LE(after, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegreePropertyTest, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace sharpcq

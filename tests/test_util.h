@@ -1,0 +1,35 @@
+#ifndef SHARPCQ_TESTS_TEST_UTIL_H_
+#define SHARPCQ_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+#include "util/id_set.h"
+
+namespace sharpcq {
+
+// The variable set {names...} resolved against q's name table.
+inline IdSet VarsOf(const ConjunctiveQuery& q,
+                    std::initializer_list<const char*> names) {
+  IdSet out;
+  for (const char* n : names) out.Insert(q.VarByName(n));
+  return out;
+}
+
+// Sorted copy of an edge list, for order-insensitive comparison.
+inline std::vector<IdSet> SortedEdges(std::vector<IdSet> edges) {
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+// True if `edges` contains `edge`.
+inline bool HasEdge(const std::vector<IdSet>& edges, const IdSet& edge) {
+  return std::find(edges.begin(), edges.end(), edge) != edges.end();
+}
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_TESTS_TEST_UTIL_H_

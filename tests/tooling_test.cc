@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/csv.h"
+#include "decomp/explain.h"
+#include "gen/paper_queries.h"
+#include "tests/test_util.h"
+
+namespace sharpcq {
+namespace {
+
+TEST(CsvTest, LoadsNumericTuples) {
+  std::istringstream in("1,2\n3,4\n# comment\n\n5,6\n");
+  Database db;
+  std::string error;
+  auto loaded = LoadRelationCsv(in, "r", &db, nullptr, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, 3u);
+  EXPECT_EQ(db.relation("r").size(), 3u);
+  EXPECT_TRUE(db.relation("r").ContainsRow(std::vector<Value>{5, 6}));
+}
+
+TEST(CsvTest, SymbolicFieldsInterned) {
+  std::istringstream in("alice,project_x\nbob,project_x\n");
+  Database db;
+  ValueDict dict;
+  auto loaded = LoadRelationCsv(in, "works_on", &db, &dict);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, 2u);
+  ASSERT_TRUE(dict.Find("alice").has_value());
+  EXPECT_TRUE(db.relation("works_on")
+                  .ContainsRow(std::vector<Value>{*dict.Find("alice"),
+                                                  *dict.Find("project_x")}));
+}
+
+TEST(CsvTest, RejectsSymbolsWithoutDict) {
+  std::istringstream in("alice,1\n");
+  Database db;
+  std::string error;
+  EXPECT_FALSE(LoadRelationCsv(in, "r", &db, nullptr, &error).has_value());
+  EXPECT_NE(error.find("ValueDict"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  std::istringstream in("1,2\n3\n");
+  Database db;
+  std::string error;
+  EXPECT_FALSE(LoadRelationCsv(in, "r", &db, nullptr, &error).has_value());
+  EXPECT_NE(error.find("arity"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  std::istringstream in("# only comments\n");
+  Database db;
+  EXPECT_FALSE(LoadRelationCsv(in, "r", &db).has_value());
+}
+
+TEST(CsvTest, RoundTripsThroughWrite) {
+  std::istringstream in("7,-8\n9,10\n");
+  Database db;
+  ASSERT_TRUE(LoadRelationCsv(in, "r", &db).has_value());
+  std::ostringstream out;
+  WriteRelationCsv(db, "r", out);
+  std::istringstream back(out.str());
+  Database db2;
+  ASSERT_TRUE(LoadRelationCsv(back, "r", &db2).has_value());
+  EXPECT_TRUE(SameRowSet(db.relation("r"), db2.relation("r")));
+}
+
+TEST(ExplainTest, HypertreeRendering) {
+  ConjunctiveQuery q = MakeQh2(2);
+  Hypertree ht = MakeQh2MergedHypertree(q, 2);
+  std::string text = ExplainHypertree(ht, q);
+  // Root line mentions both guards and the merged chi label.
+  EXPECT_NE(text.find("[r, s]"), std::string::npos) << text;
+  EXPECT_NE(text.find("X0"), std::string::npos);
+  // Children are indented.
+  EXPECT_NE(text.find("\n  {"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, BagTreeRenderingWithNamedViews) {
+  ConjunctiveQuery q = MakeQ1();
+  std::vector<std::pair<std::string, IdSet>> named = {
+      {"v_all", q.AllVars()}};
+  ViewSet views = ViewsFromNamedRelations(named);
+  std::vector<IdSet> cover = q.BuildHypergraph().edges();
+  auto result = FindTreeProjection(cover, views);
+  ASSERT_TRUE(result.has_value());
+  std::string text = ExplainBagTree(result->tree, views, q);
+  EXPECT_NE(text.find("[v_all]"), std::string::npos) << text;
+}
+
+TEST(ExplainTest, GuardViewRendering) {
+  ConjunctiveQuery q = MakeQ0();
+  auto ht = FindHypertreeDecomposition(q, 2);
+  ASSERT_TRUE(ht.has_value());
+  std::string text = ExplainHypertree(*ht, q);
+  // Every vertex line has a guard list.
+  EXPECT_NE(text.find("["), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            static_cast<std::ptrdiff_t>(ht->num_vertices()));
+}
+
+}  // namespace
+}  // namespace sharpcq

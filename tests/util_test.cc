@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "util/count_int.h"
+#include "util/hash.h"
+#include "util/id_set.h"
+#include "util/string_util.h"
+
+namespace sharpcq {
+namespace {
+
+TEST(IdSetTest, NormalizesOnConstruction) {
+  IdSet s{5, 1, 3, 1, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 5u);
+}
+
+TEST(IdSetTest, FromVectorNormalizes) {
+  IdSet s = IdSet::FromVector({9, 2, 2, 7});
+  EXPECT_EQ(s, (IdSet{2, 7, 9}));
+}
+
+TEST(IdSetTest, RangeBuildsPrefix) {
+  EXPECT_EQ(IdSet::Range(3), (IdSet{0, 1, 2}));
+  EXPECT_TRUE(IdSet::Range(0).empty());
+}
+
+TEST(IdSetTest, ContainsInsertRemove) {
+  IdSet s{2, 4};
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(3));
+  s.Insert(3);
+  EXPECT_TRUE(s.Contains(3));
+  s.Insert(3);  // idempotent
+  EXPECT_EQ(s.size(), 3u);
+  s.Remove(4);
+  EXPECT_FALSE(s.Contains(4));
+  s.Remove(4);  // idempotent
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(IdSetTest, SubsetAndIntersects) {
+  IdSet a{1, 2};
+  IdSet b{1, 2, 3};
+  IdSet c{4, 5};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(IdSet{}.IsSubsetOf(c));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(IdSet{}.Intersects(a));
+}
+
+TEST(IdSetTest, SetAlgebra) {
+  IdSet a{1, 2, 3};
+  IdSet b{3, 4};
+  EXPECT_EQ(Union(a, b), (IdSet{1, 2, 3, 4}));
+  EXPECT_EQ(Intersect(a, b), (IdSet{3}));
+  EXPECT_EQ(Difference(a, b), (IdSet{1, 2}));
+  EXPECT_EQ(Difference(b, a), (IdSet{4}));
+}
+
+TEST(IdSetTest, OrderingAndHash) {
+  IdSet a{1, 2};
+  IdSet b{1, 3};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(IdSetHash()(a), IdSetHash()(IdSet{2, 1}));
+}
+
+TEST(IdSetTest, ToStringWithNames) {
+  IdSet s{0, 2};
+  auto name = [](std::uint32_t v) { return std::string(1, 'A' + v); };
+  EXPECT_EQ(s.ToString(name), "{A,C}");
+  EXPECT_EQ((IdSet{}).ToString(), "{}");
+}
+
+TEST(CountIntTest, ToStringSmallAndLarge) {
+  EXPECT_EQ(CountToString(0), "0");
+  EXPECT_EQ(CountToString(12345), "12345");
+  // 2^100 = 1267650600228229401496703205376.
+  CountInt big = CountInt{1} << 100;
+  EXPECT_EQ(CountToString(big), "1267650600228229401496703205376");
+}
+
+TEST(CountIntTest, ParseRoundTrip) {
+  CountInt v = 0;
+  ASSERT_TRUE(ParseCount("1267650600228229401496703205376", &v));
+  EXPECT_EQ(v, CountInt{1} << 100);
+  EXPECT_FALSE(ParseCount("", &v));
+  EXPECT_FALSE(ParseCount("12a", &v));
+}
+
+TEST(StringUtilTest, SplitAndTrim) {
+  auto pieces = SplitAndTrim(" a, b ,, c ", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(HashTest, RangeIsOrderSensitive) {
+  std::vector<int> a{1, 2, 3};
+  std::vector<int> b{3, 2, 1};
+  EXPECT_NE(HashRange(a.begin(), a.end()), HashRange(b.begin(), b.end()));
+}
+
+}  // namespace
+}  // namespace sharpcq
