@@ -1,18 +1,20 @@
 // Quickstart: parse a conjunctive query, load a database, count the answers
 // without enumerating them.
 //
-//   $ ./quickstart
+//   $ ./example_quickstart
 //
 // The query asks for (advisor, student, course) triples with auditing
-// conditions expressed through existentially quantified variables. The count
-// is obtained via a #-hypertree decomposition (Theorem 1.3) and checked
-// against brute force.
+// conditions expressed through existentially quantified variables. Counting
+// goes through the plan/execute engine: the structural classification
+// (Theorem 1.3 et al.) runs once and is cached under the canonical query
+// shape, then the plan is materialized against the database. The result is
+// checked against brute force.
 
 #include <cstdio>
 
-#include "core/sharp_counting.h"
 #include "count/enumeration.h"
 #include "data/database.h"
+#include "engine/engine.h"
 #include "query/parser.h"
 
 int main() {
@@ -53,10 +55,20 @@ int main() {
   db.AddTuple("lab", {500, 7});
   db.AddTuple("lab", {501, 8});
 
-  sharpcq::CountResult result = sharpcq::CountAnswers(*q, db);
-  std::printf("answers: %s  (method: %s, width: %d)\n",
+  sharpcq::CountingEngine engine;
+
+  // Planning is query-only; show what the engine decided before touching
+  // the database.
+  sharpcq::CountingEngine::Planned planned = engine.Plan(*q);
+  std::printf("plan:\n%s\n", planned.plan->DebugString().c_str());
+
+  sharpcq::CountResult result = engine.Count(*q, db);
+  std::printf("answers: %s  (method: %s, width: %d, plan %s, %.3fms plan + "
+              "%.3fms execute)\n",
               sharpcq::CountToString(result.count).c_str(),
-              result.method.c_str(), result.width);
+              result.method.c_str(), result.width,
+              result.cache_hit ? "cached" : "cold", result.planner_ms,
+              result.execute_ms);
 
   sharpcq::CountInt brute = sharpcq::CountByBacktracking(*q, db);
   std::printf("brute-force check: %s  (%s)\n",

@@ -11,9 +11,9 @@
 #include <chrono>
 #include <cstdio>
 
-#include "core/sharp_counting.h"
 #include "count/enumeration.h"
 #include "count/starsize.h"
+#include "engine/engine.h"
 #include "gen/paper_queries.h"
 
 namespace {
@@ -27,6 +27,7 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main() {
+  sharpcq::CountingEngine engine;
   std::printf("%-4s %-6s %-8s %-10s %-14s %-18s\n", "n", "qss", "#-htw",
               "answers", "sharp (ms)", "frontier-mat (ms)");
   for (int n : {2, 3, 4, 5, 6}) {
@@ -34,25 +35,27 @@ int main() {
     sharpcq::Database db =
         sharpcq::MakeQn1RandomDatabase(/*d=*/12, /*edges=*/36, /*seed=*/7u * n);
 
-    int qss = sharpcq::QuantifiedStarSize(q);
-    std::optional<int> width = sharpcq::SharpHypertreeWidth(q, 2);
+    // The profile (star size, widths) comes with the plan for free.
+    sharpcq::CountingEngine::Planned planned = engine.Plan(q);
+    int qss = planned.plan->analysis.quantified_star_size;
+    std::optional<int> width = planned.plan->analysis.sharp_hypertree_width;
 
     auto t0 = std::chrono::steady_clock::now();
-    std::optional<sharpcq::CountResult> sharp =
-        sharpcq::CountBySharpHypertree(q, db, 1);
+    sharpcq::CountResult sharp = engine.Count(q, db);
     double sharp_ms = MillisSince(t0);
 
     auto t1 = std::chrono::steady_clock::now();
     sharpcq::CountInt frontier = sharpcq::CountByFrontierMaterialization(q, db);
     double frontier_ms = MillisSince(t1);
 
-    if (!sharp.has_value() || sharp->count != frontier) {
+    if (sharp.count != frontier ||
+        sharp.method.rfind("#-hypertree", 0) != 0) {
       std::fprintf(stderr, "MISMATCH at n=%d\n", n);
       return 1;
     }
     std::printf("%-4d %-6d %-8d %-10s %-14.2f %-18.2f\n", n, qss,
                 width.value_or(-1),
-                sharpcq::CountToString(sharp->count).c_str(), sharp_ms,
+                sharpcq::CountToString(sharp.count).c_str(), sharp_ms,
                 frontier_ms);
   }
   std::printf(

@@ -9,9 +9,9 @@
 #include <chrono>
 #include <cstdio>
 
-#include "core/sharp_counting.h"
 #include "count/enumeration.h"
 #include "decomp/explain.h"
+#include "engine/engine.h"
 #include "gen/paper_queries.h"
 #include "hypergraph/hypergraph.h"
 #include "solver/core.h"
@@ -46,12 +46,25 @@ int main() {
   std::printf("\ncolored core (Figure 3(a)): %s\n",
               core.DebugString().c_str());
 
-  // Figure 3(c): #-hypertree width 2; print the decomposition itself.
-  std::optional<int> width = sharpcq::SharpHypertreeWidth(q0, 3);
-  std::printf("#-hypertree width: %d  (paper: 2)\n", width.value_or(-1));
-  if (auto d = sharpcq::FindSharpHypertreeDecomposition(q0, 2)) {
-    std::printf("width-2 #-hypertree decomposition (cf. Figure 3(c)):\n%s\n",
-                sharpcq::ExplainBagTree(d->tree, d->views, q0).c_str());
+  // Figure 3(c): #-hypertree width 2. The engine's planner runs the width
+  // search once; the same plan then serves every database below from its
+  // cache.
+  sharpcq::CountingEngine engine;
+  sharpcq::CountingEngine::Planned planned = engine.Plan(q0);
+  std::printf("#-hypertree width: %d  (paper: 2)\n",
+              planned.plan->analysis.sharp_hypertree_width.value_or(-1));
+  if (planned.plan->sharp.has_value()) {
+    const sharpcq::SharpDecomposition& d = *planned.plan->sharp;
+    std::printf("width-2 #-hypertree decomposition (cf. Figure 3(c)):\n%s",
+                sharpcq::ExplainBagTree(d.tree, d.views, planned.plan->query)
+                    .c_str());
+    // Plans speak canonical variables; translate them back to the paper's.
+    std::printf("  (canonical vars:");
+    for (std::size_t c = 0; c < planned.canonical.to_original.size(); ++c) {
+      std::printf(" v%zu=%s", c,
+                  q0.VarName(planned.canonical.to_original[c]).c_str());
+    }
+    std::printf(")\n\n");
   }
 
   std::printf("%-10s %-12s %-14s %-12s %-14s\n", "db scale", "answers",
@@ -73,20 +86,20 @@ int main() {
     sharpcq::Database db = sharpcq::MakeQ0Database(params);
 
     auto t0 = std::chrono::steady_clock::now();
-    std::optional<sharpcq::CountResult> sharp =
-        sharpcq::CountBySharpHypertree(q0, db, 2);
+    sharpcq::CountResult sharp = engine.Count(q0, db);
     double sharp_ms = MillisSince(t0);
 
     auto t1 = std::chrono::steady_clock::now();
     sharpcq::CountInt baseline = sharpcq::CountByBacktracking(q0, db);
     double baseline_ms = MillisSince(t1);
 
-    if (!sharp.has_value() || sharp->count != baseline) {
+    if (sharp.method.rfind("#-hypertree", 0) != 0 ||
+        sharp.count != baseline) {
       std::fprintf(stderr, "MISMATCH at scale %d\n", scale);
       return 1;
     }
     std::printf("%-10d %-12s %-14.2f %-12s %-14.2f\n", scale,
-                sharpcq::CountToString(sharp->count).c_str(), sharp_ms,
+                sharpcq::CountToString(sharp.count).c_str(), sharp_ms,
                 sharpcq::CountToString(baseline).c_str(), baseline_ms);
   }
   return 0;

@@ -10,6 +10,12 @@
 namespace sharpcq {
 
 QueryAnalysis AnalyzeQuery(const ConjunctiveQuery& q, int k_max) {
+  return AnalyzeQuery(q, k_max, /*max_cores=*/8, nullptr);
+}
+
+QueryAnalysis AnalyzeQuery(const ConjunctiveQuery& q, int k_max,
+                           std::size_t max_cores,
+                           AnalysisArtifacts* artifacts) {
   QueryAnalysis a;
   a.num_atoms = q.NumAtoms();
   a.num_vars = q.AllVars().size();
@@ -18,7 +24,15 @@ QueryAnalysis AnalyzeQuery(const ConjunctiveQuery& q, int k_max) {
   a.is_acyclic = IsAcyclic(q.BuildHypergraph());
   a.quantified_star_size = QuantifiedStarSize(q);
   a.hypertree_width = HypertreeWidth(q, k_max);
-  a.sharp_hypertree_width = SharpHypertreeWidth(q, k_max);
+
+  // The single #-hypertree width search: the smallest k admitting a width-k
+  // decomposition, with the witness kept for reuse instead of being
+  // recomputed by every downstream counting call.
+  std::optional<SharpDecomposition> sharp;
+  for (int k = 1; k <= k_max && !sharp.has_value(); ++k) {
+    sharp = FindSharpHypertreeDecomposition(q, k, max_cores);
+    if (sharp.has_value()) a.sharp_hypertree_width = k;
+  }
 
   ConjunctiveQuery core = ComputeColoredCore(q);
   a.core_atoms = core.NumAtoms();
@@ -28,6 +42,10 @@ QueryAnalysis AnalyzeQuery(const ConjunctiveQuery& q, int k_max) {
   a.frontier_edges = fh.num_edges();
   for (const IdSet& e : fh.edges()) {
     a.max_frontier_size = std::max(a.max_frontier_size, e.size());
+  }
+  if (artifacts != nullptr) {
+    artifacts->colored_core = std::move(core);
+    artifacts->sharp = std::move(sharp);
   }
   return a;
 }

@@ -35,21 +35,7 @@ std::optional<CountResult> CountBySharpHypertree(const ConjunctiveQuery& q,
   return result;
 }
 
-CountResult CountAnswers(const ConjunctiveQuery& q, const Database& db,
-                         const CountOptions& options) {
-  for (int k = 1; k <= options.max_width; ++k) {
-    std::optional<SharpDecomposition> d =
-        FindSharpHypertreeDecomposition(q, k, options.max_cores);
-    if (d.has_value()) {
-      CountResult result = CountViaSharpDecomposition(q, db, *d);
-      result.method = "#-hypertree(k=" + std::to_string(k) + ")";
-      return result;
-    }
-  }
-  CountResult result;
-  result.method = "backtracking";
-  result.count = CountByBacktracking(q, db);
-  return result;
-}
+// CountAnswers is defined in engine/legacy_facades.cc: it delegates to the
+// engine layer, which sits above this one.
 
 }  // namespace sharpcq

@@ -17,6 +17,13 @@ struct CountResult {
   CountInt count = 0;
   std::string method;  // e.g. "#-hypertree(k=2)", "backtracking"
   int width = 0;       // decomposition width used (0 for brute force)
+
+  // Engine provenance (filled by the src/engine/ layer; zero elsewhere):
+  // wall time spent choosing the strategy vs. materializing the count, and
+  // whether planning was answered from the plan cache.
+  double planner_ms = 0.0;
+  double execute_ms = 0.0;
+  bool cache_hit = false;
 };
 
 // The Theorem 3.7 algorithm, given a #-decomposition: materializes the
@@ -42,10 +49,14 @@ struct CountOptions {
   std::size_t max_cores = 8;  // substructure cores to try per width
 };
 
-// The library facade: tries #-hypertree decompositions of width 1..
+// DEPRECATED legacy facade: tries #-hypertree decompositions of width 1..
 // max_width and falls back to the backtracking baseline when the query has
 // no bounded-width decomposition. Always returns the exact count.
-// (The hybrid engine of Section 6 lives in hybrid/hybrid_counting.h.)
+//
+// This is now a thin wrapper over the unified plan/execute engine
+// (engine/engine.h), sharing its process-wide plan cache; new code should
+// construct a CountingEngine directly, which also unlocks the acyclic-PS13
+// and hybrid #b strategies this facade keeps disabled for compatibility.
 CountResult CountAnswers(const ConjunctiveQuery& q, const Database& db,
                          const CountOptions& options = {});
 

@@ -1,0 +1,56 @@
+#include "engine/engine.h"
+
+#include <chrono>
+
+namespace sharpcq {
+
+CountingEngine::CountingEngine(EngineOptions options)
+    : options_(options), cache_(options.plan_cache_capacity) {}
+
+CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q) {
+  return Plan(q, options_.planner);
+}
+
+CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q,
+                                             const PlannerOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  Planned out;
+  out.canonical = CanonicalizeQuery(q);
+  const std::string key = out.canonical.key + "$" + options.CacheFingerprint();
+  out.plan = cache_.Find(key);
+  if (out.plan != nullptr) {
+    out.cache_hit = true;
+  } else {
+    // Plan against the canonical query so the artifacts are valid for every
+    // query with this shape, whatever its variable names or atom order.
+    out.plan = std::make_shared<const CountingPlan>(
+        MakePlan(out.canonical.query, options));
+    cache_.Insert(key, out.plan);
+  }
+  out.planner_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return out;
+}
+
+CountResult CountingEngine::Count(const ConjunctiveQuery& q,
+                                  const Database& db) {
+  return Count(q, db, options_.planner);
+}
+
+CountResult CountingEngine::Count(const ConjunctiveQuery& q,
+                                  const Database& db,
+                                  const PlannerOptions& options) {
+  Planned planned = Plan(q, options);
+  CountResult result = ExecutePlan(*planned.plan, db);
+  result.planner_ms = planned.planner_ms;
+  result.cache_hit = planned.cache_hit;
+  return result;
+}
+
+CountingEngine& CountingEngine::Shared() {
+  static CountingEngine* engine = new CountingEngine();
+  return *engine;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,70 @@
+#ifndef SHARPCQ_ENGINE_ENGINE_H_
+#define SHARPCQ_ENGINE_ENGINE_H_
+
+#include <memory>
+
+#include "core/sharp_counting.h"
+#include "data/database.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "engine/plan_cache.h"
+#include "engine/planner.h"
+#include "query/canonical.h"
+
+namespace sharpcq {
+
+struct EngineOptions {
+  PlannerOptions planner;
+  std::size_t plan_cache_capacity = 1024;
+};
+
+// The unified counting engine: canonicalize -> plan (cached) -> execute.
+//
+// Planning (structural classification, core computation, width searches) is
+// query-only and FPT, so the engine caches plans under the canonical query
+// shape: a production service answering millions of repeated query shapes
+// pays the Chen–Mengel-style classification once per shape, not once per
+// count. Execution materializes the chosen strategy against a concrete
+// database and is always exact.
+//
+// The legacy facades CountAnswers (core/sharp_counting.h) and
+// CountAnswersWithHybrid (hybrid/hybrid_counting.h) are thin wrappers over
+// the process-wide Shared() engine with their historical strategy gates.
+class CountingEngine {
+ public:
+  explicit CountingEngine(EngineOptions options = {});
+
+  // Plan + execute with the engine's default planner options.
+  CountResult Count(const ConjunctiveQuery& q, const Database& db);
+  // Same with per-call planner options (cached separately per policy).
+  CountResult Count(const ConjunctiveQuery& q, const Database& db,
+                    const PlannerOptions& options);
+
+  // A planning outcome: the (possibly cached) plan plus this call's
+  // canonicalization of q, whose variable mapping callers need to translate
+  // plan artifacts back to the original variables (e.g. for enumeration).
+  struct Planned {
+    std::shared_ptr<const CountingPlan> plan;
+    CanonicalForm canonical;
+    bool cache_hit = false;
+    double planner_ms = 0.0;  // time this call spent planning (≈0 on a hit)
+  };
+  Planned Plan(const ConjunctiveQuery& q);
+  Planned Plan(const ConjunctiveQuery& q, const PlannerOptions& options);
+
+  const EngineOptions& options() const { return options_; }
+  PlanCache::Stats cache_stats() const { return cache_.stats(); }
+  void ClearCache() { cache_.Clear(); }
+
+  // The process-wide engine used by the legacy facades and the enumeration
+  // path; all of them share one plan cache.
+  static CountingEngine& Shared();
+
+ private:
+  EngineOptions options_;
+  PlanCache cache_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_ENGINE_ENGINE_H_

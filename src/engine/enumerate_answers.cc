@@ -1,9 +1,14 @@
+// Declared in core/enumerate_answers.h; defined here because enumeration
+// plans through the engine layer (shared plan cache), which sits above
+// core/.
+
 #include "core/enumerate_answers.h"
 
 #include <unordered_map>
 
 #include "core/materialize.h"
 #include "count/join_tree_instance.h"
+#include "engine/engine.h"
 #include "util/check.h"
 
 namespace sharpcq {
@@ -81,18 +86,59 @@ class Enumerator {
 std::optional<std::size_t> EnumerateAnswers(const ConjunctiveQuery& q,
                                             const Database& db, int k,
                                             const AnswerCallback& callback) {
-  std::optional<SharpDecomposition> d = FindSharpHypertreeDecomposition(q, k);
-  if (!d.has_value()) return std::nullopt;
-  JoinTreeInstance instance = MaterializeBags(d->core, q, db, d->tree,
-                                              d->views);
+  // Plan through the shared engine so repeated enumerations of the same
+  // query shape reuse the cached decomposition instead of re-searching.
+  PlannerOptions planner;
+  planner.max_width = k;
+  planner.enable_acyclic_ps13 = false;
+  planner.enable_hybrid = false;
+  planner.full_profile = false;
+  CountingEngine::Planned planned = CountingEngine::Shared().Plan(q, planner);
+  if (planned.plan->strategy != PlanStrategy::kSharpHypertree) {
+    return std::nullopt;  // no width-k #-hypertree decomposition
+  }
+  const CountingPlan& plan = *planned.plan;
+  const ConjunctiveQuery& canon = plan.query;
+
+  JoinTreeInstance instance =
+      MaterializeBags(plan.sharp->core, canon, db, plan.sharp->tree,
+                      plan.sharp->views);
   if (!FullReduce(&instance)) return 0;
-  JoinTreeInstance restricted = RestrictToVars(instance, q.free_vars());
+  JoinTreeInstance restricted = RestrictToVars(instance, canon.free_vars());
   // Re-reduce: projections can expose tuples whose witnesses were shared;
   // the restricted instance stays globally consistent because each bag is
   // an exact projection of the answer-participating tuples, but a reduce
   // pass is cheap and keeps the no-dead-end property explicit.
   if (!FullReduce(&restricted)) return 0;
-  Enumerator enumerator(restricted, q.free_vars(), callback);
+
+  // The plan's instance speaks canonical variables; answers must come back
+  // in the original query's ascending-VarId order. perm[j] = position of
+  // the j-th original free variable's canonical id among the canonical free
+  // variables.
+  std::vector<std::size_t> perm;
+  perm.reserve(q.free_vars().size());
+  const IdSet& canon_free = canon.free_vars();
+  bool identity = true;
+  for (std::uint32_t v : q.free_vars()) {
+    VarId c = planned.canonical.to_canonical.at(v);
+    std::size_t pos = 0;
+    while (canon_free[pos] != c) ++pos;
+    identity = identity && pos == perm.size();
+    perm.push_back(pos);
+  }
+  if (identity) {
+    Enumerator enumerator(restricted, canon_free, callback);
+    return enumerator.Run();
+  }
+  std::vector<Value> original(perm.size());
+  AnswerCallback remapping = [&callback, &perm,
+                              &original](const std::vector<Value>& answer) {
+    for (std::size_t j = 0; j < perm.size(); ++j) {
+      original[j] = answer[perm[j]];
+    }
+    return callback(original);
+  };
+  Enumerator enumerator(restricted, canon_free, remapping);
   return enumerator.Run();
 }
 

@@ -1,0 +1,93 @@
+#include "engine/executor.h"
+
+#include <chrono>
+
+#include "count/enumeration.h"
+#include "count/join_tree_instance.h"
+#include "count/ps13.h"
+#include "hybrid/hybrid_counting.h"
+#include "hypergraph/acyclic.h"
+#include "query/atom_relation.h"
+#include "util/check.h"
+
+namespace sharpcq {
+
+namespace {
+
+CountResult ExecuteSharpHypertree(const CountingPlan& plan,
+                                  const Database& db) {
+  CountResult result =
+      CountViaSharpDecomposition(plan.query, db, *plan.sharp);
+  result.method = "#-hypertree(k=" + std::to_string(plan.width_budget) + ")";
+  return result;
+}
+
+CountResult ExecuteSharpB(const CountingPlan& plan, const Database& db) {
+  SharpBOptions options;
+  options.max_b = plan.options.hybrid_max_b;
+  options.max_cores = plan.options.max_cores;
+  options.max_subsets = plan.options.hybrid_max_subsets;
+  for (int k = 2; k <= plan.options.max_width; ++k) {
+    std::optional<CountResult> result =
+        CountBySharpBDecomposition(plan.query, db, k, options);
+    if (result.has_value()) return *result;
+  }
+  CountResult result;
+  result.method = "backtracking";
+  result.count = CountByBacktracking(plan.query, db);
+  return result;
+}
+
+}  // namespace
+
+CountResult CountByAcyclicPs13(const ConjunctiveQuery& q, const Database& db) {
+  CountResult result;
+  result.method = "acyclic-ps13";
+  result.width = 1;
+
+  std::vector<IdSet> edges;
+  edges.reserve(q.NumAtoms());
+  for (const Atom& atom : q.atoms()) edges.push_back(atom.Vars());
+  std::optional<TreeShape> shape = BuildJoinTree(edges);
+  SHARPCQ_CHECK_MSG(shape.has_value(),
+                    "CountByAcyclicPs13 requires an acyclic query");
+
+  JoinTreeInstance instance;
+  instance.shape = std::move(*shape);
+  instance.nodes.reserve(q.NumAtoms());
+  for (const Atom& atom : q.atoms()) {
+    instance.nodes.push_back(AtomToVarRelation(atom, db));
+  }
+  if (!FullReduce(&instance)) {
+    result.count = 0;
+    return result;
+  }
+  result.count = Ps13Count(instance, q.free_vars());
+  return result;
+}
+
+CountResult ExecutePlan(const CountingPlan& plan, const Database& db) {
+  auto start = std::chrono::steady_clock::now();
+  CountResult result;
+  switch (plan.strategy) {
+    case PlanStrategy::kSharpHypertree:
+      result = ExecuteSharpHypertree(plan, db);
+      break;
+    case PlanStrategy::kAcyclicPs13:
+      result = CountByAcyclicPs13(plan.query, db);
+      break;
+    case PlanStrategy::kSharpB:
+      result = ExecuteSharpB(plan, db);
+      break;
+    case PlanStrategy::kBacktracking:
+      result.method = "backtracking";
+      result.count = CountByBacktracking(plan.query, db);
+      break;
+  }
+  result.execute_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return result;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,33 @@
+#ifndef SHARPCQ_ENGINE_EXECUTOR_H_
+#define SHARPCQ_ENGINE_EXECUTOR_H_
+
+#include "core/sharp_counting.h"
+#include "data/database.h"
+#include "engine/plan.h"
+
+namespace sharpcq {
+
+// The executor: the database-dependent half of counting. Materializes a
+// CountingPlan against a concrete database and returns the exact count with
+// provenance (method string, width, execute_ms).
+//
+// Strategy semantics:
+//   kSharpHypertree  Theorem 3.7 over the plan's stored decomposition.
+//   kAcyclicPs13     PS13 over the join tree of the plan's query itself.
+//   kSharpB          per-database #b-decomposition search (widths
+//                    2..max_width), Theorem 6.6 counting on success,
+//                    backtracking fallback otherwise — mirroring the legacy
+//                    hybrid facade.
+//   kBacktracking    the enumerate-with-projection baseline.
+CountResult ExecutePlan(const CountingPlan& plan, const Database& db);
+
+// The kAcyclicPs13 primitive, exposed for tests and benchmarks: builds the
+// join tree of q's own atoms (q must be alpha-acyclic), materializes each
+// atom relation, full-reduces, and runs the Figure 13 counter on the free
+// variables. Exact for every acyclic query; cost exponential only in the
+// instance's degree bound.
+CountResult CountByAcyclicPs13(const ConjunctiveQuery& q, const Database& db);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_ENGINE_EXECUTOR_H_

@@ -1,0 +1,46 @@
+// The deprecated counting facades. Their declarations live in
+// core/sharp_counting.h and hybrid/hybrid_counting.h for source
+// compatibility, but the definitions belong to the engine layer: each is a
+// policy preset over the shared engine, and defining them here keeps core/
+// and hybrid/ translation units free of upward engine dependencies.
+
+#include "core/sharp_counting.h"
+#include "engine/engine.h"
+#include "hybrid/hybrid_counting.h"
+
+namespace sharpcq {
+
+namespace {
+
+PlannerOptions LegacyPlannerOptions(const CountOptions& options,
+                                    bool enable_hybrid) {
+  PlannerOptions planner;
+  planner.max_width = options.max_width;
+  planner.max_cores = options.max_cores;
+  planner.enable_acyclic_ps13 = false;
+  planner.enable_hybrid = enable_hybrid;
+  // One-shot callers: skip the diagnostic profile the facades never exposed.
+  planner.full_profile = false;
+  return planner;
+}
+
+}  // namespace
+
+CountResult CountAnswers(const ConjunctiveQuery& q, const Database& db,
+                         const CountOptions& options) {
+  // Historical strategy order: #-hypertree widths 1..max_width, then
+  // backtracking.
+  return CountingEngine::Shared().Count(
+      q, db, LegacyPlannerOptions(options, /*enable_hybrid=*/false));
+}
+
+CountResult CountAnswersWithHybrid(const ConjunctiveQuery& q,
+                                   const Database& db,
+                                   const CountOptions& options) {
+  // Historical strategy order: #-hypertree widths 1..max_width, then #b
+  // widths 2..max_width, then backtracking.
+  return CountingEngine::Shared().Count(
+      q, db, LegacyPlannerOptions(options, /*enable_hybrid=*/true));
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,56 @@
+#include "engine/plan_cache.h"
+
+#include "util/check.h"
+
+namespace sharpcq {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  SHARPCQ_CHECK_MSG(capacity > 0, "plan cache capacity must be positive");
+}
+
+std::shared_ptr<const CountingPlan> PlanCache::Find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CountingPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.size = lru_.size();
+  return out;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace sharpcq

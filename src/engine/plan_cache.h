@@ -1,0 +1,55 @@
+#ifndef SHARPCQ_ENGINE_PLAN_CACHE_H_
+#define SHARPCQ_ENGINE_PLAN_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/plan.h"
+
+namespace sharpcq {
+
+// An LRU cache of counting plans keyed by canonical query shape plus
+// planner-policy fingerprint (query/canonical.h). Planning is FPT in the
+// query but pays core computation and width searches; a service answering
+// repeated query shapes should pay that once, which is the point of the
+// engine split. Thread-safe; plans are immutable once inserted and shared
+// by reference.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 1024);
+
+  // The cached plan for `key`, refreshing its LRU position; nullptr on miss.
+  std::shared_ptr<const CountingPlan> Find(const std::string& key);
+
+  // Inserts (or replaces) the plan for `key`, evicting the least recently
+  // used entry when over capacity.
+  void Insert(const std::string& key,
+              std::shared_ptr<const CountingPlan> plan);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+    std::size_t size = 0;
+  };
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const CountingPlan>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_ENGINE_PLAN_CACHE_H_

@@ -1,0 +1,98 @@
+#include "engine/planner.h"
+
+#include <chrono>
+
+#include "hypergraph/acyclic.h"
+
+namespace sharpcq {
+
+namespace {
+
+// Eligibility for counting over the query's own join tree: every atom must
+// contribute a non-empty hyperedge and every free variable must occur in
+// some atom, so the materialized instance carries all output columns.
+bool AcyclicPs13Eligible(const ConjunctiveQuery& q, const QueryAnalysis& a) {
+  if (!a.is_acyclic || q.NumAtoms() == 0) return false;
+  for (const Atom& atom : q.atoms()) {
+    if (atom.Vars().empty()) return false;
+  }
+  return q.free_vars().IsSubsetOf(q.AllVars());
+}
+
+CostEstimate EstimateCost(const CountingPlan& plan) {
+  CostEstimate cost;
+  cost.query_factor = static_cast<double>(plan.query.NumAtoms());
+  switch (plan.strategy) {
+    case PlanStrategy::kSharpHypertree:
+      // Theorem 3.7: materialize V^k views (m^k), join-tree passes.
+      cost.db_exponent = static_cast<double>(plan.width_budget) + 1.0;
+      break;
+    case PlanStrategy::kAcyclicPs13:
+      cost.db_exponent = 2.0;
+      cost.note = "x 4^h in the instance degree bound h (Theorem 6.2)";
+      break;
+    case PlanStrategy::kSharpB:
+      cost.db_exponent = static_cast<double>(plan.options.max_width) + 1.0;
+      cost.note = "x 4^b in the achieved degree b, plus the per-database "
+                  "#b-decomposition search (Theorem 6.7)";
+      break;
+    case PlanStrategy::kBacktracking:
+      // One witness search per candidate answer; worst case exponential in
+      // the number of variables.
+      cost.db_exponent = static_cast<double>(plan.analysis.num_free);
+      cost.note = "x witness search over existential variables";
+      break;
+  }
+  return cost;
+}
+
+}  // namespace
+
+CountingPlan MakePlan(const ConjunctiveQuery& q,
+                      const PlannerOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+
+  CountingPlan plan;
+  plan.query = q;
+  plan.options = options;
+
+  std::optional<SharpDecomposition> sharp;
+  if (options.full_profile) {
+    AnalysisArtifacts artifacts;
+    plan.analysis =
+        AnalyzeQuery(q, options.max_width, options.max_cores, &artifacts);
+    plan.colored_core = std::move(artifacts.colored_core);
+    sharp = std::move(artifacts.sharp);
+  } else {
+    // Minimal classification: only what the policy below consumes.
+    plan.analysis.num_atoms = q.NumAtoms();
+    plan.analysis.num_vars = q.AllVars().size();
+    plan.analysis.num_free = q.free_vars().size();
+    plan.analysis.is_acyclic = IsAcyclic(q.BuildHypergraph());
+    for (int k = 1; k <= options.max_width && !sharp.has_value(); ++k) {
+      sharp = FindSharpHypertreeDecomposition(q, k, options.max_cores);
+      if (sharp.has_value()) plan.analysis.sharp_hypertree_width = k;
+    }
+  }
+
+  if (sharp.has_value()) {
+    plan.strategy = PlanStrategy::kSharpHypertree;
+    plan.sharp = std::move(sharp);
+    plan.width_budget = plan.analysis.sharp_hypertree_width.value_or(0);
+  } else if (options.enable_acyclic_ps13 &&
+             AcyclicPs13Eligible(q, plan.analysis)) {
+    plan.strategy = PlanStrategy::kAcyclicPs13;
+  } else if (options.enable_hybrid && options.max_width >= 2) {
+    plan.strategy = PlanStrategy::kSharpB;
+  } else {
+    plan.strategy = PlanStrategy::kBacktracking;
+  }
+  plan.cost = EstimateCost(plan);
+
+  plan.planning_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  return plan;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,31 @@
+#ifndef SHARPCQ_ENGINE_PLANNER_H_
+#define SHARPCQ_ENGINE_PLANNER_H_
+
+#include "engine/plan.h"
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// The planner: the query-only, FPT half of counting. Runs the structural
+// classification (AnalyzeQuery — acyclicity, cores, htw, #-htw, star size)
+// and the width searches exactly once, then selects a strategy by an
+// explicit policy:
+//
+//   1. kSharpHypertree  if some k <= max_width admits a width-k
+//                       #-hypertree decomposition (Theorem 1.3);
+//   2. kAcyclicPs13     if enabled and HQ is acyclic with every free
+//                       variable occurring in some atom (Theorem 6.2 on the
+//                       query's own join tree);
+//   3. kSharpB          if enabled and max_width >= 2 (Theorems 6.6/6.7;
+//                       the database-dependent decomposition search runs at
+//                       execution time);
+//   4. kBacktracking    otherwise.
+//
+// The returned plan is valid for every database and is what the engine's
+// PlanCache stores.
+CountingPlan MakePlan(const ConjunctiveQuery& q,
+                      const PlannerOptions& options = {});
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_ENGINE_PLANNER_H_

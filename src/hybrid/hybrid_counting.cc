@@ -35,29 +35,7 @@ std::optional<CountResult> CountBySharpBDecomposition(
   return CountViaSharpB(q, db, *d);
 }
 
-CountResult CountAnswersWithHybrid(const ConjunctiveQuery& q,
-                                   const Database& db,
-                                   const CountOptions& options) {
-  for (int k = 1; k <= options.max_width; ++k) {
-    std::optional<SharpDecomposition> d =
-        FindSharpHypertreeDecomposition(q, k, options.max_cores);
-    if (d.has_value()) {
-      CountResult result = CountViaSharpDecomposition(q, db, *d);
-      result.method = "#-hypertree(k=" + std::to_string(k) + ")";
-      return result;
-    }
-  }
-  for (int k = 2; k <= options.max_width; ++k) {
-    SharpBOptions hybrid_options;
-    hybrid_options.max_cores = options.max_cores;
-    std::optional<CountResult> result =
-        CountBySharpBDecomposition(q, db, k, hybrid_options);
-    if (result.has_value()) return *result;
-  }
-  CountResult result;
-  result.method = "backtracking";
-  result.count = CountByBacktracking(q, db);
-  return result;
-}
+// CountAnswersWithHybrid is defined in engine/legacy_facades.cc: it
+// delegates to the engine layer, which sits above this one.
 
 }  // namespace sharpcq

@@ -30,10 +30,14 @@ std::optional<CountResult> CountBySharpBDecomposition(
     const ConjunctiveQuery& q, const Database& db, int k,
     const SharpBOptions& options = {});
 
-// The full-strategy facade: purely structural #-hypertree decompositions
+// DEPRECATED legacy facade: purely structural #-hypertree decompositions
 // first (widths 1..max_width), then hybrid #b-decompositions (same width
 // budget), then the backtracking baseline. Always exact; the method string
 // records which engine answered.
+//
+// Now a thin wrapper over the unified plan/execute engine (engine/engine.h)
+// sharing its process-wide plan cache; new code should construct a
+// CountingEngine directly.
 CountResult CountAnswersWithHybrid(const ConjunctiveQuery& q,
                                    const Database& db,
                                    const CountOptions& options = {});

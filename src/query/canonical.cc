@@ -1,0 +1,158 @@
+#include "query/canonical.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sharpcq {
+
+namespace {
+
+// Name-independent signature of a variable: its free/existential role plus
+// the sorted multiset of (relation, arity, position) occurrences. Variables
+// that play interchangeable roles get equal signatures; everything else is
+// separated, which is what makes the later atom sort stable under renaming.
+std::unordered_map<VarId, std::string> VarSignatures(
+    const ConjunctiveQuery& q) {
+  std::unordered_map<VarId, std::vector<std::string>> occurrences;
+  for (const Atom& atom : q.atoms()) {
+    for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
+      const Term& t = atom.terms[pos];
+      if (!t.is_var()) continue;
+      occurrences[t.var].push_back(atom.relation + "/" +
+                                   std::to_string(atom.terms.size()) + "@" +
+                                   std::to_string(pos));
+    }
+  }
+  std::unordered_map<VarId, std::string> sig;
+  for (VarId v : q.AllVars()) {
+    std::vector<std::string>& occ = occurrences[v];
+    std::sort(occ.begin(), occ.end());
+    std::string s = q.free_vars().Contains(v) ? "f;" : "e;";
+    for (const std::string& o : occ) s += o + ";";
+    sig[v] = std::move(s);
+  }
+  for (VarId v : q.free_vars()) {
+    if (sig.count(v) == 0) sig[v] = "f;";  // head-only free variable
+  }
+  return sig;
+}
+
+// Name-independent rendering of an atom: constants verbatim, variables by
+// local first-occurrence index plus their global signature.
+std::string AtomSignature(const Atom& atom,
+                          const std::unordered_map<VarId, std::string>& sig) {
+  std::string out = atom.relation + "(";
+  std::vector<VarId> locals;
+  for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
+    if (pos > 0) out += ",";
+    const Term& t = atom.terms[pos];
+    if (!t.is_var()) {
+      out += "c" + std::to_string(static_cast<long long>(t.value));
+      continue;
+    }
+    auto it = std::find(locals.begin(), locals.end(), t.var);
+    std::size_t local = static_cast<std::size_t>(it - locals.begin());
+    if (it == locals.end()) locals.push_back(t.var);
+    out += "v" + std::to_string(local) + "#" + sig.at(t.var);
+  }
+  out += ")";
+  return out;
+}
+
+std::string RenderAtom(const Atom& atom,
+                       const std::unordered_map<VarId, VarId>& rename) {
+  std::string out = atom.relation + "(";
+  for (std::size_t pos = 0; pos < atom.terms.size(); ++pos) {
+    if (pos > 0) out += ",";
+    const Term& t = atom.terms[pos];
+    if (t.is_var()) {
+      out += "v" + std::to_string(rename.at(t.var));
+    } else {
+      out += "c" + std::to_string(static_cast<long long>(t.value));
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+CanonicalForm CanonicalizeQuery(const ConjunctiveQuery& q) {
+  std::unordered_map<VarId, std::string> sig = VarSignatures(q);
+
+  // Sort atom indices by their name-independent signature (stable: tied,
+  // 1-WL-indistinguishable atoms keep input order).
+  std::vector<std::size_t> atom_order(q.atoms().size());
+  for (std::size_t i = 0; i < atom_order.size(); ++i) atom_order[i] = i;
+  std::vector<std::string> atom_sigs(q.atoms().size());
+  for (std::size_t i = 0; i < q.atoms().size(); ++i) {
+    atom_sigs[i] = AtomSignature(q.atoms()[i], sig);
+  }
+  std::stable_sort(atom_order.begin(), atom_order.end(),
+                   [&atom_sigs](std::size_t a, std::size_t b) {
+                     return atom_sigs[a] < atom_sigs[b];
+                   });
+
+  // Assign canonical ids by first occurrence over the sorted atoms, then
+  // head-only free variables (ordered by signature for determinism; such
+  // variables are mutually symmetric, so ties are harmless).
+  CanonicalForm form;
+  auto assign = [&form](VarId original) {
+    if (form.to_canonical.count(original) > 0) return;
+    VarId id = static_cast<VarId>(form.to_original.size());
+    form.to_canonical.emplace(original, id);
+    form.to_original.push_back(original);
+  };
+  for (std::size_t i : atom_order) {
+    for (const Term& t : q.atoms()[i].terms) {
+      if (t.is_var()) assign(t.var);
+    }
+  }
+  std::vector<VarId> head_only;
+  for (VarId v : q.free_vars()) {
+    if (form.to_canonical.count(v) == 0) head_only.push_back(v);
+  }
+  std::stable_sort(head_only.begin(), head_only.end(),
+                   [&sig](VarId a, VarId b) { return sig[a] < sig[b]; });
+  for (VarId v : head_only) assign(v);
+
+  // Final atom order: lexicographic on the renamed rendering, which depends
+  // only on canonical content.
+  std::vector<std::pair<std::string, std::size_t>> rendered;
+  rendered.reserve(atom_order.size());
+  for (std::size_t i : atom_order) {
+    rendered.emplace_back(RenderAtom(q.atoms()[i], form.to_canonical), i);
+  }
+  std::stable_sort(rendered.begin(), rendered.end());
+
+  // Build the canonical query. Interning v0..vN in ascending order makes
+  // canonical VarId i literally equal to i.
+  for (std::size_t i = 0; i < form.to_original.size(); ++i) {
+    form.query.InternVar("v" + std::to_string(i));
+  }
+  for (const auto& [text, index] : rendered) {
+    const Atom& atom = q.atoms()[index];
+    std::vector<Term> terms;
+    terms.reserve(atom.terms.size());
+    for (const Term& t : atom.terms) {
+      terms.push_back(t.is_var() ? Term::Var(form.to_canonical.at(t.var)) : t);
+    }
+    form.query.AddAtom(atom.relation, std::move(terms));
+  }
+  IdSet free;
+  for (VarId v : q.free_vars()) free.Insert(form.to_canonical.at(v));
+  form.query.SetFree(free);
+
+  form.key = "free:" + free.ToString() + "|";
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) form.key += ",";
+    form.key += rendered[i].first;
+  }
+  return form;
+}
+
+std::string CanonicalQueryKey(const ConjunctiveQuery& q) {
+  return CanonicalizeQuery(q).key;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,46 @@
+#ifndef SHARPCQ_QUERY_CANONICAL_H_
+#define SHARPCQ_QUERY_CANONICAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+
+namespace sharpcq {
+
+// A canonical form of a conjunctive query: variable names replaced by
+// v0, v1, ... and atoms brought into a deterministic order, so that queries
+// differing only in variable names or atom order map to the same form. The
+// textual key identifies the query shape and is what the engine's plan
+// cache is keyed on (engine/plan_cache.h).
+//
+// Canonicalization is a cheap structural refinement (per-variable occurrence
+// signatures, one round), not full graph canonization: two isomorphic
+// queries with highly symmetric, 1-WL-indistinguishable structure may still
+// receive different keys. That only costs a cache miss — equal keys always
+// imply isomorphic queries, so a cache hit is always sound.
+struct CanonicalForm {
+  // The rewritten query. Variable ids are dense: canonical variable i is
+  // named "v<i>" and interned with VarId i.
+  ConjunctiveQuery query;
+
+  // The cache key: free-variable ids plus the ordered atom renderings.
+  std::string key;
+
+  // canonical VarId -> VarId in the original query (indexed by canonical
+  // id; covers head-only free variables too).
+  std::vector<VarId> to_original;
+
+  // original VarId -> canonical VarId.
+  std::unordered_map<VarId, VarId> to_canonical;
+};
+
+CanonicalForm CanonicalizeQuery(const ConjunctiveQuery& q);
+
+// Convenience: just the key.
+std::string CanonicalQueryKey(const ConjunctiveQuery& q);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_QUERY_CANONICAL_H_

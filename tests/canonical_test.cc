@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "count/enumeration.h"
+#include "gen/paper_queries.h"
+#include "gen/random_gen.h"
+#include "query/canonical.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace sharpcq {
+namespace {
+
+ConjunctiveQuery Parse(const std::string& text) {
+  std::string error;
+  auto q = ParseQuery(text, nullptr, &error);
+  EXPECT_TRUE(q.has_value()) << text << ": " << error;
+  return *q;
+}
+
+TEST(CanonicalTest, InvariantUnderVariableRenaming) {
+  ConjunctiveQuery a = Parse("Q(X) <- r(X,Y), s(Y,Z), t(Z,X)");
+  ConjunctiveQuery b = Parse("Q(U) <- r(U,V), s(V,W), t(W,U)");
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, InvariantUnderAtomReordering) {
+  ConjunctiveQuery a = Parse("Q(X) <- r(X,Y), s(Y,Z), t(Z,X)");
+  ConjunctiveQuery b = Parse("Q(X) <- t(Z,X), r(X,Y), s(Y,Z)");
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, RenamedAndReorderedTogether) {
+  ConjunctiveQuery a = Parse("Q(A,B) <- e(A,M), e(M,B), lives(B,7)");
+  ConjunctiveQuery b = Parse("Q(P,Q) <- lives(Q,7), e(X,Q), e(P,X)");
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, DistinguishesFreeVariableChoice) {
+  ConjunctiveQuery a = Parse("Q(X) <- r(X,Y)");
+  ConjunctiveQuery b = Parse("Q(Y) <- r(X,Y)");
+  ConjunctiveQuery c = Parse("Q(X,Y) <- r(X,Y)");
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(b));
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(c));
+  EXPECT_NE(CanonicalQueryKey(b), CanonicalQueryKey(c));
+}
+
+TEST(CanonicalTest, DistinguishesConstants) {
+  ConjunctiveQuery a = Parse("Q(X) <- lives(X,100)");
+  ConjunctiveQuery b = Parse("Q(X) <- lives(X,101)");
+  ConjunctiveQuery c = Parse("Q(X) <- lives(X,Y)");
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(b));
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(c));
+}
+
+TEST(CanonicalTest, DistinguishesRepeatedVariablePatterns) {
+  ConjunctiveQuery a = Parse("Q(X) <- r(X,X)");
+  ConjunctiveQuery b = Parse("Q(X) <- r(X,Y)");
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, DistinguishesSharedVsFreshExistentials) {
+  // Same atom multiset up to renaming, different join structure.
+  ConjunctiveQuery a = Parse("Q(X) <- r(X,Y), s(Y,Z)");
+  ConjunctiveQuery b = Parse("Q(X) <- r(X,Y), s(W,Z)");
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+TEST(CanonicalTest, CanonicalQueryIsWellFormed) {
+  ConjunctiveQuery q = MakeQ0();
+  CanonicalForm form = CanonicalizeQuery(q);
+  EXPECT_EQ(form.query.NumAtoms(), q.NumAtoms());
+  EXPECT_EQ(form.query.free_vars().size(), q.free_vars().size());
+  EXPECT_EQ(form.query.AllVars().size(), q.AllVars().size());
+  // Canonicalization is idempotent on the key.
+  EXPECT_EQ(CanonicalQueryKey(form.query), form.key);
+  // The variable mapping is a bijection consistent in both directions.
+  EXPECT_EQ(form.to_original.size(), q.AllVars().size());
+  for (std::size_t c = 0; c < form.to_original.size(); ++c) {
+    EXPECT_EQ(form.to_canonical.at(form.to_original[c]),
+              static_cast<VarId>(c));
+  }
+}
+
+TEST(CanonicalTest, CanonicalQueryCountsLikeOriginal) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomQueryParams qp;
+    qp.num_vars = 6;
+    qp.num_atoms = 5;
+    qp.max_arity = 3;
+    qp.num_free = 2;
+    qp.seed = seed;
+    ConjunctiveQuery q = MakeRandomQuery(qp);
+    RandomDatabaseParams dp;
+    dp.domain = 3;
+    dp.tuples_per_relation = 9;
+    dp.seed = seed * 613;
+    Database db = MakeRandomDatabase(q, dp);
+    CanonicalForm form = CanonicalizeQuery(q);
+    EXPECT_EQ(CountByBacktracking(form.query, db), CountByBacktracking(q, db))
+        << "seed " << seed;
+  }
+}
+
+TEST(CanonicalTest, HeadOnlyFreeVariablesKeepTheKeyStable) {
+  // VarByName-interned head variables that never occur in a body atom.
+  ConjunctiveQuery a;
+  a.AddAtomVars("r", {"X", "Y"});
+  a.SetFreeByName({"X", "Loose"});
+  ConjunctiveQuery b;
+  b.AddAtomVars("r", {"P", "Q"});
+  b.SetFreeByName({"P", "Dangling"});
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+}
+
+}  // namespace
+}  // namespace sharpcq

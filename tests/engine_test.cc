@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "count/enumeration.h"
+#include "engine/engine.h"
+#include "gen/paper_queries.h"
+#include "gen/random_gen.h"
+#include "hypergraph/acyclic.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace sharpcq {
+namespace {
+
+ConjunctiveQuery Parse(const std::string& text) {
+  std::string error;
+  auto q = ParseQuery(text, nullptr, &error);
+  EXPECT_TRUE(q.has_value()) << text << ": " << error;
+  return *q;
+}
+
+// --- planner policy ----------------------------------------------------------
+
+TEST(PlannerTest, AcyclicQueryGetsWidthOneSharpPlan) {
+  // A quantifier-light path query: acyclic colored core, frontier covered
+  // by single atoms, so the structural strategy wins at width 1.
+  ConjunctiveQuery q = Parse("Q(X,Y,Z) <- r(X,Y), s(Y,Z)");
+  CountingPlan plan = MakePlan(q);
+  EXPECT_EQ(plan.strategy, PlanStrategy::kSharpHypertree);
+  EXPECT_EQ(plan.width_budget, 1);
+  EXPECT_EQ(plan.analysis.sharp_hypertree_width, 1);
+  ASSERT_TRUE(plan.sharp.has_value());
+}
+
+TEST(PlannerTest, Q0GetsWidthTwoSharpPlan) {
+  CountingPlan plan = MakePlan(MakeQ0());
+  EXPECT_EQ(plan.strategy, PlanStrategy::kSharpHypertree);
+  EXPECT_EQ(plan.width_budget, 2);  // Figure 3(c)
+}
+
+TEST(PlannerTest, HybridFamilyGetsSharpBPlan) {
+  // Example 6.3: unbounded #-htw, cyclic hypergraph -> the hybrid strategy.
+  PlannerOptions options;
+  options.max_width = 2;
+  CountingPlan plan = MakePlan(MakeQbarh2(3), options);
+  EXPECT_EQ(plan.strategy, PlanStrategy::kSharpB);
+}
+
+TEST(PlannerTest, AcyclicUnboundedWidthFamilyGetsPs13Plan) {
+  // Example C.1: Q^h_2 is acyclic but needs #-htw ~ h; with a small width
+  // budget the acyclic PS13 strategy takes over (instead of backtracking).
+  PlannerOptions options;
+  options.max_width = 3;
+  CountingPlan plan = MakePlan(MakeQh2(5), options);
+  EXPECT_TRUE(plan.analysis.is_acyclic);
+  EXPECT_EQ(plan.strategy, PlanStrategy::kAcyclicPs13);
+}
+
+TEST(PlannerTest, StrategyGatesRestoreLegacyBehavior) {
+  PlannerOptions options;
+  options.max_width = 3;
+  options.enable_acyclic_ps13 = false;
+  options.enable_hybrid = false;
+  CountingPlan plan = MakePlan(MakeQh2(5), options);
+  EXPECT_EQ(plan.strategy, PlanStrategy::kBacktracking);
+
+  options.enable_hybrid = true;
+  plan = MakePlan(MakeQh2(5), options);
+  EXPECT_EQ(plan.strategy, PlanStrategy::kSharpB);
+}
+
+TEST(PlannerTest, PlanCarriesProfileAndCost) {
+  CountingPlan plan = MakePlan(MakeQ0());
+  EXPECT_EQ(plan.analysis.num_atoms, 9u);
+  EXPECT_GT(plan.cost.db_exponent, 0.0);
+  EXPECT_NE(plan.DebugString().find("sharp-hypertree"), std::string::npos);
+}
+
+// --- plan cache --------------------------------------------------------------
+
+TEST(PlanCacheTest, CanonicalizedVariantsHitTheCache) {
+  CountingEngine engine;
+  ConjunctiveQuery a = Parse("Q(A,C) <- s1(A,B), s2(B,C), s3(C,D), s4(D,A)");
+  // The same square, variables renamed and atoms rotated.
+  ConjunctiveQuery b = Parse("Q(X,Z) <- s3(Z,W), s4(W,X), s1(X,Y), s2(Y,Z)");
+
+  CountingEngine::Planned first = engine.Plan(a);
+  EXPECT_FALSE(first.cache_hit);
+  CountingEngine::Planned second = engine.Plan(b);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.plan.get(), second.plan.get());  // literally shared
+
+  PlanCache::Stats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(PlanCacheTest, DifferentOptionsPlanSeparately) {
+  CountingEngine engine;
+  ConjunctiveQuery q = MakeQ1();
+  PlannerOptions narrow;
+  narrow.max_width = 1;
+  PlannerOptions wide;
+  wide.max_width = 2;
+  EXPECT_FALSE(engine.Plan(q, narrow).cache_hit);
+  EXPECT_FALSE(engine.Plan(q, wide).cache_hit);
+  EXPECT_TRUE(engine.Plan(q, narrow).cache_hit);
+  EXPECT_NE(engine.Plan(q, narrow).plan->strategy,
+            PlanStrategy::kSharpHypertree);
+  EXPECT_EQ(engine.Plan(q, wide).plan->strategy,
+            PlanStrategy::kSharpHypertree);
+}
+
+TEST(PlanCacheTest, CachedCountsMatchColdCounts) {
+  CountingEngine engine;
+  ConjunctiveQuery q = MakeQ0();
+  Q0DatabaseParams params;
+  params.seed = 17;
+  Database db = MakeQ0Database(params);
+  CountResult cold = engine.Count(q, db);
+  EXPECT_FALSE(cold.cache_hit);
+  CountResult warm = engine.Count(q, db);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(cold.count, warm.count);
+  EXPECT_EQ(cold.method, warm.method);
+}
+
+TEST(PlanCacheTest, LruEvictionBoundsTheCache) {
+  EngineOptions options;
+  options.plan_cache_capacity = 2;
+  CountingEngine engine(options);
+  engine.Plan(MakeQn1(2));
+  engine.Plan(MakeQn1(3));
+  engine.Plan(MakeQn1(4));  // evicts MakeQn1(2)
+  EXPECT_EQ(engine.cache_stats().size, 2u);
+  EXPECT_EQ(engine.cache_stats().evictions, 1u);
+  EXPECT_FALSE(engine.Plan(MakeQn1(2)).cache_hit);
+  EXPECT_TRUE(engine.Plan(MakeQn1(4)).cache_hit);
+}
+
+// --- execution ---------------------------------------------------------------
+
+TEST(ExecutorTest, AcyclicPs13CountsThePaperFamily) {
+  for (int h : {2, 3, 5}) {
+    ConjunctiveQuery q = MakeQh2(h);
+    Database db = MakeQh2Database(h);
+    CountResult result = CountByAcyclicPs13(q, db);
+    EXPECT_EQ(result.count, CountInt{1} << h) << "h=" << h;
+    EXPECT_EQ(result.method, "acyclic-ps13");
+  }
+}
+
+TEST(ExecutorTest, AcyclicPs13AgreesWithBruteForce) {
+  int counted = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    RandomQueryParams qp;
+    qp.num_vars = 6;
+    qp.num_atoms = 5;
+    qp.max_arity = 3;
+    qp.num_free = 2;
+    qp.force_acyclic = true;
+    qp.seed = seed;
+    ConjunctiveQuery q = MakeRandomQuery(qp);
+    if (!IsAcyclic(q.BuildHypergraph())) continue;
+    RandomDatabaseParams dp;
+    dp.domain = 3;
+    dp.tuples_per_relation = 10;
+    dp.seed = seed * 911;
+    Database db = MakeRandomDatabase(q, dp);
+    ++counted;
+    EXPECT_EQ(CountByAcyclicPs13(q, db).count, CountByBacktracking(q, db))
+        << "seed " << seed;
+  }
+  EXPECT_GT(counted, 15);
+}
+
+TEST(ExecutorTest, EngineCountsQh2ViaPs13WhenWidthBudgetTooSmall) {
+  const int h = 5;  // #-htw > 3, so the structural strategy fails
+  CountingEngine engine;
+  CountResult result = engine.Count(MakeQh2(h), MakeQh2Database(h));
+  EXPECT_EQ(result.method, "acyclic-ps13");
+  EXPECT_EQ(result.count, CountInt{1} << h);
+}
+
+TEST(ExecutorTest, EngineCountsHybridFamilyViaSharpB) {
+  PlannerOptions options;
+  options.max_width = 2;
+  CountingEngine engine;
+  CountResult result =
+      engine.Count(MakeQbarh2(3), MakeQbarh2Database(3, 4), options);
+  EXPECT_EQ(result.count, CountInt{1} << 3);
+  EXPECT_EQ(result.method.rfind("#b-hypertree", 0), 0u) << result.method;
+}
+
+TEST(ExecutorTest, ProvenanceFieldsPopulated) {
+  CountingEngine engine;
+  ConjunctiveQuery q = MakeQ0();
+  Q0DatabaseParams params;
+  Database db = MakeQ0Database(params);
+  CountResult cold = engine.Count(q, db);
+  CountResult warm = engine.Count(q, db);
+  EXPECT_GT(cold.planner_ms, 0.0);
+  EXPECT_GT(cold.execute_ms, 0.0);
+  // The cached call skips AnalyzeQuery and the width searches entirely.
+  EXPECT_LT(warm.planner_ms, cold.planner_ms);
+}
+
+// --- cross-engine agreement ---------------------------------------------------
+//
+// Every strategy must produce the identical CountInt on whatever the random
+// generator produces; the engines differ only in cost, never in answers.
+
+TEST(CrossEngineAgreementTest, AllStrategiesAgreeOnRandomInstances) {
+  CountingEngine engine;  // default: all strategies enabled
+  PlannerOptions sharp_only;
+  sharp_only.enable_acyclic_ps13 = false;
+  sharp_only.enable_hybrid = false;
+  PlannerOptions hybrid;
+  hybrid.enable_acyclic_ps13 = false;
+  hybrid.enable_hybrid = true;
+
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    RandomQueryParams qp;
+    qp.num_vars = 6;
+    qp.num_atoms = 5;
+    qp.max_arity = 3;
+    qp.num_free = 2;
+    qp.num_relations = 3;
+    qp.force_acyclic = (seed % 2 == 0);
+    qp.seed = seed;
+    ConjunctiveQuery q = MakeRandomQuery(qp);
+    RandomDatabaseParams dp;
+    dp.domain = 3;
+    dp.tuples_per_relation = 10;
+    dp.seed = seed * 7919;
+    Database db = MakeRandomDatabase(q, dp);
+
+    const CountInt expected = CountByBacktracking(q, db);
+    EXPECT_EQ(CountByJoinProject(q, db), expected) << "seed " << seed;
+    CountResult full = engine.Count(q, db);
+    EXPECT_EQ(full.count, expected)
+        << "seed " << seed << " via " << full.method;
+    CountResult structural = engine.Count(q, db, sharp_only);
+    EXPECT_EQ(structural.count, expected)
+        << "seed " << seed << " via " << structural.method;
+    CountResult hybrid_result = engine.Count(q, db, hybrid);
+    EXPECT_EQ(hybrid_result.count, expected)
+        << "seed " << seed << " via " << hybrid_result.method;
+    if (IsAcyclic(q.BuildHypergraph()) &&
+        q.free_vars().IsSubsetOf(q.AllVars())) {
+      EXPECT_EQ(CountByAcyclicPs13(q, db).count, expected) << "seed " << seed;
+    }
+  }
+}
+
+TEST(CrossEngineAgreementTest, PaperQueriesAgreeAcrossStrategies) {
+  CountingEngine engine;
+  struct Case {
+    ConjunctiveQuery q;
+    Database db;
+  };
+  std::vector<Case> cases;
+  Q0DatabaseParams q0p;
+  q0p.seed = 3;
+  cases.push_back({MakeQ0(), MakeQ0Database(q0p)});
+  cases.push_back({MakeQ1(), MakeQ1Database(6, 14, 2)});
+  cases.push_back({MakeQn1(4), MakeQn1RandomDatabase(6, 16, 5)});
+  cases.push_back({MakeQh2(3), MakeQh2Database(3)});
+  cases.push_back({MakeQbarh2(2), MakeQbarh2Database(2, 5)});
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CountInt expected = CountByBacktracking(cases[i].q, cases[i].db);
+    CountResult result = engine.Count(cases[i].q, cases[i].db);
+    EXPECT_EQ(result.count, expected)
+        << "case " << i << " via " << result.method;
+  }
+}
+
+}  // namespace
+}  // namespace sharpcq
