@@ -1,0 +1,117 @@
+// Batch counting throughput: single-thread vs N-thread queries/sec on the
+// mixed paper-query workload, driving CountBatch over the engine's
+// work-stealing pool with the sharded plan cache warm (steady-state
+// serving, the ROADMAP's heavy-traffic scenario).
+//
+//   - BM_Batch_Throughput/T     CountBatch of a 64-job mixed workload on a
+//                               T-thread pool (T = 1, 2, 4, 8); the
+//                               queries/sec figure is the acceptance metric
+//                               (>= 2x at T=4 vs T=1 on a >= 4-core host).
+//   - BM_Sequential_Baseline    the same workload as a plain Count loop on
+//                               the caller thread — what T=1 must match.
+//   - BM_Batch_ColdPlanning/T   the same workload with the cache cleared
+//                               every iteration: T threads colliding on
+//                               first-miss planning, which exercises shard
+//                               contention rather than execution scaling.
+//
+// Baseline snapshot: BENCH_batch_throughput.json at the repository root
+// (regenerate with --benchmark_format=json). The committed baseline was
+// recorded on the build container; scaling claims should be read off a
+// host with >= 4 hardware threads (the JSON context records num_cpus).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "gen/paper_queries.h"
+#include "util/check.h"
+
+namespace sharpcq {
+namespace {
+
+// The mixed workload: the four paper shapes of bench_plan_cache, each
+// repeated 16x (64 jobs), so every strategy the planner picks is in the mix
+// and jobs sharing a shape share one cached plan.
+struct Workload {
+  std::vector<Database> databases;
+  std::vector<CountJob> jobs;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  w.databases.reserve(4);
+  Q0DatabaseParams q0_params;
+  q0_params.seed = 7;
+  w.databases.push_back(MakeQ0Database(q0_params));        // Q0: #-htw 2
+  w.databases.push_back(MakeQ1Database(8, 24, 7));         // Q1: #-htw 2
+  w.databases.push_back(MakeQn1RandomDatabase(10, 30, 7)); // Qn1: #-htw 1
+  w.databases.push_back(MakeQh2Database(3));               // Qh2: acyclic-ps13
+  const ConjunctiveQuery queries[4] = {MakeQ0(), MakeQ1(), MakeQn1(5),
+                                       MakeQh2(3)};
+  for (int repeat = 0; repeat < 16; ++repeat) {
+    for (int s = 0; s < 4; ++s) {
+      w.jobs.push_back({queries[s], &w.databases[static_cast<std::size_t>(s)]});
+    }
+  }
+  return w;
+}
+
+void BM_Batch_Throughput(benchmark::State& state) {
+  Workload w = MakeWorkload();
+  EngineOptions options;
+  options.batch_threads = static_cast<std::size_t>(state.range(0));
+  CountingEngine engine(options);
+  engine.CountBatch(w.jobs);  // warm the plan cache and spin up the pool
+  for (auto _ : state) {
+    std::vector<CountResult> results = engine.CountBatch(w.jobs);
+    SHARPCQ_CHECK(results.size() == w.jobs.size());
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.jobs.size()));
+  state.counters["pool_threads"] = static_cast<double>(state.range(0));
+  state.counters["cache_hit_rate"] =
+      static_cast<double>(engine.cache_stats().hits) /
+      static_cast<double>(engine.cache_stats().lookups);
+}
+BENCHMARK(BM_Batch_Throughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_Sequential_Baseline(benchmark::State& state) {
+  Workload w = MakeWorkload();
+  CountingEngine engine;
+  for (const CountJob& job : w.jobs) engine.Count(job.query, *job.db);  // warm
+  for (auto _ : state) {
+    for (const CountJob& job : w.jobs) {
+      CountResult result = engine.Count(job.query, *job.db);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.jobs.size()));
+}
+BENCHMARK(BM_Sequential_Baseline)->Unit(benchmark::kMillisecond);
+
+void BM_Batch_ColdPlanning(benchmark::State& state) {
+  Workload w = MakeWorkload();
+  EngineOptions options;
+  options.batch_threads = static_cast<std::size_t>(state.range(0));
+  CountingEngine engine(options);
+  engine.CountBatch(w.jobs);  // spin up the pool outside the timed region
+  for (auto _ : state) {
+    engine.ClearCache();
+    std::vector<CountResult> results = engine.CountBatch(w.jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.jobs.size()));
+  state.counters["pool_threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Batch_ColdPlanning)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace sharpcq
+
+BENCHMARK_MAIN();

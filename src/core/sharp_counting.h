@@ -24,6 +24,13 @@ struct CountResult {
   double planner_ms = 0.0;
   double execute_ms = 0.0;
   bool cache_hit = false;
+
+  // Sharded plan-cache provenance: the shard this call's lookup hashed to,
+  // and that shard's cumulative hit/miss counters snapshotted under the
+  // shard lock immediately after the lookup (engine/plan_cache.h).
+  std::size_t cache_shard = 0;
+  std::size_t cache_shard_hits = 0;
+  std::size_t cache_shard_misses = 0;
 };
 
 // The Theorem 3.7 algorithm, given a #-decomposition: materializes the

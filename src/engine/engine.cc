@@ -1,11 +1,15 @@
 #include "engine/engine.h"
 
 #include <chrono>
+#include <utility>
+
+#include "util/check.h"
 
 namespace sharpcq {
 
 CountingEngine::CountingEngine(EngineOptions options)
-    : options_(options), cache_(options.plan_cache_capacity) {}
+    : options_(options),
+      cache_(options.plan_cache_capacity, options.plan_cache_shards) {}
 
 CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q) {
   return Plan(q, options_.planner);
@@ -17,12 +21,19 @@ CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q,
   Planned out;
   out.canonical = CanonicalizeQuery(q);
   const std::string key = out.canonical.key + "$" + options.CacheFingerprint();
-  out.plan = cache_.Find(key);
-  if (out.plan != nullptr) {
+  PlanCache::Lookup lookup = cache_.FindWithStats(key);
+  out.cache_shard = lookup.shard;
+  out.cache_shard_hits = lookup.shard_hits;
+  out.cache_shard_misses = lookup.shard_misses;
+  if (lookup.plan != nullptr) {
+    out.plan = std::move(lookup.plan);
     out.cache_hit = true;
   } else {
     // Plan against the canonical query so the artifacts are valid for every
     // query with this shape, whatever its variable names or atom order.
+    // Two threads missing on the same key both plan and both insert; the
+    // duplicate work is tolerated (plans for equal keys are equivalent and
+    // the second insert just replaces the first) — see DESIGN.md.
     out.plan = std::make_shared<const CountingPlan>(
         MakePlan(out.canonical.query, options));
     cache_.Insert(key, out.plan);
@@ -45,7 +56,61 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
   CountResult result = ExecutePlan(*planned.plan, db);
   result.planner_ms = planned.planner_ms;
   result.cache_hit = planned.cache_hit;
+  result.cache_shard = planned.cache_shard;
+  result.cache_shard_hits = planned.cache_shard_hits;
+  result.cache_shard_misses = planned.cache_shard_misses;
   return result;
+}
+
+ThreadPool& CountingEngine::Pool() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.batch_threads);
+  }
+  return *pool_;
+}
+
+std::vector<CountResult> CountingEngine::CountBatch(
+    const std::vector<CountJob>& jobs) {
+  return CountBatch(jobs, options_.planner);
+}
+
+std::vector<CountResult> CountingEngine::CountBatch(
+    const std::vector<CountJob>& jobs, const PlannerOptions& options) {
+  std::vector<CountResult> results(jobs.size());
+  std::vector<std::future<void>> done;
+  done.reserve(jobs.size());
+  ThreadPool& pool = Pool();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SHARPCQ_CHECK_MSG(jobs[i].db != nullptr, "CountJob.db must be set");
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        [this, &jobs, &results, &options, i] {
+          results[i] = Count(jobs[i].query, *jobs[i].db, options);
+        });
+    done.push_back(task->get_future());
+    pool.Submit([task] { (*task)(); });
+  }
+  // Wait for every job before touching any future's result: the tasks
+  // capture jobs/results/options by reference, so no exception may unwind
+  // this frame while a sibling task can still run.
+  for (std::future<void>& f : done) f.wait();
+  for (std::future<void>& f : done) f.get();
+  return results;
+}
+
+std::future<CountResult> CountingEngine::CountAsync(const ConjunctiveQuery& q,
+                                                    const Database& db) {
+  return CountAsync(q, db, options_.planner);
+}
+
+std::future<CountResult> CountingEngine::CountAsync(
+    const ConjunctiveQuery& q, const Database& db,
+    const PlannerOptions& options) {
+  auto task = std::make_shared<std::packaged_task<CountResult()>>(
+      [this, query = q, &db, options] { return Count(query, db, options); });
+  std::future<CountResult> future = task->get_future();
+  Pool().Submit([task] { (*task)(); });
+  return future;
 }
 
 CountingEngine& CountingEngine::Shared() {

@@ -1,7 +1,10 @@
 #ifndef SHARPCQ_ENGINE_ENGINE_H_
 #define SHARPCQ_ENGINE_ENGINE_H_
 
+#include <future>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "core/sharp_counting.h"
 #include "data/database.h"
@@ -10,12 +13,28 @@
 #include "engine/plan_cache.h"
 #include "engine/planner.h"
 #include "query/canonical.h"
+#include "util/thread_pool.h"
 
 namespace sharpcq {
 
 struct EngineOptions {
   PlannerOptions planner;
   std::size_t plan_cache_capacity = 1024;
+  // Requested plan-cache shard count; clamped by capacity so every shard
+  // holds at least PlanCache::kMinShardCapacity plans (small caches keep
+  // one shard and exact LRU order).
+  std::size_t plan_cache_shards = 8;
+  // Worker threads behind CountBatch/CountAsync; 0 = hardware concurrency.
+  // The pool is created lazily on the first batch/async call, so purely
+  // synchronous engines never start threads.
+  std::size_t batch_threads = 0;
+};
+
+// One unit of batch work: count `query` over `*db`. The database is
+// referenced, not copied — it must outlive the CountBatch/CountAsync call.
+struct CountJob {
+  ConjunctiveQuery query;
+  const Database* db = nullptr;
 };
 
 // The unified counting engine: canonicalize -> plan (cached) -> execute.
@@ -26,6 +45,12 @@ struct EngineOptions {
 // pays the Chen–Mengel-style classification once per shape, not once per
 // count. Execution materializes the chosen strategy against a concrete
 // database and is always exact.
+//
+// One engine may be shared freely across threads: the plan cache is
+// sharded and internally locked, plans are immutable once built, and every
+// execution path is a pure function of (plan, database) — see the
+// "Concurrency model" section of DESIGN.md. CountBatch/CountAsync run jobs
+// on the engine's work-stealing thread pool.
 //
 // The legacy facades CountAnswers (core/sharp_counting.h) and
 // CountAnswersWithHybrid (hybrid/hybrid_counting.h) are thin wrappers over
@@ -40,6 +65,21 @@ class CountingEngine {
   CountResult Count(const ConjunctiveQuery& q, const Database& db,
                     const PlannerOptions& options);
 
+  // Counts every job on the batch pool and blocks until all are done;
+  // results are positionally aligned with `jobs`. Jobs sharing a canonical
+  // shape share one cached plan, whichever thread plans it first.
+  std::vector<CountResult> CountBatch(const std::vector<CountJob>& jobs);
+  std::vector<CountResult> CountBatch(const std::vector<CountJob>& jobs,
+                                      const PlannerOptions& options);
+
+  // Fire-and-collect: one job on the batch pool. The query is copied into
+  // the task; `db` is referenced and must outlive the returned future.
+  std::future<CountResult> CountAsync(const ConjunctiveQuery& q,
+                                      const Database& db);
+  std::future<CountResult> CountAsync(const ConjunctiveQuery& q,
+                                      const Database& db,
+                                      const PlannerOptions& options);
+
   // A planning outcome: the (possibly cached) plan plus this call's
   // canonicalization of q, whose variable mapping callers need to translate
   // plan artifacts back to the original variables (e.g. for enumeration).
@@ -48,6 +88,10 @@ class CountingEngine {
     CanonicalForm canonical;
     bool cache_hit = false;
     double planner_ms = 0.0;  // time this call spent planning (≈0 on a hit)
+    // Shard provenance, copied into CountResult by Count.
+    std::size_t cache_shard = 0;
+    std::size_t cache_shard_hits = 0;
+    std::size_t cache_shard_misses = 0;
   };
   Planned Plan(const ConjunctiveQuery& q);
   Planned Plan(const ConjunctiveQuery& q, const PlannerOptions& options);
@@ -61,8 +105,13 @@ class CountingEngine {
   static CountingEngine& Shared();
 
  private:
+  ThreadPool& Pool();
+
   EngineOptions options_;
   PlanCache cache_;
+
+  std::mutex pool_mu_;                // guards lazy pool construction
+  std::unique_ptr<ThreadPool> pool_;  // created on first batch/async call
 };
 
 }  // namespace sharpcq

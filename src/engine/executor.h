@@ -11,6 +11,13 @@ namespace sharpcq {
 // CountingPlan against a concrete database and returns the exact count with
 // provenance (method string, width, execute_ms).
 //
+// Thread safety: ExecutePlan is a pure function of (plan, db) — every
+// scratch structure (materialized bags, join-tree instances, the hybrid
+// degree oracle and memo tables) is call-local, and no reachable code
+// mutates the plan, its query's shared variable NameTable, or the
+// database. Any number of threads may execute one shared plan
+// concurrently; see the "Concurrency model" section of DESIGN.md.
+//
 // Strategy semantics:
 //   kSharpHypertree  Theorem 3.7 over the plan's stored decomposition.
 //   kAcyclicPs13     PS13 over the join tree of the plan's query itself.

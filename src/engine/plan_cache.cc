@@ -1,56 +1,103 @@
 #include "engine/plan_cache.h"
 
+#include <functional>
+
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace sharpcq {
 
-PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
-  SHARPCQ_CHECK_MSG(capacity > 0, "plan cache capacity must be positive");
+std::size_t PlanCache::EffectiveShards(std::size_t capacity,
+                                       std::size_t requested) {
+  if (requested == 0) requested = 1;
+  std::size_t max_shards = capacity / kMinShardCapacity;
+  if (max_shards == 0) max_shards = 1;
+  return requested < max_shards ? requested : max_shards;
 }
 
-std::shared_ptr<const CountingPlan> PlanCache::Find(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return nullptr;
+PlanCache::PlanCache(std::size_t capacity, std::size_t num_shards) {
+  SHARPCQ_CHECK_MSG(capacity > 0, "plan cache capacity must be positive");
+  const std::size_t n = EffectiveShards(capacity, num_shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Split the capacity evenly, first shards taking the remainder, so the
+    // shard capacities always sum to the requested total.
+    shard->capacity = capacity / n + (i < capacity % n ? 1 : 0);
+    shards_.push_back(std::move(shard));
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
-  return it->second->second;
+}
+
+std::size_t PlanCache::ShardOf(const std::string& key) const {
+  // Re-mix std::hash: libstdc++'s string hash is fine, but mixing guards
+  // against shard-count-aliased lower bits.
+  return HashMix(std::hash<std::string>()(key)) % shards_.size();
+}
+
+PlanCache::Lookup PlanCache::FindWithStats(const std::string& key) {
+  Lookup out;
+  out.shard = ShardOf(key);
+  Shard& shard = *shards_[out.shard];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.lookups;
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+  } else {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.stats.hits;
+    out.plan = it->second->second;
+  }
+  out.shard_hits = shard.stats.hits;
+  out.shard_misses = shard.stats.misses;
+  return out;
 }
 
 void PlanCache::Insert(const std::string& key,
                        std::shared_ptr<const CountingPlan> plan) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     it->second->second = std::move(plan);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(plan));
-  index_[key] = lru_.begin();
-  ++stats_.insertions;
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
+  shard.lru.emplace_front(key, std::move(plan));
+  shard.index[key] = shard.lru.begin();
+  ++shard.stats.insertions;
+  if (shard.lru.size() > shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Stats out = stats_;
-  out.size = lru_.size();
+  Stats out;
+  out.shards.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ShardStats s = shard->stats;
+    s.size = shard->lru.size();
+    out.lookups += s.lookups;
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.insertions += s.insertions;
+    out.evictions += s.evictions;
+    out.size += s.size;
+    out.shards.push_back(s);
+  }
   return out;
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  index_.clear();
-  stats_ = Stats{};
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->stats = ShardStats{};
+  }
 }
 
 }  // namespace sharpcq

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/plan.h"
 
@@ -15,39 +16,93 @@ namespace sharpcq {
 // planner-policy fingerprint (query/canonical.h). Planning is FPT in the
 // query but pays core computation and width searches; a service answering
 // repeated query shapes should pay that once, which is the point of the
-// engine split. Thread-safe; plans are immutable once inserted and shared
-// by reference.
+// engine split.
+//
+// The cache is sharded by canonical-form hash so concurrent planners touch
+// disjoint mutexes: each shard is an independent LRU with its own lock and
+// its own hit/miss/insert/evict counters (mutated only under that lock, so
+// the statistics are race-free by construction). Total capacity is divided
+// across the shards; small caches collapse to one shard to keep exact
+// global LRU semantics (see EffectiveShards). Plans are immutable once
+// inserted and shared by reference, so a plan evicted while another thread
+// executes it stays alive through the shared_ptr.
 class PlanCache {
  public:
-  explicit PlanCache(std::size_t capacity = 1024);
-
-  // The cached plan for `key`, refreshing its LRU position; nullptr on miss.
-  std::shared_ptr<const CountingPlan> Find(const std::string& key);
-
-  // Inserts (or replaces) the plan for `key`, evicting the least recently
-  // used entry when over capacity.
-  void Insert(const std::string& key,
-              std::shared_ptr<const CountingPlan> plan);
-
-  struct Stats {
+  // Statistics for one shard, all mutated under that shard's mutex.
+  // lookups == hits + misses is an invariant the concurrency tests assert.
+  struct ShardStats {
+    std::size_t lookups = 0;
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t insertions = 0;
     std::size_t evictions = 0;
     std::size_t size = 0;
   };
+
+  // Aggregate over the shards, plus the per-shard breakdown.
+  struct Stats {
+    std::size_t lookups = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+    std::size_t size = 0;
+    std::vector<ShardStats> shards;
+  };
+
+  explicit PlanCache(std::size_t capacity = 1024, std::size_t num_shards = 8);
+
+  // A lookup outcome with provenance: which shard served it and that
+  // shard's counters immediately after the lookup (snapshotted under the
+  // shard lock, so hits+misses == lookups holds in every snapshot).
+  struct Lookup {
+    std::shared_ptr<const CountingPlan> plan;  // nullptr on miss
+    std::size_t shard = 0;
+    std::size_t shard_hits = 0;
+    std::size_t shard_misses = 0;
+  };
+  Lookup FindWithStats(const std::string& key);
+
+  // The cached plan for `key`, refreshing its LRU position; nullptr on miss.
+  std::shared_ptr<const CountingPlan> Find(const std::string& key) {
+    return FindWithStats(key).plan;
+  }
+
+  // Inserts (or replaces) the plan for `key`, evicting the shard's least
+  // recently used entry when the shard is over capacity.
+  void Insert(const std::string& key,
+              std::shared_ptr<const CountingPlan> plan);
+
   Stats stats() const;
 
+  std::size_t num_shards() const { return shards_.size(); }
+  // The shard `key` maps to (stable across calls; exposed for tests).
+  std::size_t ShardOf(const std::string& key) const;
+
   void Clear();
+
+  // How many shards a cache of `capacity` actually gets: `requested`
+  // clamped so every shard holds at least kMinShardCapacity entries.
+  // Sharding buys lock spreading only when the cache is large; a small
+  // cache keeps one shard and therefore exact global LRU order.
+  static std::size_t EffectiveShards(std::size_t capacity,
+                                     std::size_t requested);
+  static constexpr std::size_t kMinShardCapacity = 16;
 
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const CountingPlan>>;
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  Stats stats_;
+  // One independent LRU. unique_ptr keeps Shard addresses stable in the
+  // vector (std::mutex is immovable).
+  struct Shard {
+    mutable std::mutex mu;
+    std::size_t capacity = 0;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    ShardStats stats;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace sharpcq

@@ -22,7 +22,9 @@ namespace sharpcq {
 //   4. kBacktracking    otherwise.
 //
 // The returned plan is valid for every database and is what the engine's
-// PlanCache stores.
+// PlanCache stores. MakePlan touches no shared state (concurrent calls are
+// safe, even on the same query); a finished plan is immutable — published
+// as shared_ptr<const CountingPlan> and safe to execute from any thread.
 CountingPlan MakePlan(const ConjunctiveQuery& q,
                       const PlannerOptions& options = {});
 

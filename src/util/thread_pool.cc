@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+namespace sharpcq {
+
+namespace {
+
+thread_local const ThreadPool* current_pool = nullptr;
+thread_local std::size_t current_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  std::size_t target;
+  if (current_pool == this) {
+    // Submitted from inside a task: keep the chain on this worker's queue.
+    target = current_worker;
+  } else {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(std::size_t worker_index) {
+  const std::size_t n = queues_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = (worker_index + step) % n;
+    std::lock_guard<std::mutex> lock(queues_[i]->mu);
+    if (queues_[i]->tasks.empty()) continue;
+    std::function<void()> task;
+    if (step == 0) {  // own queue: LIFO for locality
+      task = std::move(queues_[i]->tasks.back());
+      queues_[i]->tasks.pop_back();
+    } else {  // steal: FIFO, taking the oldest (likely largest) work
+      task = std::move(queues_[i]->tasks.front());
+      queues_[i]->tasks.pop_front();
+    }
+    return task;
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  current_pool = this;
+  current_worker = worker_index;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [this] { return pending_ > 0 || stop_; });
+      if (pending_ == 0 && stop_) return;
+      // Claim one unit of pending work; the matching task is in some queue.
+      --pending_;
+    }
+    // A sibling racing this claim may have taken a task pushed after our
+    // claim, leaving our unit's task in a queue we already scanned past. A
+    // failed take therefore returns the claim so the task is never
+    // stranded; the retry rescans and must eventually find it (tasks never
+    // move between queues).
+    std::function<void()> task = TakeTask(worker_index);
+    if (task) {
+      task();
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        ++pending_;
+      }
+      wake_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,69 @@
+#ifndef SHARPCQ_UTIL_THREAD_POOL_H_
+#define SHARPCQ_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sharpcq {
+
+// A small work-stealing thread pool for the engine's batch counting paths.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and
+// steals FIFO from siblings when idle, so a burst of submissions landing on
+// one queue still spreads across the pool. Submissions round-robin across
+// the worker queues; a worker submitting from inside a task pushes to its
+// own queue, keeping plan-then-execute chains on one core.
+//
+// Tasks are fire-and-forget std::function<void()>; callers wanting results
+// wrap a promise (see CountingEngine::CountAsync). Tasks must not block on
+// other tasks submitted to the same pool — counting jobs are independent by
+// construction, which is all the engine needs.
+class ThreadPool {
+ public:
+  // num_threads = 0 means std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  // Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; wakes one sleeping worker.
+  void Submit(std::function<void()> task);
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t worker_index);
+  // Pops from own queue (back = LIFO), else steals (front = FIFO) from the
+  // sibling queues starting after worker_index. Empty function on failure.
+  std::function<void()> TakeTask(std::size_t worker_index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake machinery: pending_ counts queued-but-not-taken tasks so a
+  // notify racing with a worker going to sleep is never lost.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+
+  std::size_t next_queue_ = 0;  // round-robin cursor, guarded by wake_mu_
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_UTIL_THREAD_POOL_H_

@@ -1,0 +1,152 @@
+// The differential oracle: the paper's strategy split (acyclic PS13,
+// #-hypertree decompositions, hybrid #b, backtracking) gives several
+// independent code paths that must agree on every count. This suite runs
+// ~200 random query/database pairs through every applicable strategy and
+// asserts they all return the brute-force answer — the honesty check behind
+// the concurrent batch engine, whose jobs may be served by any strategy a
+// cached plan picked.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/enumerate_answers.h"
+#include "count/enumeration.h"
+#include "engine/engine.h"
+#include "gen/random_gen.h"
+#include "hypergraph/acyclic.h"
+#include "tests/test_util.h"
+
+namespace sharpcq {
+namespace {
+
+struct OracleCase {
+  ConjunctiveQuery query;
+  Database db;
+  std::uint64_t seed = 0;
+};
+
+// A deterministic mixed workload: acyclic and cyclic shapes, varying
+// variable/atom/arity/free budgets, small databases (brute force is the
+// oracle, so instances must stay enumerable).
+std::vector<OracleCase> MakeCases(std::uint64_t first_seed,
+                                  std::uint64_t last_seed) {
+  std::vector<OracleCase> cases;
+  for (std::uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+    RandomQueryParams qp;
+    qp.num_vars = 4 + static_cast<int>(seed % 3);       // 4..6
+    qp.num_atoms = 3 + static_cast<int>(seed % 3);      // 3..5
+    qp.max_arity = 2 + static_cast<int>(seed % 2);      // 2..3
+    qp.num_free = 1 + static_cast<int>(seed % 3);       // 1..3
+    qp.num_relations = 2 + static_cast<int>(seed % 3);  // 2..4
+    qp.force_acyclic = (seed % 2 == 0);
+    qp.seed = seed;
+    OracleCase c;
+    c.query = MakeRandomQuery(qp);
+    RandomDatabaseParams dp;
+    dp.domain = 3;
+    dp.tuples_per_relation = 8 + static_cast<int>(seed % 5);
+    dp.seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    c.db = MakeRandomDatabase(c.query, dp);
+    c.seed = seed;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+// Which optional strategies a case exercised (the always-applicable ones
+// run unconditionally).
+struct Exercised {
+  bool ps13 = false;
+  bool enumeration = false;
+};
+
+// Runs every applicable strategy on one case against the backtracking
+// oracle.
+Exercised CheckAllStrategiesAgree(const OracleCase& c, CountingEngine* engine) {
+  const CountInt expected = CountByBacktracking(c.query, c.db);
+  Exercised exercised;
+
+  // Second independent brute force: join-then-project.
+  EXPECT_EQ(CountByJoinProject(c.query, c.db), expected) << "seed " << c.seed;
+
+  // The engine's default policy (whatever strategy the planner picked).
+  CountResult full = engine->Count(c.query, c.db);
+  EXPECT_EQ(full.count, expected)
+      << "seed " << c.seed << " via " << full.method;
+
+  // Structural-only policy: #-hypertree or backtracking.
+  PlannerOptions sharp_only;
+  sharp_only.enable_acyclic_ps13 = false;
+  sharp_only.enable_hybrid = false;
+  CountResult structural = engine->Count(c.query, c.db, sharp_only);
+  EXPECT_EQ(structural.count, expected)
+      << "seed " << c.seed << " via " << structural.method;
+
+  // Hybrid #b policy (execution-time decomposition search).
+  PlannerOptions hybrid;
+  hybrid.enable_acyclic_ps13 = false;
+  hybrid.enable_hybrid = true;
+  CountResult hybrid_result = engine->Count(c.query, c.db, hybrid);
+  EXPECT_EQ(hybrid_result.count, expected)
+      << "seed " << c.seed << " via " << hybrid_result.method;
+
+  // Direct PS13 on the query's own join tree, when acyclic and every free
+  // variable occurs in an atom (the executor's precondition).
+  if (IsAcyclic(c.query.BuildHypergraph()) &&
+      c.query.free_vars().IsSubsetOf(c.query.AllVars())) {
+    EXPECT_EQ(CountByAcyclicPs13(c.query, c.db).count, expected)
+        << "seed " << c.seed;
+    exercised.ps13 = true;
+  }
+
+  // Enumeration through a #-hypertree decomposition must emit exactly
+  // `expected` answers when a width-3 decomposition exists.
+  std::optional<std::size_t> enumerated = EnumerateAnswers(
+      c.query, c.db, /*k=*/3, [](const std::vector<Value>&) { return true; });
+  if (enumerated.has_value()) {
+    EXPECT_EQ(CountInt{*enumerated}, expected) << "seed " << c.seed;
+    exercised.enumeration = true;
+  }
+  return exercised;
+}
+
+TEST(DifferentialOracleTest, TwoHundredRandomInstancesAgreeEverywhere) {
+  CountingEngine engine;
+  std::vector<OracleCase> cases = MakeCases(1, 200);
+  ASSERT_EQ(cases.size(), 200u);
+  int ps13_applicable = 0;
+  int enumerable = 0;
+  for (const OracleCase& c : cases) {
+    Exercised exercised = CheckAllStrategiesAgree(c, &engine);
+    if (exercised.ps13) ++ps13_applicable;
+    if (exercised.enumeration) ++enumerable;
+  }
+  // The workload must actually exercise the optional strategies, not just
+  // the always-applicable ones.
+  EXPECT_GT(ps13_applicable, 50);
+  EXPECT_GT(enumerable, 25);
+}
+
+TEST(DifferentialOracleTest, BatchAgreesWithSequentialOnMixedWorkload) {
+  // The concurrent batch path must return exactly what one-at-a-time
+  // counting returns, in job order.
+  EngineOptions options;
+  options.batch_threads = 4;
+  CountingEngine engine(options);
+  std::vector<OracleCase> cases = MakeCases(201, 240);
+
+  std::vector<CountJob> jobs;
+  jobs.reserve(cases.size());
+  for (const OracleCase& c : cases) jobs.push_back({c.query, &c.db});
+  std::vector<CountResult> results = engine.CountBatch(jobs);
+
+  ASSERT_EQ(results.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(results[i].count, CountByBacktracking(cases[i].query, cases[i].db))
+        << "seed " << cases[i].seed << " via " << results[i].method;
+  }
+}
+
+}  // namespace
+}  // namespace sharpcq

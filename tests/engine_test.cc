@@ -125,6 +125,91 @@ TEST(PlanCacheTest, CachedCountsMatchColdCounts) {
   EXPECT_EQ(cold.method, warm.method);
 }
 
+TEST(PlanCacheTest, ShardCountCollapsesForSmallCapacities) {
+  // Sharding spreads locks only when each shard can hold a useful number of
+  // plans; small caches keep one shard and exact global LRU order.
+  EXPECT_EQ(PlanCache::EffectiveShards(1, 8), 1u);
+  EXPECT_EQ(PlanCache::EffectiveShards(2, 8), 1u);
+  EXPECT_EQ(PlanCache::EffectiveShards(16, 8), 1u);
+  EXPECT_EQ(PlanCache::EffectiveShards(64, 8), 4u);
+  EXPECT_EQ(PlanCache::EffectiveShards(1024, 8), 8u);
+  EXPECT_EQ(PlanCache::EffectiveShards(1024, 0), 1u);
+  EXPECT_EQ(PlanCache::EffectiveShards(1024, 3), 3u);
+}
+
+TEST(PlanCacheTest, ShardedStatsAggregateAcrossShards) {
+  PlanCache cache(/*capacity=*/1024, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  auto plan = std::make_shared<const CountingPlan>();
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(cache.Find(key), nullptr);
+    cache.Insert(key, plan);
+    EXPECT_EQ(cache.Find(key).get(), plan.get());
+    EXPECT_EQ(cache.ShardOf(key), cache.ShardOf(key));  // stable
+  }
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 128u);
+  EXPECT_EQ(stats.hits, 64u);
+  EXPECT_EQ(stats.misses, 64u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.size, 64u);
+  EXPECT_EQ(stats.shards.size(), 8u);
+  std::size_t shard_sum = 0;
+  std::size_t used_shards = 0;
+  for (const PlanCache::ShardStats& s : stats.shards) {
+    EXPECT_EQ(s.hits + s.misses, s.lookups);
+    shard_sum += s.size;
+    if (s.lookups > 0) ++used_shards;
+  }
+  EXPECT_EQ(shard_sum, stats.size);
+  EXPECT_GT(used_shards, 1u);  // 64 keys must not all hash to one shard
+}
+
+TEST(PlanCacheTest, LookupProvenanceSnapshotsTheServingShard) {
+  CountingEngine engine;
+  ConjunctiveQuery q = MakeQ1();
+  Database db = MakeQ1Database(6, 14, 2);
+  CountResult cold = engine.Count(q, db);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.cache_shard_misses, 1u);
+  EXPECT_EQ(cold.cache_shard_hits, 0u);
+  CountResult warm = engine.Count(q, db);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.cache_shard, cold.cache_shard);
+  EXPECT_EQ(warm.cache_shard_hits, 1u);
+  EXPECT_EQ(warm.cache_shard_misses, 1u);
+}
+
+TEST(PlanCacheTest, CachedPlansSurviveEvictionPressure) {
+  // capacity=1 thrash regression: two shapes alternately evict each other,
+  // while a caller still holds the evicted plan. The shared_ptr must keep
+  // the plan alive and executable, and the counts must stay exact.
+  EngineOptions options;
+  options.plan_cache_capacity = 1;
+  CountingEngine engine(options);
+  ConjunctiveQuery q1 = MakeQ1();
+  Database db1 = MakeQ1Database(6, 14, 2);
+  ConjunctiveQuery q2 = MakeQn1(3);
+  Database db2 = MakeQn1RandomDatabase(6, 16, 5);
+  const CountInt expected1 = engine.Count(q1, db1).count;
+
+  // Hold q1's plan, then thrash it out of the cache repeatedly.
+  CountingEngine::Planned held = engine.Plan(q1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(engine.Count(q2, db2).cache_hit);  // q1 just evicted it
+    EXPECT_FALSE(engine.Count(q1, db1).cache_hit);
+    EXPECT_EQ(engine.Count(q1, db1).count, expected1);
+  }
+  PlanCache::Stats stats = engine.cache_stats();
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_GT(stats.evictions, 10u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+
+  // The long-evicted plan still executes correctly.
+  EXPECT_EQ(ExecutePlan(*held.plan, db1).count, expected1);
+}
+
 TEST(PlanCacheTest, LruEvictionBoundsTheCache) {
   EngineOptions options;
   options.plan_cache_capacity = 2;
