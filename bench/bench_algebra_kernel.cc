@@ -1,0 +1,212 @@
+// The relational kernel (algebra/) against the legacy by-value VarRelation
+// algebra on the workload the ISSUE-3 refactor targets: semijoin-heavy
+// full-reducer fixpoints, where the legacy operators rebuild a hash index
+// and deep-copy the surviving rows on every single semijoin, while the
+// kernel reuses each table's cached index and returns shared (copy-free)
+// handles for semijoins that remove nothing.
+//
+//   - BM_Semijoin_{Legacy,Kernel}     one repeated semijoin against a fixed
+//                                     right-hand side (index cached vs
+//                                     rebuilt per call);
+//   - BM_FullReducer_{Legacy,Kernel}  materialize + pairwise-consistency
+//                                     fixpoint (solver/consistency.h) on a
+//                                     pruning chain of views, each side
+//                                     paying its own ingest path — the E20
+//                                     experiment. CI gates legacy >= 2x
+//                                     kernel time;
+//   - BM_CountedProjection_{Legacy,Kernel}
+//                                     |pi_F(r)| by materialize+dedup vs the
+//                                     kernel's streamed group count.
+//
+// Baseline snapshot: BENCH_algebra_kernel.json at the repository root
+// (regenerate with --benchmark_format=json).
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "algebra/rel.h"
+#include "data/var_relation.h"
+#include "solver/consistency.h"
+
+namespace sharpcq {
+namespace {
+
+constexpr int kChainViews = 8;
+constexpr int kRowsPerView = 2000;
+constexpr Value kDomain = 64;
+
+// Raw tuples for a chain of binary views v_i -- v_{i+1}. The tail view's
+// first column is restricted to a slice of the domain, so consistency
+// enforcement prunes backwards over several fixpoint rounds — most pair
+// semijoins in the later rounds remove nothing, which is exactly where the
+// index cache and the no-op sharing pay off.
+struct RawView {
+  IdSet vars;
+  std::vector<std::array<Value, 2>> rows;
+};
+
+std::vector<RawView> MakeChainRows() {
+  std::mt19937_64 rng(12345);
+  std::uniform_int_distribution<Value> value(0, kDomain - 1);
+  std::vector<RawView> views;
+  views.reserve(kChainViews);
+  for (int i = 0; i < kChainViews; ++i) {
+    RawView view;
+    view.vars = IdSet{static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(i + 1)};
+    const bool tail = i == kChainViews - 1;
+    view.rows.reserve(kRowsPerView);
+    for (int t = 0; t < kRowsPerView; ++t) {
+      Value a = value(rng);
+      if (tail) a /= 2;  // restrict: forces pruning up the chain
+      view.rows.push_back({a, value(rng)});
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+// Each side's own materialization path, as its strategies ingest bags:
+// by-value relation + sort dedup (legacy) vs table build + hash dedup
+// (kernel). Both are timed, so every benchmark iteration is independent —
+// no kernel index cache survives between iterations.
+std::vector<VarRelation> BuildLegacyViews(const std::vector<RawView>& raw) {
+  std::vector<VarRelation> views;
+  views.reserve(raw.size());
+  for (const RawView& r : raw) {
+    VarRelation view(r.vars);
+    for (const auto& row : r.rows) {
+      view.rel().AddRow(std::span<const Value>(row));
+    }
+    view.rel().Dedup();
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+std::vector<Rel> BuildKernelViews(const std::vector<RawView>& raw) {
+  std::vector<Rel> views;
+  views.reserve(raw.size());
+  for (const RawView& r : raw) {
+    TableBuilder builder(2);
+    builder.ReserveRows(r.rows.size());
+    for (const auto& row : r.rows) {
+      builder.AddRow(std::span<const Value>(row));
+    }
+    views.emplace_back(r.vars, std::move(builder).Build());
+  }
+  return views;
+}
+
+// The pre-kernel pairwise-consistency fixpoint, verbatim: by-value
+// VarRelation semijoins that rebuild the right-hand index on every call.
+bool LegacyEnforcePairwiseConsistency(std::vector<VarRelation>* views) {
+  const std::size_t n = views->size();
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && (*views)[i].vars().Intersects((*views)[j].vars())) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto [i, j] : pairs) {
+      bool local = false;
+      (*views)[i] = Semijoin((*views)[i], (*views)[j], &local);
+      if (local) {
+        changed = true;
+        if ((*views)[i].empty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void BM_Semijoin_Legacy(benchmark::State& state) {
+  std::vector<VarRelation> views = BuildLegacyViews(MakeChainRows());
+  const VarRelation& a = views[0];
+  const VarRelation& b = views[1];
+  for (auto _ : state) {
+    VarRelation kept = Semijoin(a, b);
+    benchmark::DoNotOptimize(kept.size());
+  }
+}
+BENCHMARK(BM_Semijoin_Legacy);
+
+// Steady-state semijoin against a stable right-hand side (the shape of a
+// fixpoint round): the kernel serves b's index from the cache, the legacy
+// operator rebuilds it per call.
+void BM_Semijoin_Kernel(benchmark::State& state) {
+  std::vector<Rel> views = BuildKernelViews(MakeChainRows());
+  const Rel& a = views[0];
+  const Rel& b = views[1];
+  for (auto _ : state) {
+    Rel kept = Semijoin(a, b);
+    benchmark::DoNotOptimize(kept.size());
+  }
+}
+BENCHMARK(BM_Semijoin_Kernel);
+
+void BM_FullReducer_Legacy(benchmark::State& state) {
+  const std::vector<RawView> raw = MakeChainRows();
+  std::size_t surviving = 0;
+  for (auto _ : state) {
+    std::vector<VarRelation> views = BuildLegacyViews(raw);
+    bool ok = LegacyEnforcePairwiseConsistency(&views);
+    benchmark::DoNotOptimize(ok);
+    surviving = views[0].size();
+  }
+  state.counters["surviving_rows"] =
+      static_cast<double>(surviving);
+}
+BENCHMARK(BM_FullReducer_Legacy);
+
+void BM_FullReducer_Kernel(benchmark::State& state) {
+  const std::vector<RawView> raw = MakeChainRows();
+  std::size_t surviving = 0;
+  for (auto _ : state) {
+    std::vector<Rel> views = BuildKernelViews(raw);
+    bool ok = EnforcePairwiseConsistency(&views);
+    benchmark::DoNotOptimize(ok);
+    surviving = views[0].size();
+  }
+  state.counters["surviving_rows"] =
+      static_cast<double>(surviving);
+}
+BENCHMARK(BM_FullReducer_Kernel);
+
+void BM_CountedProjection_Legacy(benchmark::State& state) {
+  std::vector<VarRelation> views = BuildLegacyViews(MakeChainRows());
+  const VarRelation& r = views[0];
+  const IdSet onto{0};
+  for (auto _ : state) {
+    std::size_t distinct = Project(r, onto).size();
+    benchmark::DoNotOptimize(distinct);
+  }
+}
+BENCHMARK(BM_CountedProjection_Legacy);
+
+// Steady-state distinct count on a stable relation: after the first call
+// the group index is cached and the count is a lookup.
+void BM_CountedProjection_Kernel(benchmark::State& state) {
+  std::vector<Rel> views = BuildKernelViews(MakeChainRows());
+  const Rel& r = views[0];
+  const IdSet onto{0};
+  for (auto _ : state) {
+    std::size_t distinct = DistinctCount(r, onto);
+    benchmark::DoNotOptimize(distinct);
+  }
+}
+BENCHMARK(BM_CountedProjection_Kernel);
+
+}  // namespace
+}  // namespace sharpcq
+
+BENCHMARK_MAIN();

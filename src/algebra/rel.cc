@@ -1,0 +1,197 @@
+#include "algebra/rel.h"
+
+#include <algorithm>
+
+namespace sharpcq {
+
+Rel::Rel(const VarRelation& legacy) : vars_(legacy.vars()) {
+  TableBuilder builder(legacy.rel().arity());
+  builder.ReserveRows(legacy.size());
+  const std::size_t n = legacy.size();
+  for (std::size_t i = 0; i < n; ++i) builder.AddRow(legacy.rel().Row(i));
+  table_ = std::move(builder).Build();
+}
+
+Rel Rel::Unit() {
+  TableBuilder builder(0);
+  builder.AddRow(std::span<const Value>{});
+  return Rel(IdSet{}, std::move(builder).Build(/*known_distinct=*/true));
+}
+
+int Rel::ColumnOf(std::uint32_t var) const {
+  const auto& ids = vars_.ids();
+  auto it = std::lower_bound(ids.begin(), ids.end(), var);
+  SHARPCQ_CHECK_MSG(it != ids.end() && *it == var,
+                    "variable not in relation schema");
+  return static_cast<int>(it - ids.begin());
+}
+
+std::string Rel::DebugString() const {
+  return vars_.ToString() + table_->DebugString();
+}
+
+std::vector<int> ColumnsOf(const Rel& r, const IdSet& vars) {
+  std::vector<int> cols;
+  cols.reserve(vars.size());
+  for (std::uint32_t v : vars) cols.push_back(r.ColumnOf(v));
+  return cols;
+}
+
+Rel Project(const Rel& r, const IdSet& onto) {
+  SHARPCQ_CHECK_MSG(onto.IsSubsetOf(r.vars()), "Project: onto not a subset");
+  if (onto == r.vars()) return r;  // identity: share the table
+  std::vector<int> cols = ColumnsOf(r, onto);
+  std::shared_ptr<const TableIndex> index = r.table()->IndexOn(cols);
+
+  TableBuilder builder(static_cast<int>(cols.size()));
+  builder.ReserveRows(index->num_groups());
+  for (std::size_t g = 0; g < index->num_groups(); ++g) {
+    builder.AddRow(index->group_key(g));
+  }
+  return Rel(onto, std::move(builder).Build(/*known_distinct=*/true));
+}
+
+Rel Join(const Rel& a, const Rel& b) {
+  IdSet shared = Intersect(a.vars(), b.vars());
+  IdSet out_vars = Union(a.vars(), b.vars());
+
+  // Position of every output column in a (or b for b-only vars).
+  std::vector<int> from_a(out_vars.size(), -1);
+  std::vector<int> from_b(out_vars.size(), -1);
+  {
+    std::size_t i = 0;
+    for (std::uint32_t v : out_vars) {
+      if (a.vars().Contains(v)) {
+        from_a[i] = a.ColumnOf(v);
+      } else {
+        from_b[i] = b.ColumnOf(v);
+      }
+      ++i;
+    }
+  }
+
+  std::shared_ptr<const TableIndex> index =
+      b.table()->IndexOn(ColumnsOf(b, shared));
+  std::vector<int> a_shared_cols = ColumnsOf(a, shared);
+  std::vector<Value> key(shared.size());
+  std::vector<Value> row(out_vars.size());
+  TableBuilder builder(static_cast<int>(out_vars.size()));
+  const Table& ta = *a.table();
+  const Table& tb = *b.table();
+  const std::size_t n = ta.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < a_shared_cols.size(); ++j) {
+      key[j] = ta.at(i, a_shared_cols[j]);
+    }
+    std::span<const std::uint32_t> matches = index->Lookup(key);
+    for (std::uint32_t bid : matches) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        row[c] = from_a[c] >= 0 ? ta.at(i, from_a[c]) : tb.at(bid, from_b[c]);
+      }
+      builder.AddRow(row);
+    }
+  }
+  // Distinct inputs produce distinct join rows: an output row determines
+  // its (a-row, b-row) pair by projection, so no dedup pass is needed.
+  return Rel(std::move(out_vars),
+             std::move(builder).Build(/*known_distinct=*/true));
+}
+
+Rel Semijoin(const Rel& a, const Rel& b, bool* changed) {
+  IdSet shared = Intersect(a.vars(), b.vars());
+  std::shared_ptr<const TableIndex> index =
+      b.table()->IndexOn(ColumnsOf(b, shared));
+  std::vector<int> a_shared_cols = ColumnsOf(a, shared);
+  std::vector<Value> key(shared.size());
+  const Table& ta = *a.table();
+  const std::size_t n = ta.rows();
+  std::vector<std::uint32_t> kept;
+  kept.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < a_shared_cols.size(); ++j) {
+      key[j] = ta.at(i, a_shared_cols[j]);
+    }
+    if (!index->Lookup(key).empty()) {
+      kept.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (kept.size() == n) {
+    if (changed != nullptr) *changed = false;
+    return a;  // nothing removed: share the table and its cached indexes
+  }
+  if (changed != nullptr) *changed = true;
+  return Rel(a.vars(), Table::Gather(ta, kept));
+}
+
+Rel SelectEqual(const Rel& r, std::uint32_t var, Value value) {
+  const int col = r.ColumnOf(var);
+  std::shared_ptr<const TableIndex> index = r.table()->IndexOn({col});
+  const Value key[1] = {value};
+  std::span<const std::uint32_t> matches =
+      index->Lookup(std::span<const Value>(key, 1));
+  if (matches.empty()) return Rel(r.vars());
+  if (matches.size() == r.size()) return r;
+  return Rel(r.vars(), Table::Gather(*r.table(), matches));
+}
+
+bool SameRel(const Rel& a, const Rel& b) {
+  if (a.vars() != b.vars()) return false;
+  if (a.size() != b.size()) return false;
+  if (a.table() == b.table()) return true;
+  std::vector<int> all(static_cast<std::size_t>(a.table()->arity()));
+  for (std::size_t c = 0; c < all.size(); ++c) all[c] = static_cast<int>(c);
+  std::shared_ptr<const TableIndex> index = b.table()->IndexOn(all);
+  std::vector<Value> row(all.size());
+  const Table& ta = *a.table();
+  for (std::size_t i = 0; i < ta.rows(); ++i) {
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] = ta.at(i, c);
+    if (index->Lookup(row).empty()) return false;
+  }
+  // Both sides are sets of equal cardinality, so containment is equality.
+  return true;
+}
+
+CountedProjection ProjectCounted(const Rel& r, const IdSet& onto) {
+  SHARPCQ_CHECK_MSG(onto.IsSubsetOf(r.vars()),
+                    "ProjectCounted: onto not a subset");
+  std::vector<int> cols = ColumnsOf(r, onto);
+  std::shared_ptr<const TableIndex> index = r.table()->IndexOn(cols);
+
+  CountedProjection out;
+  TableBuilder builder(static_cast<int>(cols.size()));
+  builder.ReserveRows(index->num_groups());
+  out.counts.reserve(index->num_groups());
+  for (std::size_t g = 0; g < index->num_groups(); ++g) {
+    builder.AddRow(index->group_key(g));
+    out.counts.push_back(CountInt{index->group_rows(g).size()});
+  }
+  out.keys = Rel(onto, std::move(builder).Build(/*known_distinct=*/true));
+  return out;
+}
+
+std::size_t DistinctCount(const Rel& r, const IdSet& onto) {
+  SHARPCQ_CHECK_MSG(onto.IsSubsetOf(r.vars()),
+                    "DistinctCount: onto not a subset");
+  return r.table()->IndexOn(ColumnsOf(r, onto))->num_groups();
+}
+
+std::size_t MaxGroupSize(const Rel& r, const IdSet& onto) {
+  if (r.empty()) return 0;
+  IdSet key_vars = Intersect(r.vars(), onto);
+  return r.table()->IndexOn(ColumnsOf(r, key_vars))->max_group_size();
+}
+
+VarRelation ToVarRelation(const Rel& r) {
+  VarRelation out(r.vars());
+  const Table& t = *r.table();
+  std::vector<Value> row(static_cast<std::size_t>(t.arity()));
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] = t.at(i, static_cast<int>(c));
+    }
+    out.rel().AddRow(row);
+  }
+  return out;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,195 @@
+#include "algebra/table.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace sharpcq {
+
+namespace {
+
+std::size_t SlotCapacityFor(std::size_t rows) {
+  std::size_t capacity = 16;
+  while (capacity < rows * 2 + 2) capacity <<= 1;
+  return capacity;
+}
+
+}  // namespace
+
+TableIndex::TableIndex(const Table& table, std::vector<int> key_columns)
+    : key_columns_(std::move(key_columns)), width_(key_columns_.size()) {
+  for (int c : key_columns_) SHARPCQ_CHECK(c >= 0 && c < table.arity());
+  const std::size_t n = table.rows();
+  const std::size_t capacity = SlotCapacityFor(n);
+  slots_.assign(capacity, 0);
+  mask_ = capacity - 1;
+
+  // Pass 1: assign every row a group id, appending each fresh key to the
+  // flat key buffer. group_of and the per-group counts are the only scratch.
+  std::vector<std::uint32_t> group_of(n);
+  std::vector<std::uint32_t> counts;
+  std::vector<Value> key(width_);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < width_; ++j) {
+      key[j] = table.at(i, key_columns_[j]);
+    }
+    std::size_t slot = FindSlot(key);
+    if (slots_[slot] == 0) {
+      keys_.insert(keys_.end(), key.begin(), key.end());
+      counts.push_back(0);
+      slots_[slot] = static_cast<std::uint32_t>(++num_groups_);
+    }
+    std::uint32_t g = slots_[slot] - 1;
+    group_of[i] = g;
+    max_group_size_ = std::max(max_group_size_,
+                               static_cast<std::size_t>(++counts[g]));
+  }
+
+  // Pass 2: CSR layout — prefix-sum the counts, then scatter row ids.
+  offsets_.assign(num_groups_ + 1, 0);
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    offsets_[g + 1] = offsets_[g] + counts[g];
+  }
+  rows_.resize(n);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows_[cursor[group_of[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t TableIndex::FindSlot(std::span<const Value> key) const {
+  std::size_t h = HashRange(key.begin(), key.end()) & mask_;
+  while (true) {
+    std::uint32_t g = slots_[h];
+    if (g == 0) return h;
+    const Value* stored = keys_.data() + (g - 1) * width_;
+    if (std::equal(key.begin(), key.end(), stored)) return h;
+    h = (h + 1) & mask_;
+  }
+}
+
+std::span<const std::uint32_t> TableIndex::Lookup(
+    std::span<const Value> key) const {
+  std::size_t slot = FindSlot(key);
+  if (slots_[slot] == 0) return {};
+  return group_rows(slots_[slot] - 1);
+}
+
+std::shared_ptr<const TableIndex> Table::IndexOn(
+    std::vector<int> key_columns) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = index_cache_.find(key_columns);
+    if (it != index_cache_.end()) return it->second;
+  }
+  // Build outside the lock so an O(n) build never blocks cache hits on
+  // other key sets. Two threads missing on the same key both build; the
+  // double-checked insert keeps the first and the loser adopts it.
+  auto index = std::make_shared<const TableIndex>(*this, key_columns);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto [it, inserted] =
+      index_cache_.emplace(std::move(key_columns), std::move(index));
+  return it->second;
+}
+
+bool Table::ContainsRow(std::span<const Value> row) const {
+  SHARPCQ_CHECK(static_cast<int>(row.size()) == arity());
+  if (arity() == 0) return rows_ > 0;
+  std::vector<int> all(cols_.size());
+  for (std::size_t c = 0; c < all.size(); ++c) all[c] = static_cast<int>(c);
+  return !IndexOn(std::move(all))->Lookup(row).empty();
+}
+
+std::size_t Table::CachedIndexCount() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return index_cache_.size();
+}
+
+std::shared_ptr<const Table> Table::Empty(int arity) {
+  SHARPCQ_CHECK(arity >= 0);
+  return std::shared_ptr<const Table>(new Table(
+      std::vector<std::vector<Value>>(static_cast<std::size_t>(arity)), 0));
+}
+
+std::shared_ptr<const Table> Table::Gather(
+    const Table& src, std::span<const std::uint32_t> row_ids) {
+  std::vector<std::vector<Value>> cols(
+      static_cast<std::size_t>(src.arity()));
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    std::span<const Value> in = src.Column(static_cast<int>(c));
+    std::vector<Value>& out = cols[c];
+    out.reserve(row_ids.size());
+    for (std::uint32_t id : row_ids) out.push_back(in[id]);
+  }
+  return std::shared_ptr<const Table>(
+      new Table(std::move(cols), row_ids.size()));
+}
+
+std::string Table::DebugString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (i > 0) out += ", ";
+    out += "(";
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      if (c > 0) out += ",";
+      out += std::to_string(cols_[c][i]);
+    }
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+std::shared_ptr<const Table> TableBuilder::Build(bool known_distinct) && {
+  if (cols_.empty()) {
+    // Arity 0: a set holds at most the empty row.
+    std::size_t n = known_distinct ? rows_ : (rows_ > 0 ? 1 : 0);
+    return std::shared_ptr<const Table>(new Table({}, n));
+  }
+  if (known_distinct || rows_ <= 1) {
+    return std::shared_ptr<const Table>(
+        new Table(std::move(cols_), rows_));
+  }
+  // Hash dedup keeping first occurrences in order, comparing rows in place
+  // (no keys are materialized): open addressing over row ids.
+  const std::size_t capacity = SlotCapacityFor(rows_);
+  const std::size_t mask = capacity - 1;
+  std::vector<std::uint32_t> slots(capacity, 0);
+  std::vector<std::uint32_t> keep;
+  keep.reserve(rows_);
+  const std::size_t width = cols_.size();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    std::size_t h = 0x9e3779b9u;
+    for (std::size_t c = 0; c < width; ++c) {
+      h = HashCombine(h, static_cast<std::size_t>(cols_[c][i]));
+    }
+    h &= mask;
+    bool duplicate = false;
+    while (true) {
+      std::uint32_t other = slots[h];
+      if (other == 0) {
+        slots[h] = static_cast<std::uint32_t>(i + 1);
+        keep.push_back(static_cast<std::uint32_t>(i));
+        break;
+      }
+      const std::size_t o = other - 1;
+      duplicate = true;
+      for (std::size_t c = 0; c < width; ++c) {
+        if (cols_[c][i] != cols_[c][o]) {
+          duplicate = false;
+          break;
+        }
+      }
+      if (duplicate) break;
+      h = (h + 1) & mask;
+    }
+  }
+  if (keep.size() == rows_) {
+    return std::shared_ptr<const Table>(
+        new Table(std::move(cols_), rows_));
+  }
+  Table staged(std::move(cols_), rows_);
+  return Table::Gather(staged, keep);  // keep is ascending: order preserved
+}
+
+}  // namespace sharpcq

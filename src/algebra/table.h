@@ -1,0 +1,157 @@
+#ifndef SHARPCQ_ALGEBRA_TABLE_H_
+#define SHARPCQ_ALGEBRA_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+#include "util/check.h"
+
+namespace sharpcq {
+
+class Table;
+
+// Hash index over selected key columns of a Table: key -> row ids, plus the
+// group structure (one group per distinct key) that counted projection and
+// the PS13 initial partition read directly. Immutable after construction.
+//
+// Storage is flat: group keys live in one contiguous buffer and the row ids
+// of all groups in one CSR array, so building the index performs no
+// per-group allocations — it is the inner loop of every semijoin.
+class TableIndex {
+ public:
+  TableIndex(const Table& table, std::vector<int> key_columns);
+
+  // Row ids whose key columns equal `key` (empty if none).
+  std::span<const std::uint32_t> Lookup(std::span<const Value> key) const;
+
+  const std::vector<int>& key_columns() const { return key_columns_; }
+
+  // Group view: one entry per distinct key, in first-occurrence row order.
+  std::size_t num_groups() const { return num_groups_; }
+  std::span<const Value> group_key(std::size_t g) const {
+    return {keys_.data() + g * width_, width_};
+  }
+  std::span<const std::uint32_t> group_rows(std::size_t g) const {
+    return {rows_.data() + offsets_[g],
+            static_cast<std::size_t>(offsets_[g + 1] - offsets_[g])};
+  }
+
+  // Cardinality of the largest group (0 for an empty table): the degree of
+  // the indexed relation w.r.t. the key columns (Definition 6.1).
+  std::size_t max_group_size() const { return max_group_size_; }
+
+ private:
+  // Slot of `key` in the open-addressing table: either its group's slot or
+  // the empty slot where it belongs.
+  std::size_t FindSlot(std::span<const Value> key) const;
+
+  std::vector<int> key_columns_;
+  std::size_t width_ = 0;        // = key_columns_.size()
+  std::size_t num_groups_ = 0;
+  std::vector<Value> keys_;      // group g's key at [g*width_, (g+1)*width_)
+  std::vector<std::uint32_t> slots_;    // open addressing -> group id + 1
+  std::size_t mask_ = 0;
+  std::vector<std::uint32_t> offsets_;  // CSR: group g rows at
+  std::vector<std::uint32_t> rows_;     //   rows_[offsets_[g]..offsets_[g+1])
+  std::size_t max_group_size_ = 0;
+};
+
+// Immutable columnar tuple storage: each column is one contiguous buffer.
+// Tables are created through TableBuilder (or the Gather helpers) and
+// published as shared_ptr<const Table>; after publication nothing mutates
+// the tuple data, which is what makes the lazy index cache safe to share
+// across threads (see DESIGN.md, "Concurrency model").
+//
+// Invariant: every published Table is a *set* of rows (no duplicates).
+// TableBuilder::Build establishes it (hash dedup) and every kernel operator
+// in algebra/rel.h preserves it; Join relies on it to skip output dedup.
+class Table {
+ public:
+  std::size_t rows() const { return rows_; }
+  int arity() const { return static_cast<int>(cols_.size()); }
+  bool empty() const { return rows_ == 0; }
+
+  std::span<const Value> Column(int c) const {
+    return cols_[static_cast<std::size_t>(c)];
+  }
+  Value at(std::size_t row, int col) const {
+    return cols_[static_cast<std::size_t>(col)][row];
+  }
+
+  // The hash index over `key_columns`, built on first use and cached for
+  // the lifetime of the table. Thread-safe: the cache map is guarded by a
+  // per-table mutex held only for lookup/insert (never during a build),
+  // and the returned index is immutable and keeps itself alive through the
+  // shared_ptr even if the table is dropped concurrently.
+  std::shared_ptr<const TableIndex> IndexOn(std::vector<int> key_columns) const;
+
+  // Membership of a full-width tuple, via the all-columns cached index.
+  bool ContainsRow(std::span<const Value> row) const;
+
+  // Number of indexes currently cached (diagnostics and tests).
+  std::size_t CachedIndexCount() const;
+
+  // The empty table of the given arity.
+  static std::shared_ptr<const Table> Empty(int arity);
+
+  // New table holding the given rows of `src`, in order. Row ids must be
+  // valid; duplicates in `row_ids` would break the set invariant, so pass
+  // distinct ids (the kernel's selections always do).
+  static std::shared_ptr<const Table> Gather(
+      const Table& src, std::span<const std::uint32_t> row_ids);
+
+  std::string DebugString() const;
+
+ private:
+  friend class TableBuilder;
+  Table(std::vector<std::vector<Value>> cols, std::size_t rows)
+      : cols_(std::move(cols)), rows_(rows) {}
+
+  std::vector<std::vector<Value>> cols_;
+  std::size_t rows_;  // tracked separately so arity-0 tables can hold a row
+
+  mutable std::mutex cache_mu_;
+  mutable std::map<std::vector<int>, std::shared_ptr<const TableIndex>>
+      index_cache_;
+};
+
+// Mutable row accumulator; Build() dedups and publishes the immutable Table.
+class TableBuilder {
+ public:
+  explicit TableBuilder(int arity) : cols_(static_cast<std::size_t>(arity)) {
+    SHARPCQ_CHECK(arity >= 0);
+  }
+
+  int arity() const { return static_cast<int>(cols_.size()); }
+  std::size_t rows() const { return rows_; }
+
+  void ReserveRows(std::size_t n) {
+    for (auto& col : cols_) col.reserve(n);
+  }
+
+  void AddRow(std::span<const Value> row) {
+    SHARPCQ_DCHECK(row.size() == cols_.size());
+    for (std::size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(row[c]);
+    ++rows_;
+  }
+
+  // Publishes the accumulated rows as an immutable, deduplicated table.
+  // `known_distinct` skips the dedup pass when the caller can prove the
+  // rows are already a set (e.g. a join of two sets).
+  std::shared_ptr<const Table> Build(bool known_distinct = false) &&;
+
+ private:
+  std::vector<std::vector<Value>> cols_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_ALGEBRA_TABLE_H_

@@ -1,7 +1,7 @@
 #include "core/legality.h"
 
+#include "algebra/rel.h"
 #include "core/materialize.h"
-#include "data/var_relation.h"
 #include "query/atom_relation.h"
 #include "util/check.h"
 
@@ -10,12 +10,12 @@ namespace sharpcq {
 namespace {
 
 // Full evaluation of q on db by join-project (diagnostic path).
-VarRelation EvaluateFull(const ConjunctiveQuery& q, const Database& db) {
-  std::vector<VarRelation> rels;
+Rel EvaluateFull(const ConjunctiveQuery& q, const Database& db) {
+  std::vector<Rel> rels;
   rels.reserve(q.NumAtoms());
-  for (const Atom& a : q.atoms()) rels.push_back(AtomToVarRelation(a, db));
+  for (const Atom& a : q.atoms()) rels.push_back(AtomToRel(a, db));
   SHARPCQ_CHECK(!rels.empty());
-  VarRelation acc = std::move(rels.back());
+  Rel acc = std::move(rels.back());
   rels.pop_back();
   while (!rels.empty()) {
     std::size_t pick = 0;
@@ -35,14 +35,14 @@ VarRelation EvaluateFull(const ConjunctiveQuery& q, const Database& db) {
 
 bool IsLegalViewDatabase(const ConjunctiveQuery& q, const ViewSet& views,
                          const Database& db, std::string* why) {
-  VarRelation solutions = EvaluateFull(q, db);
+  Rel solutions = EvaluateFull(q, db);
   for (std::size_t v = 0; v < views.size(); ++v) {
     IdSet view_vars = Intersect(views.vars[v], solutions.vars());
-    VarRelation required = Project(solutions, view_vars);
-    VarRelation provided = MaterializeView(views, v, q, db);
+    Rel required = Project(solutions, view_vars);
+    Rel provided = MaterializeViewRel(views, v, q, db);
     // required must be a subset of the view (projected to shared vars).
     bool changed = false;
-    VarRelation kept = Semijoin(required, provided, &changed);
+    Rel kept = Semijoin(required, provided, &changed);
     if (changed) {
       if (why != nullptr) {
         *why = "view " + std::to_string(v) + " is more restrictive than Q";

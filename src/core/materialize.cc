@@ -5,9 +5,9 @@
 
 namespace sharpcq {
 
-VarRelation MaterializeView(const ViewSet& views, std::size_t view_id,
-                            const ConjunctiveQuery& guard_query,
-                            const Database& db) {
+Rel MaterializeViewRel(const ViewSet& views, std::size_t view_id,
+                       const ConjunctiveQuery& guard_query,
+                       const Database& db) {
   const std::vector<int>& guard = views.guards[view_id];
   if (guard.empty()) {
     SHARPCQ_CHECK_MSG(views.HasName(view_id),
@@ -16,22 +16,28 @@ VarRelation MaterializeView(const ViewSet& views, std::size_t view_id,
     SHARPCQ_CHECK_MSG(
         stored.arity() == static_cast<int>(views.vars[view_id].size()),
         "named view arity mismatch");
-    VarRelation out(views.vars[view_id]);
+    TableBuilder builder(stored.arity());
+    builder.ReserveRows(stored.size());
     for (std::size_t i = 0; i < stored.size(); ++i) {
-      out.rel().AddRow(stored.Row(i));
+      builder.AddRow(stored.Row(i));
     }
-    out.rel().Dedup();
-    return out;
+    return Rel(views.vars[view_id], std::move(builder).Build());
   }
-  VarRelation joined = AtomToVarRelation(
+  Rel joined = AtomToRel(
       guard_query.atoms()[static_cast<std::size_t>(guard[0])], db);
   for (std::size_t g = 1; g < guard.size(); ++g) {
     joined = Join(joined,
-                  AtomToVarRelation(
+                  AtomToRel(
                       guard_query.atoms()[static_cast<std::size_t>(guard[g])],
                       db));
   }
   return joined;
+}
+
+VarRelation MaterializeView(const ViewSet& views, std::size_t view_id,
+                            const ConjunctiveQuery& guard_query,
+                            const Database& db) {
+  return ToVarRelation(MaterializeViewRel(views, view_id, guard_query, db));
 }
 
 JoinTreeInstance MaterializeBags(const ConjunctiveQuery& core,
@@ -43,7 +49,7 @@ JoinTreeInstance MaterializeBags(const ConjunctiveQuery& core,
   instance.nodes.reserve(tree.bags.size());
 
   for (std::size_t v = 0; v < tree.bags.size(); ++v) {
-    VarRelation view_rel = MaterializeView(
+    Rel view_rel = MaterializeViewRel(
         views, static_cast<std::size_t>(tree.view_ids[v]), guard_query, db);
     SHARPCQ_CHECK_MSG(tree.bags[v].IsSubsetOf(view_rel.vars()),
                       "bag not guarded by its view");
@@ -58,7 +64,7 @@ JoinTreeInstance MaterializeBags(const ConjunctiveQuery& core,
     for (std::size_t v = 0; v < tree.bags.size() && !assigned; ++v) {
       if (!vars.IsSubsetOf(tree.bags[v])) continue;
       instance.nodes[v] =
-          Semijoin(instance.nodes[v], AtomToVarRelation(atom, db));
+          Semijoin(instance.nodes[v], AtomToRel(atom, db));
       assigned = true;
     }
     SHARPCQ_CHECK_MSG(assigned, "core atom not covered by any bag");

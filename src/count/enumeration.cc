@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "algebra/rel.h"
 #include "data/var_relation.h"
 #include "query/atom_relation.h"
 #include "util/check.h"
@@ -14,9 +15,9 @@ namespace {
 // Joins the given relations in a connectivity-aware order: always prefer a
 // relation sharing variables with the accumulated result (avoiding
 // accidental cartesian products when possible).
-VarRelation JoinAll(std::vector<VarRelation> rels) {
+Rel JoinAll(std::vector<Rel> rels) {
   SHARPCQ_CHECK(!rels.empty());
-  VarRelation acc = std::move(rels.back());
+  Rel acc = std::move(rels.back());
   rels.pop_back();
   while (!rels.empty()) {
     std::size_t pick = rels.size();
@@ -33,7 +34,9 @@ VarRelation JoinAll(std::vector<VarRelation> rels) {
   return acc;
 }
 
-// Variable-oriented backtracking counter.
+// Variable-oriented backtracking counter. Deliberately stays on the legacy
+// VarRelation representation: this is the independent oracle the kernel's
+// differential tests are judged against.
 class BacktrackCounter {
  public:
   BacktrackCounter(const ConjunctiveQuery& q, const Database& db) : q_(q) {
@@ -161,12 +164,14 @@ class BacktrackCounter {
 }  // namespace
 
 CountInt CountByJoinProject(const ConjunctiveQuery& q, const Database& db) {
-  std::vector<VarRelation> rels;
+  std::vector<Rel> rels;
   rels.reserve(q.NumAtoms());
-  for (const Atom& a : q.atoms()) rels.push_back(AtomToVarRelation(a, db));
+  for (const Atom& a : q.atoms()) rels.push_back(AtomToRel(a, db));
   SHARPCQ_CHECK_MSG(!rels.empty(), "query has no atoms");
-  VarRelation joined = JoinAll(std::move(rels));
-  return Project(joined, Intersect(joined.vars(), q.free_vars())).size();
+  Rel joined = JoinAll(std::move(rels));
+  // Counted projection: the distinct-key count streams off the group index,
+  // never materializing the deduplicated projection.
+  return DistinctCount(joined, Intersect(joined.vars(), q.free_vars()));
 }
 
 CountInt CountByBacktracking(const ConjunctiveQuery& q, const Database& db) {

@@ -37,39 +37,34 @@ CountInt CountFullJoin(const JoinTreeInstance& instance) {
 
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     std::size_t v = static_cast<std::size_t>(*it);
-    const VarRelation& rel = instance.nodes[v];
+    const Rel& rel = instance.nodes[v];
     std::vector<CountInt>& w = weights[v];
     w.assign(rel.size(), CountInt{1});
 
     for (int child : instance.shape.children[v]) {
       std::size_t c = static_cast<std::size_t>(child);
-      const VarRelation& crel = instance.nodes[c];
+      const Rel& crel = instance.nodes[c];
       IdSet shared = Intersect(rel.vars(), crel.vars());
 
-      // Aggregate child weights per shared-key via an index on the child.
-      std::vector<int> child_cols;
-      child_cols.reserve(shared.size());
-      for (std::uint32_t var : shared) child_cols.push_back(crel.ColumnOf(var));
-      RowIndex index(crel.rel(), child_cols);
-
-      std::vector<int> parent_cols;
-      parent_cols.reserve(shared.size());
-      for (std::uint32_t var : shared) parent_cols.push_back(rel.ColumnOf(var));
+      // Aggregate child weights per shared-key via the child's cached index.
+      std::shared_ptr<const TableIndex> index =
+          crel.table()->IndexOn(ColumnsOf(crel, shared));
+      std::vector<int> parent_cols = ColumnsOf(rel, shared);
 
       std::vector<Value> key(shared.size());
+      const Table& parent_table = *rel.table();
       for (std::size_t row = 0; row < rel.size(); ++row) {
         if (w[row] == 0) continue;
-        auto tuple = rel.rel().Row(row);
         for (std::size_t j = 0; j < parent_cols.size(); ++j) {
-          key[j] = tuple[static_cast<std::size_t>(parent_cols[j])];
+          key[j] = parent_table.at(row, parent_cols[j]);
         }
-        const std::vector<std::uint32_t>* matches = index.Lookup(key);
-        if (matches == nullptr) {
+        std::span<const std::uint32_t> matches = index->Lookup(key);
+        if (matches.empty()) {
           w[row] = 0;
           continue;
         }
         CountInt sum = 0;
-        for (std::uint32_t crow : *matches) sum += weights[c][crow];
+        for (std::uint32_t crow : matches) sum += weights[c][crow];
         w[row] *= sum;
       }
       weights[c].clear();  // release
@@ -88,7 +83,7 @@ JoinTreeInstance RestrictToVars(const JoinTreeInstance& instance,
   JoinTreeInstance out;
   out.shape = instance.shape;
   out.nodes.reserve(instance.nodes.size());
-  for (const VarRelation& n : instance.nodes) {
+  for (const Rel& n : instance.nodes) {
     out.nodes.push_back(Project(n, Intersect(n.vars(), keep)));
   }
   return out;

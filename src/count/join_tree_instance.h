@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "data/var_relation.h"
+#include "algebra/rel.h"
 #include "hypergraph/tree_shape.h"
 #include "util/count_int.h"
 #include "util/id_set.h"
@@ -14,14 +14,18 @@ namespace sharpcq {
 // relations. All counting engines in this library operate on this shape —
 // the structural (Thm 3.7), degree-bounded (Thm 6.2), and hybrid (Thm 6.6)
 // pipelines differ only in how they produce one.
+//
+// Bags are kernel Rel handles (algebra/rel.h): copies share tuple storage,
+// and the full reducer's semijoins reuse each bag's cached hash indexes
+// instead of rebuilding them per pass.
 struct JoinTreeInstance {
   TreeShape shape;
-  std::vector<VarRelation> nodes;
+  std::vector<Rel> nodes;
 
   // The union of all bag variable sets.
   IdSet AllVars() const {
     IdSet all;
-    for (const VarRelation& n : nodes) all = Union(all, n.vars());
+    for (const Rel& n : nodes) all = Union(all, n.vars());
     return all;
   }
 };
@@ -35,7 +39,7 @@ bool FullReduce(JoinTreeInstance* instance);
 
 // The number of solutions of the full acyclic join (distinct assignments to
 // all variables), by dynamic programming over the tree: no solution is ever
-// materialized. Bag relations must be deduplicated (VarRelation algebra
+// materialized. Bag relations must be deduplicated (the kernel invariant
 // guarantees this).
 CountInt CountFullJoin(const JoinTreeInstance& instance);
 

@@ -24,27 +24,18 @@ using SharpRelation = std::vector<SharpSet>;
 
 // Initial #-relation of a vertex: the partition of its rows by the
 // projection onto the free variables present in the bag, coefficient 1.
-SharpRelation InitialSharpRelation(const VarRelation& rel,
-                                   const IdSet& free_vars) {
+// This is a counted projection in kernel terms, so it reads the groups of
+// the bag's cached index instead of sorting keys into a map.
+SharpRelation InitialSharpRelation(const Rel& rel, const IdSet& free_vars) {
   IdSet bag_free = Intersect(rel.vars(), free_vars);
-  std::vector<int> cols;
-  cols.reserve(bag_free.size());
-  for (std::uint32_t v : bag_free) cols.push_back(rel.ColumnOf(v));
-
-  std::map<std::vector<Value>, SharpSet> groups;
-  std::vector<Value> key(cols.size());
-  for (std::size_t row = 0; row < rel.size(); ++row) {
-    auto tuple = rel.rel().Row(row);
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      key[j] = tuple[static_cast<std::size_t>(cols[j])];
-    }
-    SharpSet& s = groups[key];
-    s.rows.push_back(static_cast<std::uint32_t>(row));
-    s.coeff = 1;
-  }
+  std::shared_ptr<const TableIndex> index =
+      rel.table()->IndexOn(ColumnsOf(rel, bag_free));
   SharpRelation out;
-  out.reserve(groups.size());
-  for (auto& [k, s] : groups) out.push_back(std::move(s));
+  out.reserve(index->num_groups());
+  for (std::size_t g = 0; g < index->num_groups(); ++g) {
+    std::span<const std::uint32_t> rows = index->group_rows(g);
+    out.push_back(SharpSet{{rows.begin(), rows.end()}, CountInt{1}});
+  }
   return out;
 }
 
@@ -66,7 +57,7 @@ CountInt Ps13Count(const JoinTreeInstance& instance, const IdSet& free_vars,
 
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     std::size_t p = static_cast<std::size_t>(*it);
-    const VarRelation& rp = instance.nodes[p];
+    const Rel& rp = instance.nodes[p];
     SharpRelation rel_p = InitialSharpRelation(rp, free_vars);
     // The initial partition is where the degree bound h of Theorem 6.2
     // shows up: every set is a sigma_theta(r_p) group of size <= h.
@@ -77,16 +68,13 @@ CountInt Ps13Count(const JoinTreeInstance& instance, const IdSet& free_vars,
 
     for (int child : instance.shape.children[p]) {
       std::size_t q = static_cast<std::size_t>(child);
-      const VarRelation& rq = instance.nodes[q];
+      const Rel& rq = instance.nodes[q];
       const SharpRelation& rel_q = sharp[q];
 
       // Dense join-key ids over the shared variables, for both relations.
       IdSet shared = Intersect(rp.vars(), rq.vars());
-      std::vector<int> p_cols, q_cols;
-      for (std::uint32_t v : shared) {
-        p_cols.push_back(rp.ColumnOf(v));
-        q_cols.push_back(rq.ColumnOf(v));
-      }
+      std::vector<int> p_cols = ColumnsOf(rp, shared);
+      std::vector<int> q_cols = ColumnsOf(rq, shared);
       std::unordered_map<std::vector<Value>, std::uint32_t, VectorHash<Value>>
           key_ids;
       auto key_id_of = [&key_ids](std::vector<Value> key) {
@@ -95,14 +83,14 @@ CountInt Ps13Count(const JoinTreeInstance& instance, const IdSet& free_vars,
                                                 key_ids.size()));
         return kit->second;
       };
-      auto keys_of = [](const VarRelation& r, const std::vector<int>& cols,
+      auto keys_of = [](const Rel& r, const std::vector<int>& cols,
                         auto& id_of) {
         std::vector<std::uint32_t> ids(r.size());
         std::vector<Value> key(cols.size());
+        const Table& table = *r.table();
         for (std::size_t row = 0; row < r.size(); ++row) {
-          auto tuple = r.rel().Row(row);
           for (std::size_t j = 0; j < cols.size(); ++j) {
-            key[j] = tuple[static_cast<std::size_t>(cols[j])];
+            key[j] = table.at(row, cols[j]);
           }
           ids[row] = id_of(key);
         }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "data/var_relation.h"
+#include "algebra/rel.h"
 #include "hypergraph/hypergraph.h"
 #include "query/atom_relation.h"
 #include "util/check.h"
@@ -80,7 +80,7 @@ CountInt CountByFrontierMaterialization(const ConjunctiveQuery& q,
   std::vector<IdSet> atom_vars;
   for (const Atom& a : q.atoms()) atom_vars.push_back(a.Vars());
 
-  std::vector<VarRelation> residual;
+  std::vector<Rel> residual;
   // Frontier relations, one per component of existential variables. Atoms
   // are joined with early projection (variable elimination): after each
   // join, variables that appear neither in the frontier nor in a remaining
@@ -92,7 +92,7 @@ CountInt CountByFrontierMaterialization(const ConjunctiveQuery& q,
       if (atom_vars[a].Intersects(comps.components[c])) pending.push_back(a);
     }
     SHARPCQ_CHECK(!pending.empty());
-    VarRelation joined = AtomToVarRelation(q.atoms()[pending[0]], db);
+    Rel joined = AtomToRel(q.atoms()[pending[0]], db);
     pending.erase(pending.begin());
     while (!pending.empty()) {
       // Prefer an atom sharing variables with the accumulated relation.
@@ -105,7 +105,7 @@ CountInt CountByFrontierMaterialization(const ConjunctiveQuery& q,
       }
       std::size_t a = pending[pick];
       pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
-      joined = Join(joined, AtomToVarRelation(q.atoms()[a], db));
+      joined = Join(joined, AtomToRel(q.atoms()[a], db));
       IdSet needed = comps.frontiers[c];
       for (std::size_t rest : pending) {
         needed = Union(needed, atom_vars[rest]);
@@ -117,12 +117,12 @@ CountInt CountByFrontierMaterialization(const ConjunctiveQuery& q,
   // Free-only atoms.
   for (std::size_t a = 0; a < q.NumAtoms(); ++a) {
     if (atom_vars[a].IsSubsetOf(q.free_vars())) {
-      residual.push_back(AtomToVarRelation(q.atoms()[a], db));
+      residual.push_back(AtomToRel(q.atoms()[a], db));
     }
   }
 
   // Count the residual by join-project over the free variables.
-  VarRelation acc = VarRelation::Unit();
+  Rel acc = Rel::Unit();
   std::vector<bool> used(residual.size(), false);
   for (std::size_t step = 0; step < residual.size(); ++step) {
     std::size_t pick = residual.size();
@@ -141,7 +141,7 @@ CountInt CountByFrontierMaterialization(const ConjunctiveQuery& q,
     acc = Join(acc, residual[pick]);
     // Project away nothing: all residual vars are free variables already.
   }
-  return Project(acc, Intersect(acc.vars(), q.free_vars())).size();
+  return DistinctCount(acc, Intersect(acc.vars(), q.free_vars()));
 }
 
 }  // namespace sharpcq

@@ -1,8 +1,8 @@
 #include "data/csv.h"
 
-#include <cerrno>
-#include <cstdlib>
+#include <charconv>
 #include <fstream>
+#include <string_view>
 
 #include "util/string_util.h"
 
@@ -10,21 +10,24 @@ namespace sharpcq {
 
 namespace {
 
-bool ParseField(const std::string& field, ValueDict* dict, Value* out,
+// Fields arrive as views into the current line; numeric parsing and
+// dictionary interning both work without copying the field.
+bool ParseField(std::string_view field, ValueDict* dict, Value* out,
                 std::string* error) {
   if (!field.empty() &&
       (field[0] == '-' || (field[0] >= '0' && field[0] <= '9'))) {
-    char* end = nullptr;
-    errno = 0;
-    long long v = std::strtoll(field.c_str(), &end, 10);
-    if (errno == 0 && end == field.c_str() + field.size()) {
+    long long v = 0;
+    auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(),
+                                     v, 10);
+    if (ec == std::errc{} && ptr == field.data() + field.size()) {
       *out = static_cast<Value>(v);
       return true;
     }
   }
   if (dict == nullptr) {
     if (error != nullptr) {
-      *error = "non-numeric field '" + field + "' needs a ValueDict";
+      *error = "non-numeric field '" + std::string(field) +
+               "' needs a ValueDict";
     }
     return false;
   }
@@ -46,7 +49,7 @@ std::optional<std::size_t> LoadRelationCsv(std::istream& in,
     ++line_number;
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') continue;
-    std::vector<std::string> fields = SplitAndTrim(stripped, ',');
+    std::vector<std::string_view> fields = SplitAndTrimViews(stripped, ',');
     if (arity == -1) {
       arity = static_cast<int>(fields.size());
     } else if (static_cast<int>(fields.size()) != arity) {

@@ -26,6 +26,7 @@ std::vector<std::uint32_t> SortedRowIds(const Relation& rel) {
 
 void Relation::SortRows() {
   if (arity_ == 0 || size() <= 1) return;
+  InvalidateMembershipIndex();
   std::vector<std::uint32_t> ids = SortedRowIds(*this);
   std::vector<Value> sorted;
   sorted.reserve(data_.size());
@@ -37,6 +38,7 @@ void Relation::SortRows() {
 }
 
 void Relation::Dedup() {
+  InvalidateMembershipIndex();
   if (arity_ == 0) {
     zero_arity_rows_ = zero_arity_rows_ > 0 ? 1 : 0;
     return;
@@ -60,12 +62,24 @@ void Relation::Dedup() {
 bool Relation::ContainsRow(std::span<const Value> row) const {
   SHARPCQ_CHECK(static_cast<int>(row.size()) == arity_);
   if (arity_ == 0) return zero_arity_rows_ > 0;
-  const std::size_t n = size();
-  for (std::size_t i = 0; i < n; ++i) {
-    auto r = Row(i);
-    if (std::equal(row.begin(), row.end(), r.begin())) return true;
+  std::shared_ptr<const RowIndex> index;
+  {
+    std::lock_guard<std::mutex> lock(membership_mu_);
+    if (membership_index_ == nullptr) {
+      std::vector<int> all(static_cast<std::size_t>(arity_));
+      for (std::size_t c = 0; c < all.size(); ++c) {
+        all[c] = static_cast<int>(c);
+      }
+      membership_index_ = std::make_shared<const RowIndex>(*this, all);
+    }
+    index = membership_index_;
   }
-  return false;
+  return index->Lookup(row) != nullptr;
+}
+
+bool Relation::HasCachedMembershipIndex() const {
+  std::lock_guard<std::mutex> lock(membership_mu_);
+  return membership_index_ != nullptr;
 }
 
 bool SameRowSet(const Relation& a, const Relation& b) {

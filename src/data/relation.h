@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -12,12 +14,55 @@
 
 namespace sharpcq {
 
+class RowIndex;
+
 // A finite relation instance: a set of fixed-arity tuples stored row-major
 // in one flat buffer. Rows are *not* automatically deduplicated on insert;
 // call Dedup() (the algebra in var_relation.cc does this after projections).
+//
+// Membership checks (ContainsRow) go through a lazily built full-row hash
+// index, cached until the next mutation — the same design as the kernel's
+// per-table index cache (algebra/table.h), adapted to a mutable container
+// by invalidation. Thread safety follows standard container semantics:
+// concurrent const access is safe (the lazy build is mutex-guarded);
+// mutation requires exclusive access.
 class Relation {
  public:
   explicit Relation(int arity) : arity_(arity) { SHARPCQ_CHECK(arity >= 0); }
+
+  // Copies and moves transfer tuple data but never the cached membership
+  // index (it is rebuilt on demand); spelled out because std::mutex is
+  // neither copyable nor movable. The moved-from relation's cache is also
+  // dropped — its index would describe rows that left with the move.
+  Relation(const Relation& other)
+      : arity_(other.arity_),
+        data_(other.data_),
+        zero_arity_rows_(other.zero_arity_rows_) {}
+  Relation& operator=(const Relation& other) {
+    if (this != &other) {
+      arity_ = other.arity_;
+      data_ = other.data_;
+      zero_arity_rows_ = other.zero_arity_rows_;
+      membership_index_.reset();
+    }
+    return *this;
+  }
+  Relation(Relation&& other) noexcept
+      : arity_(other.arity_),
+        data_(std::move(other.data_)),
+        zero_arity_rows_(other.zero_arity_rows_) {
+    other.membership_index_.reset();
+  }
+  Relation& operator=(Relation&& other) noexcept {
+    if (this != &other) {
+      arity_ = other.arity_;
+      data_ = std::move(other.data_);
+      zero_arity_rows_ = other.zero_arity_rows_;
+      membership_index_.reset();
+      other.membership_index_.reset();
+    }
+    return *this;
+  }
 
   int arity() const { return arity_; }
   std::size_t size() const {
@@ -34,6 +79,7 @@ class Relation {
 
   void AddRow(std::span<const Value> row) {
     SHARPCQ_CHECK(static_cast<int>(row.size()) == arity_);
+    InvalidateMembershipIndex();
     if (arity_ == 0) {
       ++zero_arity_rows_;
       return;
@@ -50,8 +96,8 @@ class Relation {
   // Sorts rows lexicographically (canonical order; used for equality tests).
   void SortRows();
 
-  // True if an identical row is present. O(n) scan; use RowIndex for bulk
-  // lookups.
+  // True if an identical row is present, via the cached full-row hash index
+  // (built on first use, dropped on mutation).
   bool ContainsRow(std::span<const Value> row) const;
 
   // Structural equality as *sets* of rows (both sides get sorted copies).
@@ -61,10 +107,19 @@ class Relation {
 
   const std::vector<Value>& raw_data() const { return data_; }
 
+  // True if the membership index is currently built (tests only).
+  bool HasCachedMembershipIndex() const;
+
  private:
+  // Called by every mutator; cheap when no index is cached.
+  void InvalidateMembershipIndex() { membership_index_.reset(); }
+
   int arity_;
   std::vector<Value> data_;
   std::size_t zero_arity_rows_ = 0;  // row multiplicity for arity-0 relations
+
+  mutable std::mutex membership_mu_;
+  mutable std::shared_ptr<const RowIndex> membership_index_;
 };
 
 // Hash index over selected key columns of a relation: key -> row ids.

@@ -2,8 +2,10 @@
 #define SHARPCQ_DATA_VALUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -14,21 +16,35 @@ namespace sharpcq {
 // speak strings while the engines stay integer-only.
 using Value = std::int64_t;
 
+// Transparent hash so the dictionary supports heterogeneous lookup:
+// string_view (and char*) keys probe without constructing a std::string.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 // Bidirectional string <-> Value dictionary. Values handed out are dense
-// non-negative integers in insertion order.
+// non-negative integers in insertion order. Lookup and interning accept
+// string_view, so CSV ingest and parsing probe field slices without a
+// per-call string copy (a copy is made only when a new name is stored).
 class ValueDict {
  public:
   ValueDict() = default;
 
   // Returns the Value for `name`, interning it on first use.
-  Value Intern(const std::string& name) {
-    auto [it, inserted] = index_.emplace(name, static_cast<Value>(names_.size()));
-    if (inserted) names_.push_back(name);
-    return it->second;
+  Value Intern(std::string_view name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    Value value = static_cast<Value>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), value);
+    return value;
   }
 
   // Returns the Value for `name` if already interned.
-  std::optional<Value> Find(const std::string& name) const {
+  std::optional<Value> Find(std::string_view name) const {
     auto it = index_.find(name);
     if (it == index_.end()) return std::nullopt;
     return it->second;
@@ -46,7 +62,7 @@ class ValueDict {
 
  private:
   std::vector<std::string> names_;
-  std::unordered_map<std::string, Value> index_;
+  std::unordered_map<std::string, Value, StringHash, std::equal_to<>> index_;
 };
 
 }  // namespace sharpcq

@@ -48,19 +48,20 @@ class Enumerator {
       if (!callback_(answer)) stopped_ = true;
       return !stopped_;
     }
-    const VarRelation& rel =
+    const Rel& rel =
         instance_.nodes[static_cast<std::size_t>(order_[depth])];
     const auto& vars = rel.vars();
+    const Table& table = *rel.table();
     for (std::size_t row = 0; row < rel.size() && !stopped_; ++row) {
-      auto tuple = rel.rel().Row(row);
       std::vector<std::uint32_t> bound_here;
       bool ok = true;
-      std::size_t c = 0;
+      int c = 0;
       for (std::uint32_t v : vars) {
-        auto [it, inserted] = assignment_.emplace(v, tuple[c]);
+        Value value = table.at(row, c);
+        auto [it, inserted] = assignment_.emplace(v, value);
         if (inserted) {
           bound_here.push_back(v);
-        } else if (it->second != tuple[c]) {
+        } else if (it->second != value) {
           ok = false;
         }
         ++c;

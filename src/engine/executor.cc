@@ -56,7 +56,7 @@ CountResult CountByAcyclicPs13(const ConjunctiveQuery& q, const Database& db) {
   instance.shape = std::move(*shape);
   instance.nodes.reserve(q.NumAtoms());
   for (const Atom& atom : q.atoms()) {
-    instance.nodes.push_back(AtomToVarRelation(atom, db));
+    instance.nodes.push_back(AtomToRel(atom, db));
   }
   if (!FullReduce(&instance)) {
     result.count = 0;

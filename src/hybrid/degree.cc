@@ -1,39 +1,20 @@
 #include "hybrid/degree.h"
 
-#include <unordered_map>
-
 #include "query/atom_relation.h"
 #include "util/check.h"
-#include "util/hash.h"
 
 namespace sharpcq {
 
-std::size_t DegreeOfRelation(const VarRelation& rel, const IdSet& free) {
-  if (rel.empty()) return 0;
-  IdSet key_vars = Intersect(rel.vars(), free);
-  std::vector<int> cols;
-  cols.reserve(key_vars.size());
-  for (std::uint32_t v : key_vars) cols.push_back(rel.ColumnOf(v));
-
-  std::unordered_map<std::vector<Value>, std::size_t, VectorHash<Value>>
-      multiplicity;
-  std::vector<Value> key(cols.size());
-  std::size_t degree = 0;
-  for (std::size_t row = 0; row < rel.size(); ++row) {
-    auto tuple = rel.rel().Row(row);
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      key[j] = tuple[static_cast<std::size_t>(cols[j])];
-    }
-    std::size_t count = ++multiplicity[key];
-    degree = std::max(degree, count);
-  }
-  return degree;
+std::size_t DegreeOfRelation(const Rel& rel, const IdSet& free) {
+  // MaxGroupSize indexes on vars(rel) ∩ free and returns the largest group
+  // (0 for the empty relation), which is exactly Definition 6.1.
+  return MaxGroupSize(rel, free);
 }
 
 std::size_t BoundOfInstance(const JoinTreeInstance& instance,
                             const IdSet& free) {
   std::size_t bound = 0;
-  for (const VarRelation& rel : instance.nodes) {
+  for (const Rel& rel : instance.nodes) {
     bound = std::max(bound, DegreeOfRelation(rel, free));
   }
   return bound;
@@ -47,11 +28,11 @@ JoinTreeInstance MaterializeHypertree(const ConjunctiveQuery& q,
   instance.nodes.reserve(ht.chi.size());
   for (std::size_t v = 0; v < ht.chi.size(); ++v) {
     SHARPCQ_CHECK_MSG(!ht.lambda[v].empty(), "vertex without guard atoms");
-    VarRelation joined = AtomToVarRelation(
+    Rel joined = AtomToRel(
         q.atoms()[static_cast<std::size_t>(ht.lambda[v][0])], db);
     for (std::size_t g = 1; g < ht.lambda[v].size(); ++g) {
       joined = Join(joined,
-                    AtomToVarRelation(
+                    AtomToRel(
                         q.atoms()[static_cast<std::size_t>(ht.lambda[v][g])],
                         db));
     }

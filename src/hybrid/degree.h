@@ -13,8 +13,9 @@ namespace sharpcq {
 // Degrees (Definition 6.1). The degree of a relation w.r.t. a set of output
 // variables F is the largest number of rows sharing one projection onto F:
 // how many ways a partial answer extends inside this relation. Keys give
-// degree 1; "quasi-keys" give small degrees.
-std::size_t DegreeOfRelation(const VarRelation& rel, const IdSet& free);
+// degree 1; "quasi-keys" give small degrees. Streamed off the relation's
+// cached group index (legacy VarRelations convert implicitly).
+std::size_t DegreeOfRelation(const Rel& rel, const IdSet& free);
 
 // bound(D, HD) over a materialized instance: the maximum degree over its
 // bag relations.

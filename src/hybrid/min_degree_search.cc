@@ -28,7 +28,7 @@ class DegreeOracle {
     auto key = std::make_pair(view_id, projected);
     auto it = degree_cache_.find(key);
     if (it != degree_cache_.end()) return it->second;
-    const VarRelation& rel = ViewRelation(view_id);
+    const Rel& rel = ViewRelation(view_id);
     std::size_t degree =
         DegreeOfRelation(Project(rel, Intersect(projected, rel.vars())),
                          free_);
@@ -37,10 +37,10 @@ class DegreeOracle {
   }
 
  private:
-  const VarRelation& ViewRelation(int view_id) {
+  const Rel& ViewRelation(int view_id) {
     auto it = view_cache_.find(view_id);
     if (it != view_cache_.end()) return it->second;
-    VarRelation joined = MaterializeView(
+    Rel joined = MaterializeViewRel(
         views_, static_cast<std::size_t>(view_id), guard_query_, db_);
     return view_cache_.emplace(view_id, std::move(joined)).first->second;
   }
@@ -50,7 +50,7 @@ class DegreeOracle {
   const Database& db_;
   IdSet free_;
   IdSet project_to_;
-  std::unordered_map<int, VarRelation> view_cache_;
+  std::unordered_map<int, Rel> view_cache_;
   std::map<std::pair<int, IdSet>, std::size_t> degree_cache_;
 };
 

@@ -4,22 +4,28 @@
 
 namespace sharpcq {
 
-VarRelation AtomToVarRelation(const Atom& atom, const Database& db) {
+namespace {
+
+// Shared filtering loop: emits the variable-projected row of every tuple of
+// the atom's stored relation that satisfies the constant and
+// repeated-variable constraints.
+template <typename Emit>
+void ForEachSatisfyingRow(const Atom& atom, const Database& db,
+                          const IdSet& vars, Emit&& emit) {
   const Relation& rel = db.relation(atom.relation);
   SHARPCQ_CHECK_MSG(rel.arity() == atom.arity(), atom.relation.c_str());
 
-  IdSet vars = atom.Vars();
-  VarRelation out(vars);
-
   // For each output column (sorted var), the first atom position holding it.
   std::vector<int> first_pos(vars.size(), -1);
+  // For each atom position holding a variable, that variable's output column.
+  std::vector<int> col_of_pos(atom.terms.size(), -1);
   {
     std::size_t c = 0;
     for (VarId v : vars) {
       for (std::size_t p = 0; p < atom.terms.size(); ++p) {
         if (atom.terms[p].is_var() && atom.terms[p].var == v) {
-          first_pos[c] = static_cast<int>(p);
-          break;
+          if (first_pos[c] == -1) first_pos[c] = static_cast<int>(p);
+          col_of_pos[p] = static_cast<int>(c);
         }
       }
       ++c;
@@ -37,7 +43,7 @@ VarRelation AtomToVarRelation(const Atom& atom, const Database& db) {
         ok = tuple[p] == t.value;
       } else {
         // Repeated-variable consistency against the first occurrence.
-        std::size_t c = static_cast<std::size_t>(out.ColumnOf(t.var));
+        std::size_t c = static_cast<std::size_t>(col_of_pos[p]);
         ok = tuple[static_cast<std::size_t>(first_pos[c])] == tuple[p];
       }
     }
@@ -45,8 +51,29 @@ VarRelation AtomToVarRelation(const Atom& atom, const Database& db) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       row[c] = tuple[static_cast<std::size_t>(first_pos[c])];
     }
-    out.rel().AddRow(row);
+    emit(std::span<const Value>(row));
   }
+}
+
+}  // namespace
+
+Rel AtomToRel(const Atom& atom, const Database& db) {
+  IdSet vars = atom.Vars();
+  TableBuilder builder(static_cast<int>(vars.size()));
+  builder.ReserveRows(db.relation(atom.relation).size());
+  ForEachSatisfyingRow(atom, db, vars,
+                       [&builder](std::span<const Value> row) {
+                         builder.AddRow(row);
+                       });
+  return Rel(std::move(vars), std::move(builder).Build());
+}
+
+VarRelation AtomToVarRelation(const Atom& atom, const Database& db) {
+  IdSet vars = atom.Vars();
+  VarRelation out(vars);
+  ForEachSatisfyingRow(atom, db, vars, [&out](std::span<const Value> row) {
+    out.rel().AddRow(row);
+  });
   out.rel().Dedup();
   return out;
 }

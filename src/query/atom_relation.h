@@ -1,6 +1,7 @@
 #ifndef SHARPCQ_QUERY_ATOM_RELATION_H_
 #define SHARPCQ_QUERY_ATOM_RELATION_H_
 
+#include "algebra/rel.h"
 #include "data/database.h"
 #include "data/var_relation.h"
 #include "query/atom.h"
@@ -12,7 +13,11 @@ namespace sharpcq {
 // equality, projected onto the variable positions. Deduplicated.
 //
 // This is the bridge from the positional world (Database) to the
-// variable-bound world (VarRelation) used by every counting engine.
+// variable-bound world used by every counting engine. AtomToRel produces a
+// kernel handle (algebra/rel.h) — the form all ported strategies consume;
+// AtomToVarRelation produces the legacy by-value representation and is kept
+// for the reference algebra and the differential tests.
+Rel AtomToRel(const Atom& atom, const Database& db);
 VarRelation AtomToVarRelation(const Atom& atom, const Database& db);
 
 }  // namespace sharpcq

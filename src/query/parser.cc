@@ -61,7 +61,8 @@ bool ParseTerm(const std::string& arg, ConjunctiveQuery* q, ValueDict* dict,
     if (dict == nullptr) {
       return SetError(error, "string constant requires a ValueDict: " + arg);
     }
-    *out = Term::Const(dict->Intern(arg.substr(1, arg.size() - 2)));
+    *out = Term::Const(
+        dict->Intern(std::string_view(arg).substr(1, arg.size() - 2)));
     return true;
   }
   if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {

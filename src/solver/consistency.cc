@@ -2,7 +2,7 @@
 
 namespace sharpcq {
 
-bool EnforcePairwiseConsistency(std::vector<VarRelation>* views) {
+bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
   const std::size_t n = views->size();
   // Precompute which pairs interact.
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
@@ -25,10 +25,19 @@ bool EnforcePairwiseConsistency(std::vector<VarRelation>* views) {
       }
     }
   }
-  for (const VarRelation& v : *views) {
+  for (const Rel& v : *views) {
     if (v.empty()) return false;
   }
   return true;
+}
+
+bool EnforcePairwiseConsistency(std::vector<VarRelation>* views) {
+  std::vector<Rel> kernel(views->begin(), views->end());
+  bool ok = EnforcePairwiseConsistency(&kernel);
+  for (std::size_t i = 0; i < views->size(); ++i) {
+    (*views)[i] = ToVarRelation(kernel[i]);
+  }
+  return ok;
 }
 
 }  // namespace sharpcq

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "algebra/rel.h"
 #include "data/var_relation.h"
 
 namespace sharpcq {
@@ -15,6 +16,16 @@ namespace sharpcq {
 // This is the local-consistency engine behind Lemma 4.3 (polynomial core
 // computation) and the reference implementation for the Theorem 3.7
 // pipeline (which uses the cheaper join-tree full reducer in count/).
+//
+// The kernel overload is the primary implementation: each fixpoint round
+// reuses the right-hand views' cached hash indexes, and semijoins that
+// remove nothing return the unchanged handle — so the final (confirming)
+// round over every pair costs only probes, no materialization.
+bool EnforcePairwiseConsistency(std::vector<Rel>* views);
+
+// Legacy shim over the kernel implementation, preserved so callers holding
+// by-value VarRelations (and the tests arbitrating old vs new semantics)
+// keep working. Views come back deduplicated.
 bool EnforcePairwiseConsistency(std::vector<VarRelation>* views);
 
 }  // namespace sharpcq

@@ -112,19 +112,21 @@ bool HomomorphismExistsViaConsistency(const ConjunctiveQuery& src,
   CodedInstance coded = CodeForHomomorphism(src, target);
 
   // Build the standard view extension of V^k: one view per (<=k)-subset of
-  // src's atoms, initialized with the join of the member atoms.
-  std::vector<VarRelation> atom_rels;
+  // src's atoms, initialized with the join of the member atoms. Kernel
+  // handles keep the subset joins cheap: the singleton views share the atom
+  // relations' tables instead of copying them.
+  std::vector<Rel> atom_rels;
   atom_rels.reserve(coded.query.NumAtoms());
   for (const Atom& a : coded.query.atoms()) {
-    atom_rels.push_back(AtomToVarRelation(a, coded.db));
+    atom_rels.push_back(AtomToRel(a, coded.db));
     if (atom_rels.back().empty()) return false;
   }
 
-  std::vector<VarRelation> views;
+  std::vector<Rel> views;
   bool some_empty = false;
   ForEachAtomSubset(
       atom_rels.size(), k, [&](const std::vector<std::size_t>& subset) {
-        VarRelation joined = atom_rels[subset[0]];
+        Rel joined = atom_rels[subset[0]];
         for (std::size_t i = 1; i < subset.size(); ++i) {
           joined = Join(joined, atom_rels[subset[i]]);
         }

@@ -20,12 +20,21 @@ std::string_view StripWhitespace(std::string_view text) {
 
 std::vector<std::string> SplitAndTrim(std::string_view text, char sep) {
   std::vector<std::string> pieces;
+  for (std::string_view piece : SplitAndTrimViews(text, sep)) {
+    pieces.emplace_back(piece);
+  }
+  return pieces;
+}
+
+std::vector<std::string_view> SplitAndTrimViews(std::string_view text,
+                                                char sep) {
+  std::vector<std::string_view> pieces;
   std::size_t start = 0;
   while (start <= text.size()) {
     std::size_t pos = text.find(sep, start);
     if (pos == std::string_view::npos) pos = text.size();
     std::string_view piece = StripWhitespace(text.substr(start, pos - start));
-    if (!piece.empty()) pieces.emplace_back(piece);
+    if (!piece.empty()) pieces.push_back(piece);
     start = pos + 1;
   }
   return pieces;

@@ -11,6 +11,12 @@ namespace sharpcq {
 // dropping empty pieces.
 std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
 
+// Allocation-free variant: the returned views alias `text`, which must
+// outlive them. The CSV ingest hot loop uses this together with the
+// heterogeneous ValueDict lookup so fields are never copied just to probe.
+std::vector<std::string_view> SplitAndTrimViews(std::string_view text,
+                                                char sep);
+
 // Removes leading/trailing ASCII whitespace.
 std::string_view StripWhitespace(std::string_view text);
 

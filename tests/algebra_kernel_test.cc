@@ -1,0 +1,308 @@
+// The relational kernel (algebra/) against the legacy VarRelation algebra
+// (data/var_relation.h): a differential/property suite over random
+// instances, plus the copy-on-write and index-cache contracts the counting
+// strategies rely on, and the Relation membership-cache invalidation
+// regression.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/rel.h"
+#include "data/relation.h"
+#include "data/var_relation.h"
+#include "solver/consistency.h"
+#include "util/hash.h"
+
+namespace sharpcq {
+namespace {
+
+VarRelation MakeVarRel(IdSet vars, std::vector<std::vector<Value>> rows) {
+  VarRelation r(std::move(vars));
+  for (const auto& row : rows) r.rel().AddRow(std::span<const Value>(row));
+  return r;
+}
+
+// A random deduplicated VarRelation over `vars` with values in [0, domain).
+VarRelation RandomVarRel(std::mt19937_64* rng, IdSet vars, int domain,
+                         int max_rows) {
+  VarRelation r(std::move(vars));
+  std::uniform_int_distribution<int> rows_dist(0, max_rows);
+  std::uniform_int_distribution<Value> value_dist(0, domain - 1);
+  const int rows = rows_dist(*rng);
+  std::vector<Value> row(r.vars().size());
+  for (int i = 0; i < rows; ++i) {
+    for (Value& v : row) v = value_dist(*rng);
+    r.rel().AddRow(row);
+  }
+  r.rel().Dedup();
+  return r;
+}
+
+// A random schema: a subset of the variable pool, at least `min_vars` wide.
+IdSet RandomVars(std::mt19937_64* rng, std::uint32_t pool,
+                 std::size_t min_vars) {
+  IdSet vars;
+  while (vars.size() < min_vars) {
+    vars = IdSet{};
+    for (std::uint32_t v = 0; v < pool; ++v) {
+      if ((*rng)() % 2 == 0) vars.Insert(v);
+    }
+  }
+  return vars;
+}
+
+bool SameAsLegacy(const Rel& kernel, const VarRelation& legacy) {
+  return SameVarRelation(ToVarRelation(kernel), legacy);
+}
+
+// Reference degree computation, independent of the kernel's group index.
+std::size_t LegacyDegree(const VarRelation& rel, const IdSet& free) {
+  if (rel.empty()) return 0;
+  IdSet key_vars = Intersect(rel.vars(), free);
+  std::unordered_map<std::vector<Value>, std::size_t, VectorHash<Value>>
+      multiplicity;
+  std::vector<Value> key(key_vars.size());
+  std::size_t degree = 0;
+  for (std::size_t row = 0; row < rel.size(); ++row) {
+    std::size_t j = 0;
+    for (std::uint32_t v : key_vars) key[j++] = rel.At(row, v);
+    degree = std::max(degree, ++multiplicity[key]);
+  }
+  return degree;
+}
+
+// Legacy pairwise-consistency fixpoint, mirroring the kernel loop but on
+// by-value VarRelations with the legacy semijoin.
+bool LegacyEnforcePairwiseConsistency(std::vector<VarRelation>* views) {
+  const std::size_t n = views->size();
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && (*views)[i].vars().Intersects((*views)[j].vars())) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto [i, j] : pairs) {
+      bool local = false;
+      (*views)[i] = Semijoin((*views)[i], (*views)[j], &local);
+      if (local) {
+        changed = true;
+        if ((*views)[i].empty()) return false;
+      }
+    }
+  }
+  for (const VarRelation& v : *views) {
+    if (v.empty()) return false;
+  }
+  return true;
+}
+
+// --- differential property suite ---------------------------------------------
+
+TEST(AlgebraKernelDifferentialTest, OpsAgreeWithLegacyOn250RandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 250; ++seed) {
+    std::mt19937_64 rng(seed);
+    const std::uint32_t pool = 5;
+    const int domain = 2 + static_cast<int>(seed % 4);    // 2..5
+    const int max_rows = 4 + static_cast<int>(seed % 17);  // 4..20
+
+    IdSet vars_a = RandomVars(&rng, pool, 1);
+    IdSet vars_b = RandomVars(&rng, pool, 1);
+    VarRelation la = RandomVarRel(&rng, vars_a, domain, max_rows);
+    VarRelation lb = RandomVarRel(&rng, vars_b, domain, max_rows);
+    Rel ka(la);
+    Rel kb(lb);
+
+    // Join.
+    EXPECT_TRUE(SameAsLegacy(Join(ka, kb), Join(la, lb))) << "seed " << seed;
+
+    // Semijoin, both directions, with changed-flag agreement.
+    bool kernel_changed = false;
+    bool legacy_changed = false;
+    Rel ks = Semijoin(ka, kb, &kernel_changed);
+    VarRelation ls = Semijoin(la, lb, &legacy_changed);
+    EXPECT_TRUE(SameAsLegacy(ks, ls)) << "seed " << seed;
+    EXPECT_EQ(kernel_changed, legacy_changed) << "seed " << seed;
+    EXPECT_TRUE(SameAsLegacy(Semijoin(kb, ka), Semijoin(lb, la)))
+        << "seed " << seed;
+
+    // Project onto a random subset of a's variables.
+    IdSet onto;
+    for (std::uint32_t v : vars_a) {
+      if (rng() % 2 == 0) onto.Insert(v);
+    }
+    EXPECT_TRUE(SameAsLegacy(Project(ka, onto), Project(la, onto)))
+        << "seed " << seed;
+
+    // Counted projection: keys match the plain projection, counts
+    // partition the source rows, and the streamed distinct count agrees.
+    CountedProjection counted = ProjectCounted(ka, onto);
+    EXPECT_TRUE(SameAsLegacy(counted.keys, Project(la, onto)))
+        << "seed " << seed;
+    CountInt total = 0;
+    for (CountInt c : counted.counts) total += c;
+    EXPECT_EQ(total, CountInt{la.size()}) << "seed " << seed;
+    EXPECT_EQ(DistinctCount(ka, onto), Project(la, onto).size())
+        << "seed " << seed;
+
+    // SelectEqual on a random variable/value.
+    std::uint32_t var = vars_a[rng() % vars_a.size()];
+    Value value = static_cast<Value>(rng() % domain);
+    EXPECT_TRUE(SameAsLegacy(SelectEqual(ka, var, value),
+                             SelectEqual(la, var, value)))
+        << "seed " << seed;
+
+    // Degree (max group size) against an independent reference.
+    EXPECT_EQ(MaxGroupSize(ka, onto), LegacyDegree(la, onto))
+        << "seed " << seed;
+
+    // Set equality both ways.
+    EXPECT_TRUE(SameRel(ka, Rel(la))) << "seed " << seed;
+    EXPECT_EQ(SameRel(ka, kb), SameVarRelation(la, lb)) << "seed " << seed;
+  }
+}
+
+TEST(AlgebraKernelDifferentialTest, ConsistencyFixpointAgreesWithLegacy) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    std::mt19937_64 rng(seed);
+    const std::uint32_t pool = 5;
+    std::vector<VarRelation> legacy;
+    std::vector<Rel> kernel;
+    const std::size_t num_views = 2 + seed % 4;  // 2..5
+    for (std::size_t i = 0; i < num_views; ++i) {
+      VarRelation v = RandomVarRel(&rng, RandomVars(&rng, pool, 1),
+                                   /*domain=*/3, /*max_rows=*/12);
+      kernel.push_back(v);
+      legacy.push_back(std::move(v));
+    }
+    bool kernel_ok = EnforcePairwiseConsistency(&kernel);
+    bool legacy_ok = LegacyEnforcePairwiseConsistency(&legacy);
+    EXPECT_EQ(kernel_ok, legacy_ok) << "seed " << seed;
+    if (kernel_ok && legacy_ok) {
+      for (std::size_t i = 0; i < num_views; ++i) {
+        EXPECT_TRUE(SameAsLegacy(kernel[i], legacy[i]))
+            << "seed " << seed << " view " << i;
+      }
+    }
+  }
+}
+
+// --- copy-on-write and sharing contracts --------------------------------------
+
+TEST(AlgebraKernelTest, ConversionDedupsAndUnitHasOneEmptyRow) {
+  VarRelation dup = MakeVarRel(IdSet{0}, {{1}, {1}, {2}});
+  Rel r(dup);
+  EXPECT_EQ(r.size(), 2u);
+  Rel unit = Rel::Unit();
+  EXPECT_EQ(unit.size(), 1u);
+  EXPECT_TRUE(unit.vars().empty());
+  // Unit is the Join identity.
+  Rel a = MakeVarRel(IdSet{0, 1}, {{1, 10}, {2, 20}});
+  EXPECT_TRUE(SameRel(Join(a, unit), a));
+}
+
+TEST(AlgebraKernelTest, CopiesAndNoOpSemijoinShareTheTable) {
+  Rel a = MakeVarRel(IdSet{0, 1}, {{1, 10}, {2, 20}, {3, 30}});
+  Rel copy = a;
+  EXPECT_EQ(copy.table().get(), a.table().get());
+
+  // b matches every row of a: the semijoin removes nothing and must return
+  // a handle to a's table itself, preserving cached indexes.
+  Rel b = MakeVarRel(IdSet{1, 2}, {{10, 5}, {20, 5}, {30, 6}});
+  bool changed = true;
+  Rel kept = Semijoin(a, b, &changed);
+  EXPECT_FALSE(changed);
+  EXPECT_EQ(kept.table().get(), a.table().get());
+
+  // Identity projection shares too.
+  EXPECT_EQ(Project(a, a.vars()).table().get(), a.table().get());
+
+  // A removing semijoin materializes a fresh table.
+  Rel c = MakeVarRel(IdSet{1}, {{10}});
+  Rel reduced = Semijoin(a, c, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_NE(reduced.table().get(), a.table().get());
+  EXPECT_EQ(reduced.size(), 1u);
+}
+
+TEST(AlgebraKernelTest, IndexCacheIsReusedPerKeyColumnSet) {
+  Rel b = MakeVarRel(IdSet{0, 1}, {{1, 10}, {2, 20}, {3, 30}});
+  EXPECT_EQ(b.table()->CachedIndexCount(), 0u);
+  auto first = b.table()->IndexOn({0});
+  EXPECT_EQ(b.table()->CachedIndexCount(), 1u);
+  auto second = b.table()->IndexOn({0});
+  EXPECT_EQ(second.get(), first.get());  // same cached index object
+  EXPECT_EQ(b.table()->CachedIndexCount(), 1u);
+  b.table()->IndexOn({1});
+  EXPECT_EQ(b.table()->CachedIndexCount(), 2u);
+
+  // Repeated semijoins against the same right-hand side hit the cache: the
+  // index over the shared columns is built once.
+  Rel a = MakeVarRel(IdSet{0}, {{1}, {2}});
+  std::size_t before = b.table()->CachedIndexCount();
+  Semijoin(a, b);
+  std::size_t after_one = b.table()->CachedIndexCount();
+  Semijoin(a, b);
+  Semijoin(a, b);
+  EXPECT_EQ(b.table()->CachedIndexCount(), after_one);
+  EXPECT_GE(after_one, before);
+}
+
+TEST(AlgebraKernelTest, GroupIndexExposesCountedGroups) {
+  Rel r = MakeVarRel(IdSet{0, 1}, {{1, 10}, {1, 11}, {2, 20}});
+  CountedProjection counted = ProjectCounted(r, IdSet{0});
+  ASSERT_EQ(counted.keys.size(), 2u);
+  ASSERT_EQ(counted.counts.size(), 2u);
+  // Key 1 has multiplicity 2, key 2 multiplicity 1 (order-insensitive).
+  CountInt total = counted.counts[0] + counted.counts[1];
+  EXPECT_EQ(total, CountInt{3});
+  EXPECT_EQ(DistinctCount(r, IdSet{0}), 2u);
+  EXPECT_EQ(MaxGroupSize(r, IdSet{0}), 2u);
+  EXPECT_EQ(MaxGroupSize(r, IdSet{0, 1}), 1u);
+  // Empty key set: one group holding every row.
+  EXPECT_EQ(MaxGroupSize(r, IdSet{}), 3u);
+}
+
+// --- Relation membership-cache invalidation ----------------------------------
+
+TEST(RelationMembershipCacheTest, InvalidatedByMutation) {
+  Relation r(2);
+  r.AddRow({1, 2});
+  r.AddRow({3, 4});
+  EXPECT_FALSE(r.HasCachedMembershipIndex());
+
+  // First membership check builds and caches the index.
+  EXPECT_TRUE(r.ContainsRow(std::vector<Value>{1, 2}));
+  EXPECT_TRUE(r.HasCachedMembershipIndex());
+  EXPECT_FALSE(r.ContainsRow(std::vector<Value>{9, 9}));
+
+  // Mutation drops the cache; the next check must see the new row.
+  r.AddRow({9, 9});
+  EXPECT_FALSE(r.HasCachedMembershipIndex());
+  EXPECT_TRUE(r.ContainsRow(std::vector<Value>{9, 9}));
+  EXPECT_TRUE(r.ContainsRow(std::vector<Value>{1, 2}));
+
+  // Dedup (which sorts) also invalidates; results stay correct.
+  r.AddRow({1, 2});
+  r.Dedup();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.ContainsRow(std::vector<Value>{1, 2}));
+  EXPECT_TRUE(r.ContainsRow(std::vector<Value>{9, 9}));
+  EXPECT_FALSE(r.ContainsRow(std::vector<Value>{2, 1}));
+
+  // Copies do not inherit the cache but answer correctly.
+  EXPECT_TRUE(r.ContainsRow(std::vector<Value>{3, 4}));
+  Relation copy = r;
+  EXPECT_FALSE(copy.HasCachedMembershipIndex());
+  EXPECT_TRUE(copy.ContainsRow(std::vector<Value>{3, 4}));
+}
+
+}  // namespace
+}  // namespace sharpcq

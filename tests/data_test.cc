@@ -20,6 +20,25 @@ TEST(ValueDictTest, InternAndLookup) {
   EXPECT_EQ(dict.NameOf(999), "999");  // un-interned falls back to decimal
 }
 
+TEST(ValueDictTest, HeterogeneousLookupAvoidsCopies) {
+  ValueDict dict;
+  std::string line = "alice,bob,alice";
+  // Probing with views into a larger buffer must not require std::string.
+  std::string_view alice = std::string_view(line).substr(0, 5);
+  std::string_view bob = std::string_view(line).substr(6, 3);
+  Value a = dict.Intern(alice);
+  Value b = dict.Intern(bob);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern(std::string_view(line).substr(10, 5)), a);
+  EXPECT_EQ(dict.Find(alice), a);
+  EXPECT_EQ(dict.Find("bob"), b);
+  EXPECT_FALSE(dict.Find(std::string_view("carol")).has_value());
+  // Stored names are owned copies, independent of the probe buffer.
+  line.assign(line.size(), 'x');
+  EXPECT_EQ(dict.NameOf(a), "alice");
+  EXPECT_EQ(dict.NameOf(b), "bob");
+}
+
 TEST(RelationTest, AddAndRead) {
   Relation r(2);
   r.AddRow({1, 2});
