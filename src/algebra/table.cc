@@ -111,6 +111,14 @@ std::shared_ptr<const Table> Table::Empty(int arity) {
       std::vector<std::vector<Value>>(static_cast<std::size_t>(arity)), 0));
 }
 
+std::shared_ptr<const Table> Table::FromExternal(
+    std::vector<std::span<const Value>> cols, std::size_t rows,
+    std::shared_ptr<const void> arena) {
+  for (const auto& col : cols) SHARPCQ_CHECK(col.size() == rows);
+  return std::shared_ptr<const Table>(
+      new Table(std::move(cols), rows, std::move(arena)));
+}
+
 std::shared_ptr<const Table> Table::Gather(
     const Table& src, std::span<const std::uint32_t> row_ids) {
   std::vector<std::vector<Value>> cols(

@@ -69,9 +69,17 @@ class TableIndex {
 // the tuple data, which is what makes the lazy index cache safe to share
 // across threads (see DESIGN.md, "Concurrency model").
 //
+// A table either owns its column buffers (TableBuilder/Gather) or aliases
+// external memory kept alive by an arena handle (FromExternal) — the
+// storage layer maps snapshot files and serves their column segments as
+// tables without copying (see storage/snapshot.h). Readers cannot tell the
+// difference: both forms are accessed through the same column views.
+//
 // Invariant: every published Table is a *set* of rows (no duplicates).
 // TableBuilder::Build establishes it (hash dedup) and every kernel operator
 // in algebra/rel.h preserves it; Join relies on it to skip output dedup.
+// FromExternal trusts the caller (the snapshot writer canonicalizes rows
+// before they ever reach a file).
 class Table {
  public:
   std::size_t rows() const { return rows_; }
@@ -107,15 +115,35 @@ class Table {
   static std::shared_ptr<const Table> Gather(
       const Table& src, std::span<const std::uint32_t> row_ids);
 
+  // External-arena construction: the table's columns alias caller-provided
+  // memory that `arena` keeps alive (a mapped snapshot, or another table
+  // whose columns are being re-ordered). Every span must hold exactly
+  // `rows` values, and the rows must already form a set — the snapshot
+  // writer guarantees both for mapped segments.
+  static std::shared_ptr<const Table> FromExternal(
+      std::vector<std::span<const Value>> cols, std::size_t rows,
+      std::shared_ptr<const void> arena);
+
+  // True when the column buffers alias external memory (diagnostics).
+  bool is_external() const { return arena_ != nullptr; }
+
   std::string DebugString() const;
 
  private:
   friend class TableBuilder;
   Table(std::vector<std::vector<Value>> cols, std::size_t rows)
-      : cols_(std::move(cols)), rows_(rows) {}
+      : owned_(std::move(cols)), rows_(rows) {
+    cols_.reserve(owned_.size());
+    for (const auto& col : owned_) cols_.emplace_back(col.data(), rows_);
+  }
+  Table(std::vector<std::span<const Value>> views, std::size_t rows,
+        std::shared_ptr<const void> arena)
+      : cols_(std::move(views)), rows_(rows), arena_(std::move(arena)) {}
 
-  std::vector<std::vector<Value>> cols_;
+  std::vector<std::vector<Value>> owned_;     // empty for external tables
+  std::vector<std::span<const Value>> cols_;  // views into owned_ or arena
   std::size_t rows_;  // tracked separately so arity-0 tables can hold a row
+  std::shared_ptr<const void> arena_;  // keeps external storage alive
 
   mutable std::mutex cache_mu_;
   mutable std::map<std::vector<int>, std::shared_ptr<const TableIndex>>

@@ -1,5 +1,7 @@
 #include "data/csv.h"
 
+#include <sys/stat.h>
+
 #include <charconv>
 #include <fstream>
 #include <string_view>
@@ -9,6 +11,13 @@
 namespace sharpcq {
 
 namespace {
+
+CsvResult Fail(CsvStatus status, std::string message) {
+  CsvResult result;
+  result.status = status;
+  result.message = std::move(message);
+  return result;
+}
 
 // Fields arrive as views into the current line; numeric parsing and
 // dictionary interning both work without copying the field.
@@ -25,26 +34,23 @@ bool ParseField(std::string_view field, ValueDict* dict, Value* out,
     }
   }
   if (dict == nullptr) {
-    if (error != nullptr) {
-      *error = "non-numeric field '" + std::string(field) +
-               "' needs a ValueDict";
-    }
+    *error = "non-numeric field '" + std::string(field) +
+             "' needs a ValueDict";
     return false;
   }
   *out = dict->Intern(field);
   return true;
 }
 
-}  // namespace
-
-std::optional<std::size_t> LoadRelationCsv(std::istream& in,
-                                           const std::string& relation,
-                                           Database* db, ValueDict* dict,
-                                           std::string* error) {
-  std::size_t loaded = 0;
+// The shared parse loop; `emit` receives each parsed row.
+CsvResult ParseCsv(std::istream& in, ValueDict* dict,
+                   const CsvRowSink& emit) {
+  CsvResult result;
   int arity = -1;
   std::string line;
+  std::string error;
   std::size_t line_number = 0;
+  std::vector<Value> row;
   while (std::getline(in, line)) {
     ++line_number;
     std::string_view stripped = StripWhitespace(line);
@@ -53,36 +59,68 @@ std::optional<std::size_t> LoadRelationCsv(std::istream& in,
     if (arity == -1) {
       arity = static_cast<int>(fields.size());
     } else if (static_cast<int>(fields.size()) != arity) {
-      if (error != nullptr) {
-        *error = "line " + std::to_string(line_number) +
-                 ": arity mismatch (expected " + std::to_string(arity) + ")";
-      }
-      return std::nullopt;
+      return Fail(CsvStatus::kParseError,
+                  "line " + std::to_string(line_number) +
+                      ": arity mismatch (expected " + std::to_string(arity) +
+                      ")");
     }
-    std::vector<Value> row(fields.size());
+    row.resize(fields.size());
     for (std::size_t i = 0; i < fields.size(); ++i) {
-      if (!ParseField(fields[i], dict, &row[i], error)) return std::nullopt;
+      if (!ParseField(fields[i], dict, &row[i], &error)) {
+        return Fail(CsvStatus::kParseError,
+                    "line " + std::to_string(line_number) + ": " + error);
+      }
     }
-    db->AddTuple(relation, std::span<const Value>(row));
-    ++loaded;
+    emit(std::span<const Value>(row));
+    ++result.tuples;
   }
   if (arity == -1) {
-    if (error != nullptr) *error = "no tuples in input";
-    return std::nullopt;
+    return Fail(CsvStatus::kParseError, "no tuples in input");
   }
-  return loaded;
+  return result;
 }
 
-std::optional<std::size_t> LoadRelationCsvFile(const std::string& path,
-                                               const std::string& relation,
-                                               Database* db, ValueDict* dict,
-                                               std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return std::nullopt;
+// Open with the file-missing / unreadable distinction surfaced.
+CsvResult OpenCsvFile(const std::string& path, std::ifstream* in) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Fail(CsvStatus::kFileMissing, "no such file: " + path);
   }
-  return LoadRelationCsv(in, relation, db, dict, error);
+  in->open(path);
+  if (!*in) {
+    return Fail(CsvStatus::kIoError, "cannot read " + path);
+  }
+  CsvResult ok;
+  return ok;
+}
+
+}  // namespace
+
+CsvResult LoadRelationCsv(std::istream& in, const std::string& relation,
+                          Database* db, ValueDict* dict) {
+  return ParseCsv(in, dict, [db, &relation](std::span<const Value> row) {
+    db->AddTuple(relation, row);
+  });
+}
+
+CsvResult LoadRelationCsvFile(const std::string& path,
+                              const std::string& relation, Database* db,
+                              ValueDict* dict) {
+  std::ifstream in;
+  if (CsvResult opened = OpenCsvFile(path, &in); !opened.ok()) return opened;
+  return LoadRelationCsv(in, relation, db, dict);
+}
+
+CsvResult ParseCsvToSink(std::istream& in, const CsvRowSink& sink,
+                         ValueDict* dict) {
+  return ParseCsv(in, dict, sink);
+}
+
+CsvResult ParseCsvFileToSink(const std::string& path, const CsvRowSink& sink,
+                             ValueDict* dict) {
+  std::ifstream in;
+  if (CsvResult opened = OpenCsvFile(path, &in); !opened.ok()) return opened;
+  return ParseCsv(in, dict, sink);
 }
 
 void WriteRelationCsv(const Database& db, const std::string& relation,

@@ -1,9 +1,11 @@
 #ifndef SHARPCQ_DATA_CSV_H_
 #define SHARPCQ_DATA_CSV_H_
 
+#include <cstddef>
+#include <functional>
 #include <istream>
-#include <optional>
 #include <ostream>
+#include <span>
 #include <string>
 
 #include "data/database.h"
@@ -16,21 +18,45 @@ namespace sharpcq {
 // their numeric value; anything else is interned through `dict` (required
 // if such fields appear). Blank lines and lines starting with '#' are
 // skipped.
-//
-// Returns the number of tuples loaded, or nullopt on malformed input
-// (inconsistent arity, bad field), with a reason in *error.
-std::optional<std::size_t> LoadRelationCsv(std::istream& in,
-                                           const std::string& relation,
-                                           Database* db,
-                                           ValueDict* dict = nullptr,
-                                           std::string* error = nullptr);
 
-// Convenience: loads from a file path.
-std::optional<std::size_t> LoadRelationCsvFile(const std::string& path,
-                                               const std::string& relation,
-                                               Database* db,
-                                               ValueDict* dict = nullptr,
-                                               std::string* error = nullptr);
+// Why a load failed. The distinction between a missing file and a
+// malformed one matters to callers (the sharpcq CLI maps them to different
+// exit codes: a missing file is an operator typo, a parse error is bad
+// data).
+enum class CsvStatus {
+  kOk,
+  kFileMissing,  // the path does not exist
+  kIoError,      // the path exists but cannot be read
+  kParseError,   // malformed content (bad field, arity mismatch, empty)
+};
+
+struct CsvResult {
+  CsvStatus status = CsvStatus::kOk;
+  std::size_t tuples = 0;   // tuples loaded (0 unless kOk)
+  std::string message;      // human-readable reason when !ok()
+
+  bool ok() const { return status == CsvStatus::kOk; }
+  explicit operator bool() const { return ok(); }
+};
+
+// Loads one relation into `db`.
+CsvResult LoadRelationCsv(std::istream& in, const std::string& relation,
+                          Database* db, ValueDict* dict = nullptr);
+
+// Convenience: loads from a file path (kFileMissing when absent).
+CsvResult LoadRelationCsvFile(const std::string& path,
+                              const std::string& relation, Database* db,
+                              ValueDict* dict = nullptr);
+
+// The generic form: each parsed row goes to `sink` instead of a Database.
+// Higher layers stream rows wherever they like without this module
+// knowing about them — storage/snapshot.h builds its CSV -> snapshot
+// ingest on this (data/ stays at the bottom of the layering).
+using CsvRowSink = std::function<void(std::span<const Value>)>;
+CsvResult ParseCsvToSink(std::istream& in, const CsvRowSink& sink,
+                         ValueDict* dict = nullptr);
+CsvResult ParseCsvFileToSink(const std::string& path, const CsvRowSink& sink,
+                             ValueDict* dict = nullptr);
 
 // Writes a relation as CSV (values rendered through `dict` when provided).
 void WriteRelationCsv(const Database& db, const std::string& relation,

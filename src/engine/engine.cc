@@ -7,6 +7,35 @@
 
 namespace sharpcq {
 
+std::optional<PlannerOptions> PlannerOptionsForStrategy(
+    std::string_view name, const PlannerOptions& base) {
+  PlannerOptions options = base;
+  if (name == "auto") return options;
+  if (name == "sharp") {
+    options.enable_acyclic_ps13 = false;
+    options.enable_hybrid = false;
+    return options;
+  }
+  if (name == "ps13") {
+    options.max_width = 0;  // no width budget: the #-hypertree search is off
+    options.enable_acyclic_ps13 = true;
+    options.enable_hybrid = false;
+    return options;
+  }
+  if (name == "hybrid") {
+    options.enable_acyclic_ps13 = false;
+    options.enable_hybrid = true;
+    return options;
+  }
+  if (name == "backtracking") {
+    options.max_width = 0;
+    options.enable_acyclic_ps13 = false;
+    options.enable_hybrid = false;
+    return options;
+  }
+  return std::nullopt;
+}
+
 CountingEngine::CountingEngine(EngineOptions options)
     : options_(options),
       cache_(options.plan_cache_capacity, options.plan_cache_shards) {}

@@ -4,6 +4,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/sharp_counting.h"
@@ -29,6 +31,21 @@ struct EngineOptions {
   // synchronous engines never start threads.
   std::size_t batch_threads = 0;
 };
+
+// Named planner policies, for tools that take a strategy by name (the
+// sharpcq CLI's --strategy flag, the storage catalog's config). Returns the
+// planner gates that force the strategy, derived from `base`:
+//
+//   "auto"          base unchanged (the planner's preference order)
+//   "sharp"         structural #-hypertree only, backtracking fallback
+//   "ps13"          acyclic PS13 only, backtracking fallback
+//   "hybrid"        hybrid #b gates (PS13 disabled; a width-k #-hypertree
+//                   still wins if one exists — the planner's fixed order)
+//   "backtracking"  brute force
+//
+// nullopt for an unknown name.
+std::optional<PlannerOptions> PlannerOptionsForStrategy(
+    std::string_view name, const PlannerOptions& base = {});
 
 // One unit of batch work: count `query` over `*db`. The database is
 // referenced, not copied — it must outlive the CountBatch/CountAsync call.

@@ -1,0 +1,280 @@
+#include "storage/catalog.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace sharpcq {
+
+namespace {
+
+constexpr std::string_view kManifestHeader = "sharpcq-manifest v1";
+
+bool EnsureDir(const std::string& path, std::string* error) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return true;
+  if (error != nullptr) {
+    *error = "cannot create directory " + path + ": " + std::strerror(errno);
+  }
+  return false;
+}
+
+// Database names become directory names; restrict them to a safe alphabet
+// rather than letting "../evil" escape the root.
+bool ValidName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return name != "." && name != "..";
+}
+
+std::string GenerationFile(std::uint64_t generation) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snapshot-%06llu.sharpcq",
+                static_cast<unsigned long long>(generation));
+  return buf;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// Cross-process ingest serialization: an exclusive flock on
+// <dbdir>/LOCK held for the whole read-manifest -> write-snapshot ->
+// swap-manifest sequence. Without it two processes could both read
+// current=N and both install N+1, silently losing one writer.
+class IngestLock {
+ public:
+  explicit IngestLock(const std::string& db_dir) {
+    fd_ = ::open((db_dir + "/LOCK").c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~IngestLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  bool ok() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace
+
+Catalog::Catalog(std::string root) : Catalog(std::move(root), Options()) {}
+
+Catalog::Catalog(std::string root, Options options)
+    : root_(std::move(root)), options_(std::move(options)) {}
+
+std::string Catalog::DatabaseDir(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+std::string Catalog::ManifestPath(const std::string& name) const {
+  return DatabaseDir(name) + "/MANIFEST";
+}
+
+std::string Catalog::SnapshotPath(const std::string& name,
+                                  std::uint64_t generation) const {
+  return DatabaseDir(name) + "/" + GenerationFile(generation);
+}
+
+bool Catalog::WriteManifest(const std::string& name, std::uint64_t current,
+                            const std::vector<std::uint64_t>& generations,
+                            std::string* error) {
+  std::ostringstream out;
+  out << kManifestHeader << "\n";
+  out << "current " << current << "\n";
+  for (std::uint64_t gen : generations) {
+    out << "snapshot " << gen << " " << GenerationFile(gen) << "\n";
+  }
+  std::string text = out.str();
+  return AtomicWriteFile(
+      ManifestPath(name),
+      {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()},
+      error);
+}
+
+std::optional<std::vector<std::uint64_t>> Catalog::ReadGenerations(
+    const std::string& name, std::uint64_t* current,
+    std::string* error) const {
+  std::ifstream in(ManifestPath(name));
+  if (!in) {
+    if (error != nullptr) {
+      *error = "no database '" + name + "' under " + root_ +
+               " (missing manifest)";
+    }
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line) || StripWhitespace(line) != kManifestHeader) {
+    if (error != nullptr) {
+      *error = "malformed manifest for database '" + name + "'";
+    }
+    return std::nullopt;
+  }
+  bool have_current = false;
+  std::vector<std::uint64_t> generations;
+  while (std::getline(in, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::istringstream fields{std::string(stripped)};
+    std::string kind;
+    fields >> kind;
+    if (kind == "current") {
+      unsigned long long gen = 0;
+      fields >> gen;
+      *current = gen;
+      have_current = true;
+    } else if (kind == "snapshot") {
+      unsigned long long gen = 0;
+      fields >> gen;
+      generations.push_back(gen);
+    }
+  }
+  if (!have_current) {
+    if (error != nullptr) {
+      *error = "manifest for '" + name + "' has no current generation";
+    }
+    return std::nullopt;
+  }
+  return generations;
+}
+
+std::optional<std::uint64_t> Catalog::CurrentGeneration(
+    const std::string& name, std::string* error) const {
+  if (!ValidName(name)) {
+    if (error != nullptr) *error = "invalid database name '" + name + "'";
+    return std::nullopt;
+  }
+  std::uint64_t current = 0;
+  if (!ReadGenerations(name, &current, error).has_value()) {
+    return std::nullopt;
+  }
+  return current;
+}
+
+std::optional<std::uint64_t> Catalog::Ingest(const std::string& name,
+                                             const Database& db,
+                                             const ValueDict* dict,
+                                             std::string* error) {
+  if (!ValidName(name)) {
+    if (error != nullptr) *error = "invalid database name '" + name + "'";
+    return std::nullopt;
+  }
+  if (!EnsureDir(root_, error) || !EnsureDir(DatabaseDir(name), error)) {
+    return std::nullopt;
+  }
+  // One ingest at a time per database: in-process via mu_-independent
+  // file lock semantics — the flock also serializes ingests from other
+  // processes sharing the catalog root.
+  IngestLock lock(DatabaseDir(name));
+  if (!lock.ok()) {
+    if (error != nullptr) {
+      *error = "cannot lock database '" + name + "' for ingest";
+    }
+    return std::nullopt;
+  }
+  std::uint64_t current = 0;
+  std::vector<std::uint64_t> generations;
+  if (FileExists(ManifestPath(name))) {
+    // A present-but-unreadable manifest must fail the ingest: falling back
+    // to generation 1 would rename over an existing immutable snapshot a
+    // reader may be mapping. Only a missing manifest means "fresh".
+    auto existing = ReadGenerations(name, &current, error);
+    if (!existing.has_value()) return std::nullopt;
+    generations = std::move(*existing);
+  }
+  const std::uint64_t next = current + 1;
+  // The snapshot lands first; the manifest swap is the commit point. A
+  // crash in between leaves an unreferenced snapshot file, never a
+  // manifest pointing at a missing or partial one.
+  if (!WriteSnapshot(db, dict, SnapshotPath(name, next), error).has_value()) {
+    return std::nullopt;
+  }
+  generations.push_back(next);
+  if (!WriteManifest(name, next, generations, error)) return std::nullopt;
+  return next;
+}
+
+std::shared_ptr<const Catalog::Entry> Catalog::Open(const std::string& name,
+                                                    std::string* error) {
+  if (!ValidName(name)) {
+    if (error != nullptr) *error = "invalid database name '" + name + "'";
+    return nullptr;
+  }
+  std::uint64_t current = 0;
+  if (!ReadGenerations(name, &current, error).has_value()) return nullptr;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_.find(name);
+    if (it != open_.end() && it->second->generation == current) {
+      return it->second;
+    }
+  }
+
+  std::optional<LoadedSnapshot> loaded =
+      LoadSnapshot(SnapshotPath(name, current), options_.load_mode, error);
+  if (!loaded.has_value()) return nullptr;
+
+  auto entry = std::make_shared<Entry>();
+  entry->name = name;
+  entry->generation = current;
+  entry->db = std::make_shared<const Database>(std::move(loaded->db));
+  entry->dict = std::make_shared<const ValueDict>(std::move(loaded->dict));
+  entry->info = std::move(loaded->info);
+  entry->mode = options_.load_mode;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // The engine outlives generations on purpose: plans depend only on the
+  // query shape, so a data swap must not cold-start the plan cache.
+  auto [engine_it, inserted] = engines_.emplace(name, nullptr);
+  if (inserted) {
+    engine_it->second = std::make_shared<CountingEngine>(options_.engine);
+  }
+  entry->engine = engine_it->second;
+  // Two threads may have loaded the same generation concurrently; last one
+  // wins, both entries are equivalent and immutable.
+  open_[name] = entry;
+  return entry;
+}
+
+std::vector<std::string> Catalog::ListDatabases() const {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(root_.c_str());
+  if (dir == nullptr) return names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (!ValidName(name)) continue;
+    struct stat st;
+    if (::stat(ManifestPath(name).c_str(), &st) == 0) {
+      names.push_back(std::move(name));
+    }
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,98 @@
+#ifndef SHARPCQ_STORAGE_CATALOG_H_
+#define SHARPCQ_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "storage/snapshot.h"
+
+namespace sharpcq {
+
+// Durable, named databases on disk. Each database is a directory
+//
+//   <root>/<name>/MANIFEST                    current + retained generations
+//   <root>/<name>/snapshot-<gen>.sharpcq      immutable snapshot files
+//
+// Generations are immutable once written; ingest writes generation N+1 and
+// then swaps the manifest atomically (AtomicWriteFile), so a reader either
+// sees the old generation or the new one — never a torn state — and
+// requests already serving the old generation keep their shared_ptr alive
+// until they finish (ingest-while-serving).
+//
+// Open() hands out the current generation as an immutable Entry: the
+// database (columnar, mapped by default), its dictionary, and the
+// per-database CountingEngine. The engine is shared across generations of
+// the same name, so the plan cache stays warm over data swaps — plans are
+// query-only and survive any database content (see engine/planner.h).
+class Catalog {
+ public:
+  struct Options {
+    SnapshotLoadMode load_mode = SnapshotLoadMode::kMapped;
+    EngineOptions engine;
+  };
+
+  explicit Catalog(std::string root);  // default Options
+  Catalog(std::string root, Options options);
+
+  struct Entry {
+    std::string name;
+    std::uint64_t generation = 0;
+    std::shared_ptr<const Database> db;
+    std::shared_ptr<const ValueDict> dict;
+    std::shared_ptr<CountingEngine> engine;
+    SnapshotInfo info;
+    SnapshotLoadMode mode = SnapshotLoadMode::kMapped;
+  };
+
+  // Writes `db` as the next generation of `name` and swaps the manifest.
+  // Returns the new generation number, or nullopt with *error set.
+  std::optional<std::uint64_t> Ingest(const std::string& name,
+                                      const Database& db,
+                                      const ValueDict* dict,
+                                      std::string* error);
+
+  // The current generation of `name`, loading it on first access or after
+  // an ingest moved the manifest. Entries are cached per (name, generation)
+  // so repeated opens are O(manifest read).
+  std::shared_ptr<const Entry> Open(const std::string& name,
+                                    std::string* error);
+
+  // Database names present under the root (directories with a MANIFEST).
+  std::vector<std::string> ListDatabases() const;
+
+  // The manifest's current generation without loading data (nullopt when
+  // the database does not exist).
+  std::optional<std::uint64_t> CurrentGeneration(const std::string& name,
+                                                 std::string* error) const;
+
+  std::string SnapshotPath(const std::string& name,
+                           std::uint64_t generation) const;
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string DatabaseDir(const std::string& name) const;
+  std::string ManifestPath(const std::string& name) const;
+  bool WriteManifest(const std::string& name, std::uint64_t current,
+                     const std::vector<std::uint64_t>& generations,
+                     std::string* error);
+  std::optional<std::vector<std::uint64_t>> ReadGenerations(
+      const std::string& name, std::uint64_t* current,
+      std::string* error) const;
+
+  std::string root_;
+  Options options_;
+
+  mutable std::mutex mu_;  // guards the two caches below
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> open_;
+  std::unordered_map<std::string, std::shared_ptr<CountingEngine>> engines_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_STORAGE_CATALOG_H_

@@ -1,0 +1,57 @@
+#include "storage/mem_map.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sharpcq {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::shared_ptr<const MemMap> MemMap::Open(const std::string& path,
+                                           std::string* error) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno("cannot open", path);
+    return nullptr;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) *error = Errno("cannot stat", path);
+    ::close(fd);
+    return nullptr;
+  }
+  std::size_t size = static_cast<std::size_t>(st.st_size);
+  const std::uint8_t* data = nullptr;
+  if (size > 0) {
+    void* ptr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (ptr == MAP_FAILED) {
+      if (error != nullptr) *error = Errno("cannot mmap", path);
+      ::close(fd);
+      return nullptr;
+    }
+    data = static_cast<const std::uint8_t*>(ptr);
+  }
+  // The mapping survives the descriptor; closing keeps the fd table small
+  // no matter how many snapshots a catalog serves.
+  ::close(fd);
+  return std::shared_ptr<const MemMap>(new MemMap(data, size));
+}
+
+MemMap::~MemMap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,41 @@
+#ifndef SHARPCQ_STORAGE_MEM_MAP_H_
+#define SHARPCQ_STORAGE_MEM_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sharpcq {
+
+// Read-only memory mapping of a file. The mapping lives as long as the
+// MemMap object; the storage layer shares it through shared_ptr so tables
+// aliasing the mapped pages (Table::FromExternal) keep the file resident
+// for exactly as long as any table handle does — the mmap lifetime rule of
+// DESIGN.md's Storage section. Pages are shared (MAP_SHARED read-only), so
+// several processes serving the same snapshot use one physical copy.
+class MemMap {
+ public:
+  // Maps `path` read-only; returns nullptr with a reason in *error on
+  // failure. An empty file maps to a valid zero-length MemMap.
+  static std::shared_ptr<const MemMap> Open(const std::string& path,
+                                            std::string* error);
+
+  ~MemMap();
+  MemMap(const MemMap&) = delete;
+  MemMap& operator=(const MemMap&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  MemMap(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_STORAGE_MEM_MAP_H_

@@ -1,0 +1,767 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <numeric>
+
+#include "algebra/table.h"
+#include "storage/mem_map.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace sharpcq {
+
+namespace {
+
+constexpr std::size_t kHeaderChecksumOffset = 0x60;
+
+std::size_t Align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+bool HostIsLittleEndian() {
+  return std::endian::native == std::endian::little;
+}
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// --- serialization helpers -------------------------------------------------
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PokeU64(std::vector<std::uint8_t>* out, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*out)[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void PokeU32(std::vector<std::uint8_t>* out, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*out)[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void PadTo8(std::vector<std::uint8_t>* out) {
+  while (out->size() % 8 != 0) out->push_back(0);
+}
+
+// Bounds-checked cursor over the mapped bytes: every read is validated, so
+// truncated or foreign files fail with an error, never with UB.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t offset() const { return offset_; }
+  bool ok() const { return ok_; }
+
+  std::uint32_t ReadU32() { return static_cast<std::uint32_t>(ReadLE(4)); }
+  std::uint64_t ReadU64() { return ReadLE(8); }
+
+  std::span<const std::uint8_t> ReadBytes(std::size_t n) {
+    if (!Ensure(n)) return {};
+    std::span<const std::uint8_t> out(data_ + offset_, n);
+    offset_ += n;
+    return out;
+  }
+
+  void SeekTo(std::size_t offset) {
+    if (offset > size_) {
+      ok_ = false;
+      return;
+    }
+    offset_ = offset;
+  }
+
+ private:
+  bool Ensure(std::size_t n) {
+    if (!ok_ || size_ - offset_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint64_t ReadLE(std::size_t n) {
+    if (!Ensure(n)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+    }
+    offset_ += n;
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+std::uint64_t ChecksumBytes(std::span<const std::uint8_t> bytes) {
+  return HashRange(bytes.begin(), bytes.end(), /*seed=*/0x53515243u);
+}
+
+std::uint64_t ChecksumValues(std::span<const Value> values) {
+  return HashRange(values.begin(), values.end(), /*seed=*/0x53515243u);
+}
+
+// Value load that tolerates any alignment (owned mode copies; checksum
+// verification streams) without aliasing games.
+Value LoadValueAt(const std::uint8_t* p) {
+  Value v;
+  std::memcpy(&v, p, sizeof(Value));
+  return v;
+}
+
+std::uint64_t ChecksumRawColumn(const std::uint8_t* p, std::uint64_t rows) {
+  std::uint64_t h = 0x53515243u;
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    h = HashCombine(h, static_cast<std::size_t>(LoadValueAt(p + i * 8)));
+  }
+  return h;
+}
+
+// --- atomic install --------------------------------------------------------
+
+std::string DirOf(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool FsyncPath(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+// Streaming write-to-temp + fsync + rename: a crash (or an abandoned,
+// uncommitted writer) leaves either the old file or nothing new, never a
+// torn mix. The O_EXCL temp open (ursadb's ExclusiveFile) stops two
+// writers *in one process* from interleaving on one temp file; temp names
+// are pid-suffixed, so cross-process mutual exclusion is the caller's job
+// (the catalog holds a per-database flock during ingest). Streaming keeps
+// the snapshot writer's peak memory at the staging columns alone — the
+// file is never fully buffered.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(const std::string& path)
+      : path_(path), tmp_(path + ".tmp." + std::to_string(::getpid())) {
+    fd_ = ::open(tmp_.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  }
+
+  ~AtomicFileWriter() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      ::unlink(tmp_.c_str());
+    }
+  }
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool Append(std::span<const std::uint8_t> bytes, std::string* error) {
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      ssize_t n = ::write(fd_, bytes.data() + written,
+                          bytes.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        SetError(error, "write " + tmp_ + ": " + std::strerror(errno));
+        return false;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // fsync + rename over the destination; the rename is the commit point.
+  bool Commit(std::string* error) {
+    if (::fsync(fd_) != 0) {
+      SetError(error, "fsync " + tmp_ + ": " + std::strerror(errno));
+      return false;
+    }
+    ::close(fd_);
+    fd_ = -1;  // past this point the dtor must not close or unlink
+    if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      SetError(error, "rename " + tmp_ + " -> " + path_ + ": " +
+                          std::strerror(errno));
+      ::unlink(tmp_.c_str());
+      return false;
+    }
+    FsyncPath(DirOf(path_));  // persist the rename itself
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  int fd_ = -1;
+};
+
+}  // namespace
+
+bool AtomicWriteFile(const std::string& path,
+                     std::span<const std::uint8_t> bytes,
+                     std::string* error) {
+  AtomicFileWriter writer(path);
+  if (!writer.ok()) {
+    SetError(error, "cannot create temp file for " + path + ": " +
+                        std::strerror(errno));
+    return false;
+  }
+  return writer.Append(bytes, error) && writer.Commit(error);
+}
+
+// --- SnapshotWriter --------------------------------------------------------
+
+void SnapshotWriter::DeclareRelation(const std::string& relation, int arity) {
+  SHARPCQ_CHECK(arity >= 0);
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    Pending pending;
+    pending.arity = arity;
+    pending.cols.resize(static_cast<std::size_t>(arity));
+    relations_.emplace(relation, std::move(pending));
+    return;
+  }
+  SHARPCQ_CHECK_MSG(it->second.arity == arity, relation.c_str());
+}
+
+void SnapshotWriter::AddRow(const std::string& relation,
+                            std::span<const Value> row) {
+  DeclareRelation(relation, static_cast<int>(row.size()));
+  Pending& pending = relations_[relation];
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    pending.cols[c].push_back(row[c]);
+  }
+  ++pending.rows;
+}
+
+void SnapshotWriter::AddRelation(const std::string& name,
+                                 const Relation& rel) {
+  DeclareRelation(name, rel.arity());
+  for (std::size_t i = 0; i < rel.size(); ++i) AddRow(name, rel.Row(i));
+}
+
+void SnapshotWriter::AddDatabase(const Database& db) {
+  std::vector<Value> row;
+  for (const std::string& name : db.SortedRelationNames()) {
+    std::shared_ptr<const Table> table = db.ColumnarBacking(name);
+    if (table == nullptr) {
+      AddRelation(name, db.relation(name));
+      continue;
+    }
+    DeclareRelation(name, table->arity());
+    row.resize(static_cast<std::size_t>(table->arity()));
+    for (std::size_t i = 0; i < table->rows(); ++i) {
+      for (int c = 0; c < table->arity(); ++c) {
+        row[static_cast<std::size_t>(c)] = table->at(i, c);
+      }
+      AddRow(name, row);
+    }
+  }
+}
+
+std::optional<int> SnapshotWriter::RelationArity(
+    const std::string& relation) const {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return std::nullopt;
+  return it->second.arity;
+}
+
+std::size_t SnapshotWriter::pending_rows() const {
+  std::size_t total = 0;
+  for (const auto& [name, pending] : relations_) total += pending.rows;
+  return total;
+}
+
+std::optional<SnapshotWriteStats> SnapshotWriter::Finish(
+    const std::string& path, const ValueDict* dict, std::string* error) {
+  SHARPCQ_CHECK_MSG(HostIsLittleEndian(),
+                    "snapshot writing requires a little-endian host");
+  // Canonicalize every relation: rows sorted lexicographically and
+  // deduplicated. Snapshots of the same logical database are byte-stable
+  // no matter the insertion order.
+  for (auto& [name, pending] : relations_) {
+    if (pending.arity == 0) {
+      pending.rows = pending.rows > 0 ? 1 : 0;  // a set holds <= 1 empty row
+      continue;
+    }
+    std::vector<std::uint32_t> order(pending.rows);
+    std::iota(order.begin(), order.end(), 0);
+    const auto& cols = pending.cols;
+    auto row_less = [&cols](std::uint32_t a, std::uint32_t b) {
+      for (const auto& col : cols) {
+        if (col[a] != col[b]) return col[a] < col[b];
+      }
+      return false;
+    };
+    auto row_eq = [&cols](std::uint32_t a, std::uint32_t b) {
+      for (const auto& col : cols) {
+        if (col[a] != col[b]) return false;
+      }
+      return true;
+    };
+    std::sort(order.begin(), order.end(), row_less);
+    order.erase(std::unique(order.begin(), order.end(), row_eq), order.end());
+    std::vector<std::vector<Value>> canonical(cols.size());
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      canonical[c].reserve(order.size());
+      for (std::uint32_t id : order) canonical[c].push_back(cols[c][id]);
+    }
+    pending.cols = std::move(canonical);
+    pending.rows = order.size();
+  }
+
+  // Serialize: header placeholder, dict arena, toc, column data. Offsets
+  // are poked into the header and toc once known.
+  std::vector<std::uint8_t> out;
+  out.resize(kSnapshotHeaderBytes, 0);
+
+  const std::size_t dict_offset = out.size();
+  const std::size_t dict_count = dict != nullptr ? dict->size() : 0;
+  for (std::size_t v = 0; v < dict_count; ++v) {
+    std::string name = dict->NameOf(static_cast<Value>(v));
+    AppendU32(&out, static_cast<std::uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+  }
+  const std::size_t dict_bytes = out.size() - dict_offset;
+  const std::uint64_t dict_checksum =
+      ChecksumBytes({out.data() + dict_offset, dict_bytes});
+  PadTo8(&out);
+
+  // Column segments start after the toc; the toc stores absolute offsets,
+  // so lay out the data region first.
+  const std::size_t toc_offset = out.size();
+  std::size_t toc_bytes = 0;
+  for (const auto& [name, pending] : relations_) {
+    toc_bytes += 4 + 4 + 8 +
+                 static_cast<std::size_t>(pending.arity) * 16 + name.size();
+  }
+  const std::size_t data_offset = Align8(toc_offset + toc_bytes);
+  std::size_t cursor = data_offset;
+  std::map<std::string, std::vector<std::uint64_t>> col_offsets;
+  for (const auto& [name, pending] : relations_) {
+    auto& offsets = col_offsets[name];
+    for (int c = 0; c < pending.arity; ++c) {
+      offsets.push_back(cursor);
+      cursor += pending.rows * 8;
+    }
+  }
+  const std::uint64_t file_bytes = cursor;
+
+  for (const auto& [name, pending] : relations_) {
+    AppendU32(&out, static_cast<std::uint32_t>(name.size()));
+    AppendU32(&out, static_cast<std::uint32_t>(pending.arity));
+    AppendU64(&out, pending.rows);
+    const auto& offsets = col_offsets[name];
+    for (int c = 0; c < pending.arity; ++c) {
+      AppendU64(&out, offsets[static_cast<std::size_t>(c)]);
+      AppendU64(&out, ChecksumValues(pending.cols[static_cast<std::size_t>(c)]));
+    }
+    out.insert(out.end(), name.begin(), name.end());
+  }
+  SHARPCQ_CHECK(out.size() - toc_offset == toc_bytes);
+  const std::uint64_t toc_checksum =
+      ChecksumBytes({out.data() + toc_offset, toc_bytes});
+  PadTo8(&out);
+  SHARPCQ_CHECK(out.size() == data_offset);
+
+  SnapshotWriteStats stats;
+  stats.relations = relations_.size();
+  for (const auto& [name, pending] : relations_) stats.tuples += pending.rows;
+  stats.bytes = file_bytes;
+
+  PokeU64(&out, 0x00, kSnapshotMagic);
+  PokeU32(&out, 0x08, kSnapshotVersion);
+  PokeU32(&out, 0x0c, kSnapshotFlagLittleEndian);
+  PokeU64(&out, 0x10, relations_.size());
+  PokeU64(&out, 0x18, dict_count);
+  PokeU64(&out, 0x20, dict_offset);
+  PokeU64(&out, 0x28, dict_bytes);
+  PokeU64(&out, 0x30, dict_checksum);
+  PokeU64(&out, 0x38, toc_offset);
+  PokeU64(&out, 0x40, toc_bytes);
+  PokeU64(&out, 0x48, toc_checksum);
+  PokeU64(&out, 0x50, data_offset);
+  PokeU64(&out, 0x58, file_bytes);
+  PokeU64(&out, kHeaderChecksumOffset,
+          ChecksumBytes({out.data(), kHeaderChecksumOffset}));
+
+  // Stream: front matter first, then each column, releasing its staging
+  // buffer as it lands — peak memory stays at the staging columns alone,
+  // never the whole serialized file.
+  AtomicFileWriter writer(path);
+  if (!writer.ok()) {
+    SetError(error, "cannot create temp file for " + path + ": " +
+                        std::strerror(errno));
+    return std::nullopt;
+  }
+  if (!writer.Append(out, error)) return std::nullopt;
+  for (auto& [name, pending] : relations_) {
+    for (auto& col : pending.cols) {
+      if (!writer.Append({reinterpret_cast<const std::uint8_t*>(col.data()),
+                          col.size() * sizeof(Value)},
+                         error)) {
+        return std::nullopt;
+      }
+      std::vector<Value>().swap(col);
+    }
+  }
+  if (!writer.Commit(error)) return std::nullopt;
+  relations_.clear();
+  return stats;
+}
+
+// --- reading ---------------------------------------------------------------
+
+std::uint64_t SnapshotInfo::TotalTuples() const {
+  std::uint64_t total = 0;
+  for (const SnapshotRelationInfo& rel : relations) total += rel.rows;
+  return total;
+}
+
+namespace {
+
+// Validates everything cheap (header + dict + toc, their checksums, all
+// section bounds) against the mapped bytes. Column data is untouched.
+std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
+                                             std::size_t size,
+                                             std::string* error) {
+  if (size < kSnapshotHeaderBytes) {
+    SetError(error, "not a sharpcq snapshot (file shorter than the header)");
+    return std::nullopt;
+  }
+  ByteReader header(data, size);
+  const std::uint64_t magic = header.ReadU64();
+  if (magic != kSnapshotMagic) {
+    SetError(error, "not a sharpcq snapshot (bad magic)");
+    return std::nullopt;
+  }
+  SnapshotInfo info;
+  info.version = header.ReadU32();
+  info.flags = header.ReadU32();
+  if (info.version != kSnapshotVersion) {
+    SetError(error, "unsupported snapshot version " +
+                        std::to_string(info.version));
+    return std::nullopt;
+  }
+  if ((info.flags & kSnapshotFlagLittleEndian) == 0 ||
+      !HostIsLittleEndian()) {
+    SetError(error, "snapshot byte order does not match this host");
+    return std::nullopt;
+  }
+  const std::uint64_t relation_count = header.ReadU64();
+  info.dict_count = header.ReadU64();
+  const std::uint64_t dict_offset = header.ReadU64();
+  const std::uint64_t dict_bytes = header.ReadU64();
+  const std::uint64_t dict_checksum = header.ReadU64();
+  const std::uint64_t toc_offset = header.ReadU64();
+  const std::uint64_t toc_bytes = header.ReadU64();
+  const std::uint64_t toc_checksum = header.ReadU64();
+  const std::uint64_t data_offset = header.ReadU64();
+  info.file_bytes = header.ReadU64();
+  const std::uint64_t header_checksum = header.ReadU64();
+  SHARPCQ_CHECK(header.ok() && header.offset() == kSnapshotHeaderBytes);
+  if (ChecksumBytes({data, kHeaderChecksumOffset}) != header_checksum) {
+    SetError(error, "header checksum mismatch (corrupt snapshot)");
+    return std::nullopt;
+  }
+  if (info.file_bytes != size) {
+    SetError(error, "snapshot truncated: header records " +
+                        std::to_string(info.file_bytes) + " bytes, file has " +
+                        std::to_string(size));
+    return std::nullopt;
+  }
+  auto section_ok = [size](std::uint64_t offset, std::uint64_t bytes) {
+    return offset <= size && bytes <= size - offset;
+  };
+  if (!section_ok(dict_offset, dict_bytes) ||
+      !section_ok(toc_offset, toc_bytes) || data_offset > size) {
+    SetError(error, "section bounds exceed the file (corrupt snapshot)");
+    return std::nullopt;
+  }
+  if (ChecksumBytes({data + dict_offset, dict_bytes}) != dict_checksum) {
+    SetError(error, "dictionary checksum mismatch (corrupt snapshot)");
+    return std::nullopt;
+  }
+  if (ChecksumBytes({data + toc_offset, toc_bytes}) != toc_checksum) {
+    SetError(error, "toc checksum mismatch (corrupt snapshot)");
+    return std::nullopt;
+  }
+
+  // Each toc entry occupies at least 16 bytes, so a header-supplied count
+  // beyond toc_bytes/16 cannot be satisfied; reject it before reserve()
+  // can throw on a hostile value (the checksums are not cryptographic).
+  if (relation_count > toc_bytes / 16) {
+    SetError(error, "relation count exceeds toc size (corrupt snapshot)");
+    return std::nullopt;
+  }
+  ByteReader toc(data, static_cast<std::size_t>(toc_offset + toc_bytes));
+  toc.SeekTo(toc_offset);
+  info.relations.reserve(relation_count);
+  for (std::uint64_t r = 0; r < relation_count; ++r) {
+    SnapshotRelationInfo rel;
+    const std::uint32_t name_len = toc.ReadU32();
+    rel.arity = static_cast<int>(toc.ReadU32());
+    rel.rows = toc.ReadU64();
+    if (!toc.ok() || rel.arity < 0 || rel.arity > 1 << 16 ||
+        rel.rows > size / 8) {
+      SetError(error, "toc entry out of range (corrupt snapshot)");
+      return std::nullopt;
+    }
+    rel.columns.resize(static_cast<std::size_t>(rel.arity));
+    for (SnapshotColumnInfo& col : rel.columns) {
+      col.offset = toc.ReadU64();
+      col.checksum = toc.ReadU64();
+      if (!toc.ok() || col.offset % 8 != 0 ||
+          !section_ok(col.offset, rel.rows * 8) || col.offset < data_offset) {
+        SetError(error, "column segment out of bounds (corrupt snapshot)");
+        return std::nullopt;
+      }
+    }
+    std::span<const std::uint8_t> name = toc.ReadBytes(name_len);
+    if (!toc.ok()) {
+      SetError(error, "toc truncated (corrupt snapshot)");
+      return std::nullopt;
+    }
+    rel.name.assign(name.begin(), name.end());
+    info.relations.push_back(std::move(rel));
+  }
+  if (toc.offset() != toc_offset + toc_bytes) {
+    SetError(error, "toc size mismatch (corrupt snapshot)");
+    return std::nullopt;
+  }
+
+  // Dictionary entries must cover exactly the recorded arena.
+  ByteReader arena(data, static_cast<std::size_t>(dict_offset + dict_bytes));
+  arena.SeekTo(dict_offset);
+  for (std::uint64_t v = 0; v < info.dict_count; ++v) {
+    std::uint32_t len = arena.ReadU32();
+    arena.ReadBytes(len);
+    if (!arena.ok()) {
+      SetError(error, "dictionary arena truncated (corrupt snapshot)");
+      return std::nullopt;
+    }
+  }
+  if (arena.offset() != dict_offset + dict_bytes) {
+    SetError(error, "dictionary size mismatch (corrupt snapshot)");
+    return std::nullopt;
+  }
+  return info;
+}
+
+std::optional<ValueDict> ParseDict(const std::uint8_t* data,
+                                   const SnapshotInfo& info,
+                                   std::uint64_t dict_offset,
+                                   std::uint64_t dict_bytes,
+                                   std::string* error) {
+  ValueDict dict;
+  // Bounded by the arena's own extent: this walk must not rely on having
+  // mirrored ParseFrontMatter's validation exactly.
+  ByteReader arena(data, static_cast<std::size_t>(dict_offset + dict_bytes));
+  arena.SeekTo(dict_offset);
+  for (std::uint64_t v = 0; v < info.dict_count; ++v) {
+    std::uint32_t len = arena.ReadU32();
+    std::span<const std::uint8_t> bytes = arena.ReadBytes(len);
+    if (!arena.ok()) {
+      SetError(error, "dictionary arena truncated (corrupt snapshot)");
+      return std::nullopt;
+    }
+    std::string_view name(reinterpret_cast<const char*>(bytes.data()),
+                          bytes.size());
+    Value assigned = dict.Intern(name);
+    if (assigned != static_cast<Value>(v)) {
+      // A duplicated string passes the arena checksum (the writer never
+      // emits one, but foreign files exist); it must reject the load, not
+      // kill a serving process.
+      SetError(error, "duplicate dictionary entry '" + std::string(name) +
+                          "' (corrupt snapshot)");
+      return std::nullopt;
+    }
+  }
+  return dict;
+}
+
+}  // namespace
+
+std::optional<SnapshotInfo> ReadSnapshotInfo(const std::string& path,
+                                             std::string* error) {
+  std::shared_ptr<const MemMap> map = MemMap::Open(path, error);
+  if (map == nullptr) return std::nullopt;
+  return ParseFrontMatter(map->data(), map->size(), error);
+}
+
+std::optional<LoadedSnapshot> LoadSnapshot(const std::string& path,
+                                           SnapshotLoadMode mode,
+                                           std::string* error) {
+  std::shared_ptr<const MemMap> map = MemMap::Open(path, error);
+  if (map == nullptr) return std::nullopt;
+  std::optional<SnapshotInfo> info =
+      ParseFrontMatter(map->data(), map->size(), error);
+  if (!info.has_value()) return std::nullopt;
+
+  LoadedSnapshot loaded;
+  loaded.mode = mode;
+  // The dict extent is re-read from the (already validated) header.
+  ByteReader header(map->data(), map->size());
+  header.SeekTo(0x20);
+  const std::uint64_t dict_offset = header.ReadU64();
+  const std::uint64_t dict_bytes = header.ReadU64();
+  std::optional<ValueDict> dict =
+      ParseDict(map->data(), *info, dict_offset, dict_bytes, error);
+  if (!dict.has_value()) return std::nullopt;
+  loaded.dict = std::move(*dict);
+
+  for (const SnapshotRelationInfo& rel : info->relations) {
+    if (mode == SnapshotLoadMode::kMapped) {
+      // Zero copy: column segments become the table's storage and the
+      // shared mapping is the arena that keeps the pages alive.
+      std::vector<std::span<const Value>> cols;
+      cols.reserve(rel.columns.size());
+      for (const SnapshotColumnInfo& col : rel.columns) {
+        cols.emplace_back(
+            reinterpret_cast<const Value*>(map->data() + col.offset),
+            rel.rows);
+      }
+      loaded.db.AdoptColumnar(
+          rel.name, Table::FromExternal(std::move(cols),
+                                        static_cast<std::size_t>(rel.rows),
+                                        map));
+      continue;
+    }
+    // Owned: verify each column checksum and copy into a TableBuilder. The
+    // writer canonicalized rows (sorted + distinct), so Build can skip the
+    // dedup pass.
+    TableBuilder builder(rel.arity);
+    builder.ReserveRows(static_cast<std::size_t>(rel.rows));
+    for (const SnapshotColumnInfo& col : rel.columns) {
+      if (ChecksumRawColumn(map->data() + col.offset, rel.rows) !=
+          col.checksum) {
+        SetError(error, "column checksum mismatch in relation '" + rel.name +
+                            "' (corrupt snapshot)");
+        return std::nullopt;
+      }
+    }
+    std::vector<Value> row(static_cast<std::size_t>(rel.arity));
+    for (std::uint64_t i = 0; i < rel.rows; ++i) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        row[c] = LoadValueAt(map->data() + rel.columns[c].offset + i * 8);
+      }
+      builder.AddRow(row);
+    }
+    loaded.db.AdoptColumnar(rel.name,
+                            std::move(builder).Build(/*known_distinct=*/true));
+  }
+  loaded.info = std::move(*info);
+  return loaded;
+}
+
+bool VerifySnapshot(const std::string& path, std::string* error) {
+  std::shared_ptr<const MemMap> map = MemMap::Open(path, error);
+  if (map == nullptr) return false;
+  std::optional<SnapshotInfo> info =
+      ParseFrontMatter(map->data(), map->size(), error);
+  if (!info.has_value()) return false;
+  for (const SnapshotRelationInfo& rel : info->relations) {
+    for (std::size_t c = 0; c < rel.columns.size(); ++c) {
+      if (ChecksumRawColumn(map->data() + rel.columns[c].offset, rel.rows) !=
+          rel.columns[c].checksum) {
+        SetError(error, "column " + std::to_string(c) + " of relation '" +
+                            rel.name + "' fails its checksum");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<SnapshotWriteStats> WriteSnapshot(const Database& db,
+                                                const ValueDict* dict,
+                                                const std::string& path,
+                                                std::string* error) {
+  SnapshotWriter writer;
+  writer.AddDatabase(db);
+  return writer.Finish(path, dict, error);
+}
+
+namespace {
+
+// The sink for CSV -> writer ingest. Two input files feeding one relation
+// with different arities is bad data, not a programming error: the sink
+// detects it (ParseCsvToSink guarantees a uniform arity within one file,
+// so the first row decides) and the wrapper turns it into kParseError
+// instead of letting DeclareRelation's invariant check abort.
+struct WriterSink {
+  SnapshotWriter* writer;
+  const std::string& relation;
+  std::optional<int> conflicting_arity;
+
+  void operator()(std::span<const Value> row) {
+    if (conflicting_arity.has_value()) return;
+    std::optional<int> declared = writer->RelationArity(relation);
+    if (declared.has_value() && *declared != static_cast<int>(row.size())) {
+      conflicting_arity = static_cast<int>(row.size());
+      return;
+    }
+    writer->AddRow(relation, row);
+  }
+
+  CsvResult Resolve(CsvResult result) const {
+    if (result.ok() && conflicting_arity.has_value()) {
+      result.status = CsvStatus::kParseError;
+      result.tuples = 0;
+      result.message = "relation '" + relation + "' already has arity " +
+                       std::to_string(*writer->RelationArity(relation)) +
+                       ", input has arity " +
+                       std::to_string(*conflicting_arity);
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+CsvResult LoadRelationCsvIntoWriter(std::istream& in,
+                                    const std::string& relation,
+                                    SnapshotWriter* writer, ValueDict* dict) {
+  WriterSink sink{writer, relation, std::nullopt};
+  return sink.Resolve(
+      ParseCsvToSink(in, [&sink](std::span<const Value> row) { sink(row); },
+                     dict));
+}
+
+CsvResult LoadRelationCsvFileIntoWriter(const std::string& path,
+                                        const std::string& relation,
+                                        SnapshotWriter* writer,
+                                        ValueDict* dict) {
+  WriterSink sink{writer, relation, std::nullopt};
+  return sink.Resolve(
+      ParseCsvFileToSink(path,
+                         [&sink](std::span<const Value> row) { sink(row); },
+                         dict));
+}
+
+}  // namespace sharpcq

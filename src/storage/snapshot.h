@@ -1,0 +1,188 @@
+#ifndef SHARPCQ_STORAGE_SNAPSHOT_H_
+#define SHARPCQ_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "data/database.h"
+#include "data/relation.h"
+#include "data/value.h"
+
+namespace sharpcq {
+
+// ---------------------------------------------------------------------------
+// The sharpcq snapshot format, version 1. One file per database generation:
+//
+//   header          fixed 104 bytes: magic "SHARPCQ1", version, flags,
+//                   section offsets/sizes, section checksums, total file
+//                   size, and a checksum over the header bytes themselves
+//   dict arena      the ValueDict in value-id order (id order IS the
+//                   semantics: tuples store the ids), each entry a u32
+//                   length + raw bytes
+//   toc             one entry per relation, sorted by name: name, arity,
+//                   row count, and per-column {absolute offset, checksum}
+//   column data     per relation, per column: rows * 8 bytes of int64
+//                   values, every segment 8-byte aligned
+//
+// All integers are little-endian; a flags bit records the byte order and
+// loading refuses a mismatch. Section checksums use the same splitmix64
+// machinery as the in-memory hash indexes (util/hash.h).
+//
+// The writer is deterministic — relations sorted by name, rows sorted
+// lexicographically and deduplicated, dictionary in id order — so the same
+// logical database always produces byte-identical snapshots. Files are
+// installed atomically: written to an exclusive temp file, fsynced, then
+// renamed over the destination (the ursadb ExclusiveFile pattern), so a
+// reader never observes a half-written snapshot.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint64_t kSnapshotMagic =
+    0x3151435052414853ULL;  // "SHARPCQ1" read as little-endian u64
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotFlagLittleEndian = 1u << 0;
+inline constexpr std::size_t kSnapshotHeaderBytes = 104;
+
+struct SnapshotWriteStats {
+  std::size_t relations = 0;
+  std::size_t tuples = 0;       // after canonicalization (dedup)
+  std::uint64_t bytes = 0;      // total file size
+};
+
+// Accumulates relations (columnar, in memory) and writes them as one
+// snapshot file. Rows may be streamed in one at a time — CSV ingest pipes
+// straight into AddRow without building a Database first (data/csv.h).
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+
+  // Declares `relation` with `arity` (idempotent; arity mismatch aborts).
+  void DeclareRelation(const std::string& relation, int arity);
+
+  // Appends one row, declaring the relation on first use.
+  void AddRow(const std::string& relation, std::span<const Value> row);
+
+  // Copies a whole relation / database (columnar backings are read
+  // directly, without materializing a row-major copy).
+  void AddRelation(const std::string& name, const Relation& rel);
+  void AddDatabase(const Database& db);
+
+  std::size_t relation_count() const { return relations_.size(); }
+  std::size_t pending_rows() const;
+
+  // The declared arity of `relation`, if declared (lets ingest surface an
+  // arity conflict between two input files as an error instead of
+  // tripping DeclareRelation's invariant check).
+  std::optional<int> RelationArity(const std::string& relation) const;
+
+  // Canonicalizes (rows sorted + deduplicated per relation), serializes,
+  // and installs the snapshot at `path` atomically. The writer is spent
+  // afterwards. Returns nullopt with a reason in *error on I/O failure.
+  std::optional<SnapshotWriteStats> Finish(const std::string& path,
+                                           const ValueDict* dict,
+                                           std::string* error);
+
+ private:
+  struct Pending {
+    int arity = 0;
+    std::size_t rows = 0;
+    std::vector<std::vector<Value>> cols;
+  };
+  // std::map: relations serialize in sorted name order by construction.
+  std::map<std::string, Pending> relations_;
+};
+
+// Parsed header + table of contents (no tuple data touched beyond the
+// front matter). The `inspect` subcommand prints this.
+struct SnapshotColumnInfo {
+  std::uint64_t offset = 0;    // absolute file offset, 8-byte aligned
+  std::uint64_t checksum = 0;  // over the column's `rows` values
+};
+
+struct SnapshotRelationInfo {
+  std::string name;
+  int arity = 0;
+  std::uint64_t rows = 0;
+  std::vector<SnapshotColumnInfo> columns;
+};
+
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t dict_count = 0;
+  std::vector<SnapshotRelationInfo> relations;
+
+  std::uint64_t TotalTuples() const;
+};
+
+// Validates magic, version, byte order, the header/dict/toc checksums, and
+// every section bound, then returns the parsed front matter. Column data is
+// not read. Returns nullopt with a reason in *error on any mismatch —
+// truncated files, foreign files, and flipped front-matter bytes all fail
+// here, never as UB later.
+std::optional<SnapshotInfo> ReadSnapshotInfo(const std::string& path,
+                                             std::string* error);
+
+// How LoadSnapshot turns column segments into algebra::Table storage.
+enum class SnapshotLoadMode {
+  // Copy every column into process-owned buffers (TableBuilder) and verify
+  // the per-column checksums on the way: cold-start cost O(data), fully
+  // private memory, corruption detected at load.
+  kOwned,
+  // Alias the mapped file directly (Table::FromExternal over the shared
+  // MemMap): cold-start cost O(header), pages shared across processes and
+  // faulted in on first touch. Column checksums are NOT verified — that
+  // would fault in every page; run VerifySnapshot when integrity matters
+  // more than latency.
+  kMapped,
+};
+
+struct LoadedSnapshot {
+  Database db;      // every relation columnar (Database::AdoptColumnar)
+  ValueDict dict;   // empty if the snapshot carried no dictionary
+  SnapshotInfo info;
+  SnapshotLoadMode mode = SnapshotLoadMode::kOwned;
+};
+
+std::optional<LoadedSnapshot> LoadSnapshot(const std::string& path,
+                                           SnapshotLoadMode mode,
+                                           std::string* error);
+
+// Full integrity pass: ReadSnapshotInfo plus every per-column checksum
+// (touches all pages). True when the file is pristine.
+bool VerifySnapshot(const std::string& path, std::string* error);
+
+// Convenience: snapshots `db` (+ optional dict) at `path` atomically.
+std::optional<SnapshotWriteStats> WriteSnapshot(const Database& db,
+                                                const ValueDict* dict,
+                                                const std::string& path,
+                                                std::string* error);
+
+// Streams one CSV relation straight into a snapshot writer via the
+// data-layer row sink: CSV -> snapshot ingest never materializes a
+// Database, so the peak footprint is the writer's columnar staging buffer
+// alone (the sharpcq CLI's --out ingest path).
+CsvResult LoadRelationCsvIntoWriter(std::istream& in,
+                                    const std::string& relation,
+                                    SnapshotWriter* writer,
+                                    ValueDict* dict = nullptr);
+CsvResult LoadRelationCsvFileIntoWriter(const std::string& path,
+                                        const std::string& relation,
+                                        SnapshotWriter* writer,
+                                        ValueDict* dict = nullptr);
+
+// The snapshot installer's primitive, reusable for small metadata files
+// (the catalog manifest): write to an O_EXCL temp file, fsync, rename over
+// `path`, fsync the directory. A crash leaves the old file or the new one,
+// never a torn mix.
+bool AtomicWriteFile(const std::string& path,
+                     std::span<const std::uint8_t> bytes, std::string* error);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_STORAGE_SNAPSHOT_H_

@@ -13,10 +13,9 @@ namespace {
 TEST(CsvTest, LoadsNumericTuples) {
   std::istringstream in("1,2\n3,4\n# comment\n\n5,6\n");
   Database db;
-  std::string error;
-  auto loaded = LoadRelationCsv(in, "r", &db, nullptr, &error);
-  ASSERT_TRUE(loaded.has_value()) << error;
-  EXPECT_EQ(*loaded, 3u);
+  CsvResult loaded = LoadRelationCsv(in, "r", &db);
+  ASSERT_TRUE(loaded.ok()) << loaded.message;
+  EXPECT_EQ(loaded.tuples, 3u);
   EXPECT_EQ(db.relation("r").size(), 3u);
   EXPECT_TRUE(db.relation("r").ContainsRow(std::vector<Value>{5, 6}));
 }
@@ -25,9 +24,9 @@ TEST(CsvTest, SymbolicFieldsInterned) {
   std::istringstream in("alice,project_x\nbob,project_x\n");
   Database db;
   ValueDict dict;
-  auto loaded = LoadRelationCsv(in, "works_on", &db, &dict);
-  ASSERT_TRUE(loaded.has_value());
-  EXPECT_EQ(*loaded, 2u);
+  CsvResult loaded = LoadRelationCsv(in, "works_on", &db, &dict);
+  ASSERT_TRUE(loaded.ok()) << loaded.message;
+  EXPECT_EQ(loaded.tuples, 2u);
   ASSERT_TRUE(dict.Find("alice").has_value());
   EXPECT_TRUE(db.relation("works_on")
                   .ContainsRow(std::vector<Value>{*dict.Find("alice"),
@@ -37,34 +36,46 @@ TEST(CsvTest, SymbolicFieldsInterned) {
 TEST(CsvTest, RejectsSymbolsWithoutDict) {
   std::istringstream in("alice,1\n");
   Database db;
-  std::string error;
-  EXPECT_FALSE(LoadRelationCsv(in, "r", &db, nullptr, &error).has_value());
-  EXPECT_NE(error.find("ValueDict"), std::string::npos);
+  CsvResult result = LoadRelationCsv(in, "r", &db);
+  EXPECT_EQ(result.status, CsvStatus::kParseError);
+  EXPECT_NE(result.message.find("ValueDict"), std::string::npos);
 }
 
 TEST(CsvTest, RejectsArityMismatch) {
   std::istringstream in("1,2\n3\n");
   Database db;
-  std::string error;
-  EXPECT_FALSE(LoadRelationCsv(in, "r", &db, nullptr, &error).has_value());
-  EXPECT_NE(error.find("arity"), std::string::npos);
+  CsvResult result = LoadRelationCsv(in, "r", &db);
+  EXPECT_EQ(result.status, CsvStatus::kParseError);
+  EXPECT_NE(result.message.find("arity"), std::string::npos);
 }
 
 TEST(CsvTest, RejectsEmptyInput) {
   std::istringstream in("# only comments\n");
   Database db;
-  EXPECT_FALSE(LoadRelationCsv(in, "r", &db).has_value());
+  EXPECT_EQ(LoadRelationCsv(in, "r", &db).status, CsvStatus::kParseError);
+}
+
+TEST(CsvTest, MissingFileDistinctFromParseError) {
+  // The satellite fix of ISSUE 4: "file missing" and "bad content" used to
+  // collapse into one nullopt; callers (the CLI's exit codes) need the
+  // difference.
+  Database db;
+  CsvResult missing =
+      LoadRelationCsvFile("/nonexistent/definitely_absent.csv", "r", &db);
+  EXPECT_EQ(missing.status, CsvStatus::kFileMissing);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.message.find("no such file"), std::string::npos);
 }
 
 TEST(CsvTest, RoundTripsThroughWrite) {
   std::istringstream in("7,-8\n9,10\n");
   Database db;
-  ASSERT_TRUE(LoadRelationCsv(in, "r", &db).has_value());
+  ASSERT_TRUE(LoadRelationCsv(in, "r", &db).ok());
   std::ostringstream out;
   WriteRelationCsv(db, "r", out);
   std::istringstream back(out.str());
   Database db2;
-  ASSERT_TRUE(LoadRelationCsv(back, "r", &db2).has_value());
+  ASSERT_TRUE(LoadRelationCsv(back, "r", &db2).ok());
   EXPECT_TRUE(SameRowSet(db.relation("r"), db2.relation("r")));
 }
 
