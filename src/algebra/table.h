@@ -17,13 +17,52 @@ namespace sharpcq {
 
 class Table;
 
+// How a TableIndex packs a multi-column key into one uint64 word. Every
+// probe compares one machine word per row instead of rebuilding and
+// re-hashing a std::vector<Value> key; the mode decides what a word match
+// means:
+//
+//   kSingle  width-1 keys: word = value, bijective. Word equality is key
+//            equality. (Width-0 keys also use this mode: every word is 0.)
+//   kDense   multi-column keys whose per-column value ranges bit-pack into
+//            <= 62 bits (the dictionary-dense case: interned values are
+//            small dense integers). word = sum_j (v_j - base_j) << shift_j,
+//            injective over the in-range box; a probe value outside its
+//            column's range sets the poison bit (bit 63), which no stored
+//            word carries, so the lookup misses without special-casing.
+//            Word equality is key equality.
+//   kHashed  fallback for wide value ranges: word = 64-bit hash chain of
+//            the key. Word equality is necessary but not sufficient — both
+//            the index build and every probe re-verify the actual column
+//            values on word match (collision-checked).
+struct KeyPacking {
+  enum class Mode : std::uint8_t { kSingle, kDense, kHashed };
+  Mode mode = Mode::kSingle;
+  // kDense only, one entry per key column.
+  std::vector<std::uint64_t> base;   // two's-complement column minimum
+  std::vector<std::uint64_t> range;  // max - min (unsigned distance)
+  std::vector<int> shift;            // bit position of the column's digit
+
+  // Word equality implies key equality (no value re-verification needed).
+  bool exact() const { return mode != Mode::kHashed; }
+
+  // The word of `key` under this packing. Dense keys outside the packed box
+  // come back with the poison bit set and match nothing.
+  std::uint64_t Pack(std::span<const Value> key) const;
+
+  static constexpr std::uint64_t kPoison = std::uint64_t{1} << 63;
+};
+
 // Hash index over selected key columns of a Table: key -> row ids, plus the
 // group structure (one group per distinct key) that counted projection and
 // the PS13 initial partition read directly. Immutable after construction.
 //
-// Storage is flat: group keys live in one contiguous buffer and the row ids
-// of all groups in one CSR array, so building the index performs no
-// per-group allocations — it is the inner loop of every semijoin.
+// Storage is flat: group keys live in one contiguous buffer, each group's
+// packed key word in a contiguous uint64 column, and the row ids of all
+// groups in one CSR array, so building the index performs no per-group
+// allocations — it is the inner loop of every semijoin. The open-addressing
+// table is keyed by packed words: a probe costs one word comparison per
+// visited slot (plus a value re-check in kHashed mode only).
 class TableIndex {
  public:
   TableIndex(const Table& table, std::vector<int> key_columns);
@@ -31,7 +70,54 @@ class TableIndex {
   // Row ids whose key columns equal `key` (empty if none).
   std::span<const std::uint32_t> Lookup(std::span<const Value> key) const;
 
+  // Single-column fast path: rows whose key equals `key`, without building
+  // a one-element span at the call site. Requires key_columns().size() == 1.
+  std::span<const std::uint32_t> Lookup(Value key) const {
+    SHARPCQ_DCHECK(width_ == 1);
+    return group_rows_or_empty(
+        FindGroupWord(static_cast<std::uint64_t>(key)));
+  }
+
   const std::vector<int>& key_columns() const { return key_columns_; }
+  const KeyPacking& packing() const { return packing_; }
+
+  // Group id sentinel for "no group with this key".
+  static constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
+
+  // Group whose packed word is `word`, or kNoGroup. Exact packings only —
+  // for kHashed packings a word match does not pin down the key, so callers
+  // must use LookupGroupVerify with the probe row's actual values.
+  std::uint32_t FindGroupWord(std::uint64_t word) const;
+
+  // Group whose packed word is `word` AND whose key values equal
+  // key_at(0..width-1) — the collision-checked probe for kHashed packings
+  // (also correct, just redundant, for exact ones).
+  template <typename KeyAt>
+  std::uint32_t FindGroupVerify(std::uint64_t word, KeyAt&& key_at) const {
+    std::size_t h = static_cast<std::size_t>(HashWord(word)) & mask_;
+    while (true) {
+      std::uint32_t g = slots_[h];
+      if (g == 0) return kNoGroup;
+      if (group_words_[g - 1] == word) {
+        const Value* stored = keys_.data() + (g - 1) * width_;
+        bool equal = true;
+        for (std::size_t j = 0; j < width_; ++j) {
+          if (stored[j] != key_at(j)) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) return g - 1;
+      }
+      h = (h + 1) & mask_;
+    }
+  }
+
+  // Rows of the group matching a pre-packed probe word (see
+  // PackProbeWords); empty span on miss. Exact packings only.
+  std::span<const std::uint32_t> LookupWord(std::uint64_t word) const {
+    return group_rows_or_empty(FindGroupWord(word));
+  }
 
   // Group view: one entry per distinct key, in first-occurrence row order.
   std::size_t num_groups() const { return num_groups_; }
@@ -42,26 +128,66 @@ class TableIndex {
     return {rows_.data() + offsets_[g],
             static_cast<std::size_t>(offsets_[g + 1] - offsets_[g])};
   }
+  // Packed key word of each group, parallel to the group order.
+  std::span<const std::uint64_t> group_words() const { return group_words_; }
 
   // Cardinality of the largest group (0 for an empty table): the degree of
   // the indexed relation w.r.t. the key columns (Definition 6.1).
   std::size_t max_group_size() const { return max_group_size_; }
 
+  // Test hook: masks kHashed words to the low `bits` bits (0 restores full
+  // width) so word collisions between distinct keys become constructible.
+  // The mask applies to hashed-word computation everywhere — index builds
+  // AND probe-time packing — so set it before building any kHashed index
+  // you will probe, and keep it unchanged until those indexes are dropped
+  // (probing a full-width index with narrowed words misses). Not for
+  // production use.
+  static void SetHashedWordBitsForTesting(int bits);
+
  private:
-  // Slot of `key` in the open-addressing table: either its group's slot or
-  // the empty slot where it belongs.
-  std::size_t FindSlot(std::span<const Value> key) const;
+  static std::uint64_t HashWord(std::uint64_t word);
+
+  std::span<const std::uint32_t> group_rows_or_empty(std::uint32_t g) const {
+    if (g == kNoGroup) return {};
+    return group_rows(g);
+  }
+
+  // Slot of the build-side row with packed word `word` and key starting at
+  // `key`: either its group's slot or the empty slot where it belongs.
+  std::size_t FindSlotForInsert(std::uint64_t word, const Value* key) const;
 
   std::vector<int> key_columns_;
   std::size_t width_ = 0;        // = key_columns_.size()
+  KeyPacking packing_;
   std::size_t num_groups_ = 0;
   std::vector<Value> keys_;      // group g's key at [g*width_, (g+1)*width_)
+  std::vector<std::uint64_t> group_words_;  // group g's packed word
   std::vector<std::uint32_t> slots_;    // open addressing -> group id + 1
   std::size_t mask_ = 0;
   std::vector<std::uint32_t> offsets_;  // CSR: group g rows at
   std::vector<std::uint32_t> rows_;     //   rows_[offsets_[g]..offsets_[g+1])
   std::size_t max_group_size_ = 0;
 };
+
+// Packs rows [begin, end) of `probe` over `cols` into words comparable with
+// `packing` (the build side's), writing to out[0..end-begin). Column-major:
+// each key column is streamed once, so the probe loops touch contiguous
+// memory instead of gathering a Value vector per row. Dense keys outside
+// the packed box come back poisoned and match nothing.
+void PackProbeWords(const KeyPacking& packing, const Table& probe,
+                    std::span<const int> cols, std::size_t begin,
+                    std::size_t end, std::uint64_t* out);
+
+// Calls fn(row, group) for every probe row in [begin, end), where group is
+// the id of the index group matching the row's key columns, or
+// TableIndex::kNoGroup. Packs the range's probe words once (see
+// PackProbeWords), then probes one word per row; kHashed packings re-verify
+// values on word match. Safe to call concurrently from morsel workers over
+// disjoint ranges — the index is immutable and all scratch is local.
+template <typename Fn>
+void ForEachProbeGroup(const TableIndex& index, const Table& probe,
+                       std::span<const int> cols, std::size_t begin,
+                       std::size_t end, Fn&& fn);
 
 // Immutable columnar tuple storage: each column is one contiguous buffer.
 // Tables are created through TableBuilder (or the Gather helpers) and
@@ -115,6 +241,12 @@ class Table {
   static std::shared_ptr<const Table> Gather(
       const Table& src, std::span<const std::uint32_t> row_ids);
 
+  // Adopts fully-built column buffers (all of length `rows`) without a
+  // copy. The rows must already form a set — callers are kernel operators
+  // whose outputs are distinct by construction (Join of two sets).
+  static std::shared_ptr<const Table> FromColumns(
+      std::vector<std::vector<Value>> cols, std::size_t rows);
+
   // External-arena construction: the table's columns alias caller-provided
   // memory that `arena` keeps alive (a mapped snapshot, or another table
   // whose columns are being re-ordered). Every span must hold exactly
@@ -150,6 +282,42 @@ class Table {
       index_cache_;
 };
 
+// Variant with a skip predicate: rows where skip(row) is true are neither
+// probed nor reported. Their words are still packed — packing is bulk and
+// branch-free — but the slot walk (the cache-missing part of a probe) is
+// saved, which matters when a caller can rule rows out cheaply (e.g.
+// CountFullJoin's zero-weight rows).
+template <typename Skip, typename Fn>
+void ForEachProbeGroupUnless(const TableIndex& index, const Table& probe,
+                             std::span<const int> cols, std::size_t begin,
+                             std::size_t end, Skip&& skip, Fn&& fn) {
+  if (begin >= end) return;
+  std::vector<std::uint64_t> words(end - begin);
+  PackProbeWords(index.packing(), probe, cols, begin, end, words.data());
+  if (index.packing().exact()) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (skip(i)) continue;
+      fn(i, index.FindGroupWord(words[i - begin]));
+    }
+    return;
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    if (skip(i)) continue;
+    fn(i, index.FindGroupVerify(words[i - begin], [&](std::size_t j) {
+      return probe.at(i, cols[j]);
+    }));
+  }
+}
+
+template <typename Fn>
+void ForEachProbeGroup(const TableIndex& index, const Table& probe,
+                       std::span<const int> cols, std::size_t begin,
+                       std::size_t end, Fn&& fn) {
+  ForEachProbeGroupUnless(index, probe, cols, begin, end,
+                          [](std::size_t) { return false; },
+                          static_cast<Fn&&>(fn));
+}
+
 // Mutable row accumulator; Build() dedups and publishes the immutable Table.
 class TableBuilder {
  public:
@@ -160,8 +328,13 @@ class TableBuilder {
   int arity() const { return static_cast<int>(cols_.size()); }
   std::size_t rows() const { return rows_; }
 
+  // Capacity hint from a known input row count: reserves every column
+  // buffer, and Build sizes its dedup hash from the hint up front instead
+  // of from however many rows actually arrived — one allocation each, no
+  // regrow/rehash churn on ingest.
   void ReserveRows(std::size_t n) {
     for (auto& col : cols_) col.reserve(n);
+    if (n > reserved_rows_) reserved_rows_ = n;
   }
 
   void AddRow(std::span<const Value> row) {
@@ -178,6 +351,7 @@ class TableBuilder {
  private:
   std::vector<std::vector<Value>> cols_;
   std::size_t rows_ = 0;
+  std::size_t reserved_rows_ = 0;
 };
 
 }  // namespace sharpcq

@@ -15,6 +15,18 @@ CountResult CountViaSharpDecomposition(const ConjunctiveQuery& q,
 
   JoinTreeInstance instance =
       MaterializeBags(d.core, q, db, d.tree, d.views);
+  if (instance.AllVars().IsSubsetOf(q.free_vars())) {
+    // No existential variables to project away: only the root count is
+    // needed, and CountFullJoin's zero-weight rows already neutralize
+    // dangling tuples — the FullReduce semijoin materializations would be
+    // pure overhead.
+    result.count = CountFullJoin(instance);
+    return result;
+  }
+  // With existential variables the bags must be globally consistent BEFORE
+  // the projection (a dangling tuple could otherwise survive projection and
+  // join into a spurious free-variable assignment), so the full reducer
+  // stays on this path.
   if (!FullReduce(&instance)) {
     result.count = 0;
     return result;

@@ -1,5 +1,6 @@
 #include "count/join_tree_instance.h"
 
+#include "algebra/exec_policy.h"
 #include "util/check.h"
 
 namespace sharpcq {
@@ -32,7 +33,9 @@ CountInt CountFullJoin(const JoinTreeInstance& instance) {
 
   std::vector<int> order = instance.shape.TopoOrder();
   // weights[v][row] = number of distinct extensions of that row to the
-  // variables occurring strictly below v.
+  // variables occurring strictly below v. Rows with no extension carry
+  // weight 0, which is why the instance does not need a FullReduce first:
+  // dangling tuples contribute nothing to any sum.
   std::vector<std::vector<CountInt>> weights(instance.nodes.size());
 
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
@@ -46,27 +49,37 @@ CountInt CountFullJoin(const JoinTreeInstance& instance) {
       const Rel& crel = instance.nodes[c];
       IdSet shared = Intersect(rel.vars(), crel.vars());
 
-      // Aggregate child weights per shared-key via the child's cached index.
+      // Aggregate child weights per shared-key via the child's cached
+      // index: each parent row probes one packed word, and large parent
+      // sides are morselized (each morsel writes disjoint w[row] slots, so
+      // the only shared state is read-only).
       std::shared_ptr<const TableIndex> index =
           crel.table()->IndexOn(ColumnsOf(crel, shared));
       std::vector<int> parent_cols = ColumnsOf(rel, shared);
-
-      std::vector<Value> key(shared.size());
       const Table& parent_table = *rel.table();
-      for (std::size_t row = 0; row < rel.size(); ++row) {
-        if (w[row] == 0) continue;
-        for (std::size_t j = 0; j < parent_cols.size(); ++j) {
-          key[j] = parent_table.at(row, parent_cols[j]);
-        }
-        std::span<const std::uint32_t> matches = index->Lookup(key);
-        if (matches.empty()) {
-          w[row] = 0;
-          continue;
-        }
-        CountInt sum = 0;
-        for (std::uint32_t crow : matches) sum += weights[c][crow];
-        w[row] *= sum;
-      }
+      const std::vector<CountInt>& cw = weights[c];
+
+      MorselPlan plan = PlanMorsels(rel.size());
+      RunMorsels(plan, rel.size(), [&](std::size_t, std::size_t begin,
+                                       std::size_t end) {
+        ForEachProbeGroupUnless(
+            *index, parent_table, parent_cols, begin, end,
+            // Rows an earlier child already zeroed skip the probe itself —
+            // on unreduced instances (the FullReduce-skip path) most rows
+            // of a selective chain die at the first child.
+            [&](std::size_t row) { return w[row] == 0; },
+            [&](std::size_t row, std::uint32_t group) {
+              if (group == TableIndex::kNoGroup) {
+                w[row] = 0;
+                return;
+              }
+              CountInt sum = 0;
+              for (std::uint32_t crow : index->group_rows(group)) {
+                sum += cw[crow];
+              }
+              w[row] *= sum;
+            });
+      });
       weights[c].clear();  // release
       weights[c].shrink_to_fit();
     }

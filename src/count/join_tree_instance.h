@@ -40,7 +40,12 @@ bool FullReduce(JoinTreeInstance* instance);
 // The number of solutions of the full acyclic join (distinct assignments to
 // all variables), by dynamic programming over the tree: no solution is ever
 // materialized. Bag relations must be deduplicated (the kernel invariant
-// guarantees this).
+// guarantees this). The instance does NOT need to be full-reduced first:
+// rows without an extension below carry weight 0 and contribute nothing,
+// so root-count-only callers skip the FullReduce semijoin
+// materializations entirely. Run FullReduce only when the reduced
+// relations themselves are consumed afterwards (projection pipelines, the
+// PS13 partition, enumeration).
 CountInt CountFullJoin(const JoinTreeInstance& instance);
 
 // Projects every bag onto bag ∩ keep (deduplicating). The tree shape is

@@ -71,33 +71,28 @@ CountInt Ps13Count(const JoinTreeInstance& instance, const IdSet& free_vars,
       const Rel& rq = instance.nodes[q];
       const SharpRelation& rel_q = sharp[q];
 
-      // Dense join-key ids over the shared variables, for both relations.
+      // Dense join-key ids over the shared variables: the group ids of q's
+      // cached index. q rows read their id straight off the group
+      // structure; p rows probe one packed word each, and a p key absent
+      // from q maps to the kNoGroup sentinel, which no q key set contains
+      // — so the old vector<Value>-keyed id map (one hash + deep compare
+      // per row) disappears entirely.
       IdSet shared = Intersect(rp.vars(), rq.vars());
       std::vector<int> p_cols = ColumnsOf(rp, shared);
       std::vector<int> q_cols = ColumnsOf(rq, shared);
-      std::unordered_map<std::vector<Value>, std::uint32_t, VectorHash<Value>>
-          key_ids;
-      auto key_id_of = [&key_ids](std::vector<Value> key) {
-        auto [kit, inserted] =
-            key_ids.emplace(std::move(key), static_cast<std::uint32_t>(
-                                                key_ids.size()));
-        return kit->second;
-      };
-      auto keys_of = [](const Rel& r, const std::vector<int>& cols,
-                        auto& id_of) {
-        std::vector<std::uint32_t> ids(r.size());
-        std::vector<Value> key(cols.size());
-        const Table& table = *r.table();
-        for (std::size_t row = 0; row < r.size(); ++row) {
-          for (std::size_t j = 0; j < cols.size(); ++j) {
-            key[j] = table.at(row, cols[j]);
-          }
-          ids[row] = id_of(key);
+      std::shared_ptr<const TableIndex> q_index =
+          rq.table()->IndexOn(q_cols);
+      std::vector<std::uint32_t> q_keys(rq.size());
+      for (std::size_t g = 0; g < q_index->num_groups(); ++g) {
+        for (std::uint32_t row : q_index->group_rows(g)) {
+          q_keys[row] = static_cast<std::uint32_t>(g);
         }
-        return ids;
-      };
-      std::vector<std::uint32_t> p_keys = keys_of(rp, p_cols, key_id_of);
-      std::vector<std::uint32_t> q_keys = keys_of(rq, q_cols, key_id_of);
+      }
+      std::vector<std::uint32_t> p_keys(rp.size());
+      ForEachProbeGroup(*q_index, *rp.table(), p_cols, 0, rp.size(),
+                        [&p_keys](std::size_t row, std::uint32_t group) {
+                          p_keys[row] = group;
+                        });
 
       // Key sets of each child #-set, for O(1) membership in the semijoin.
       std::vector<std::unordered_set<std::uint32_t>> q_key_sets(rel_q.size());

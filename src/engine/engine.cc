@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "algebra/exec_policy.h"
 #include "util/check.h"
 
 namespace sharpcq {
@@ -82,6 +83,17 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
                                   const Database& db,
                                   const PlannerOptions& options) {
   Planned planned = Plan(q, options);
+  // Install this engine's execution policy for the duration of the
+  // execution: kernel probe loops above the row threshold morselize onto
+  // the engine pool (created lazily on the first such probe).
+  std::optional<ExecScope> scope;
+  if (options_.enable_morsel_parallelism) {
+    ExecPolicy policy;
+    policy.pool = [this] { return &Pool(); };
+    policy.morsel_rows = options_.morsel_rows;
+    policy.row_threshold = options_.morsel_row_threshold;
+    scope.emplace(std::move(policy));
+  }
   CountResult result = ExecutePlan(*planned.plan, db);
   result.planner_ms = planned.planner_ms;
   result.cache_hit = planned.cache_hit;

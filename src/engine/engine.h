@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "algebra/exec_policy.h"
 #include "core/sharp_counting.h"
 #include "data/database.h"
 #include "engine/executor.h"
@@ -27,9 +28,23 @@ struct EngineOptions {
   // one shard and exact LRU order).
   std::size_t plan_cache_shards = 8;
   // Worker threads behind CountBatch/CountAsync; 0 = hardware concurrency.
-  // The pool is created lazily on the first batch/async call, so purely
-  // synchronous engines never start threads.
+  // The pool is created lazily: on the first batch/async call, or on the
+  // first probe loop big enough to morselize (below). A synchronous engine
+  // on small data never starts threads; to guarantee no threads ever, also
+  // set enable_morsel_parallelism = false.
   std::size_t batch_threads = 0;
+  // Intra-query morsel parallelism: large probe loops inside an execution
+  // (Semijoin/Join probes, the CountFullJoin weight aggregation) split
+  // their probe side into row-range morsels dispatched on the same thread
+  // pool, with the calling thread participating (so a batch job morselizing
+  // on a saturated pool still finishes on its own). Probe sides below
+  // morsel_row_threshold rows never dispatch — small queries stay
+  // single-threaded and allocation-free. Set enable_morsel_parallelism =
+  // false to force every operator sequential (the differential tests
+  // compare both settings).
+  bool enable_morsel_parallelism = true;
+  std::size_t morsel_rows = kDefaultMorselRows;
+  std::size_t morsel_row_threshold = kDefaultMorselRowThreshold;
 };
 
 // Named planner policies, for tools that take a strategy by name (the

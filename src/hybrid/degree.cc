@@ -7,7 +7,10 @@ namespace sharpcq {
 
 std::size_t DegreeOfRelation(const Rel& rel, const IdSet& free) {
   // MaxGroupSize indexes on vars(rel) ∩ free and returns the largest group
-  // (0 for the empty relation), which is exactly Definition 6.1.
+  // (0 for the empty relation), which is exactly Definition 6.1. The index
+  // is the packed-key one the semijoin probes share, so a degree check on a
+  // relation the reducer already probed costs a cache hit — and a degree
+  // check that builds the index leaves it warm for the PS13 partition.
   return MaxGroupSize(rel, free);
 }
 

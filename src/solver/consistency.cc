@@ -1,32 +1,75 @@
 #include "solver/consistency.h"
 
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "count/join_tree_instance.h"
+#include "hypergraph/acyclic.h"
+
 namespace sharpcq {
 
 bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
   const std::size_t n = views->size();
-  // Precompute which pairs interact.
+  for (const Rel& v : *views) {
+    if (v.empty()) return false;
+  }
+
+  // Acyclic downgrade: when the view schemas form an alpha-acyclic
+  // hypergraph, the greatest pairwise-consistent subinstance equals the
+  // globally consistent one (Beeri–Fagin–Maier–Yannakakis), and the
+  // two-pass join-tree full reducer computes it with O(n) semijoins
+  // instead of a fixpoint.
+  {
+    std::vector<IdSet> edges;
+    edges.reserve(n);
+    for (const Rel& v : *views) edges.push_back(v.vars());
+    if (std::optional<TreeShape> shape = BuildJoinTree(edges);
+        shape.has_value()) {
+      JoinTreeInstance instance;
+      instance.shape = std::move(*shape);
+      instance.nodes = std::move(*views);
+      bool ok = FullReduce(&instance);
+      *views = std::move(instance.nodes);
+      return ok;
+    }
+  }
+
+  // Cyclic schemas: worklist propagation to the fixpoint. A pair (i, j)
+  // needs re-running only when its right side j shrank since the pair last
+  // ran — a semijoin never un-removes rows, so shrinking i alone cannot
+  // change any (i, j') outcome. Compared to the old full-rescan fixpoint
+  // (every pair, every round, until a clean round) this skips the O(pairs)
+  // confirming rescans entirely.
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::vector<std::size_t>> pairs_with_right(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       if (i != j && (*views)[i].vars().Intersects((*views)[j].vars())) {
+        pairs_with_right[j].push_back(pairs.size());
         pairs.emplace_back(i, j);
       }
     }
   }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (auto [i, j] : pairs) {
-      bool local = false;
-      (*views)[i] = Semijoin((*views)[i], (*views)[j], &local);
-      if (local) {
-        changed = true;
-        if ((*views)[i].empty()) return false;
+  std::deque<std::size_t> worklist;
+  std::vector<char> queued(pairs.size(), 1);
+  for (std::size_t p = 0; p < pairs.size(); ++p) worklist.push_back(p);
+
+  while (!worklist.empty()) {
+    const std::size_t p = worklist.front();
+    worklist.pop_front();
+    queued[p] = 0;
+    auto [i, j] = pairs[p];
+    bool shrank = false;
+    (*views)[i] = Semijoin((*views)[i], (*views)[j], &shrank);
+    if (!shrank) continue;
+    if ((*views)[i].empty()) return false;
+    for (std::size_t q : pairs_with_right[i]) {
+      if (!queued[q]) {
+        queued[q] = 1;
+        worklist.push_back(q);
       }
     }
-  }
-  for (const Rel& v : *views) {
-    if (v.empty()) return false;
   }
   return true;
 }

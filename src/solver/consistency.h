@@ -17,10 +17,15 @@ namespace sharpcq {
 // computation) and the reference implementation for the Theorem 3.7
 // pipeline (which uses the cheaper join-tree full reducer in count/).
 //
-// The kernel overload is the primary implementation: each fixpoint round
-// reuses the right-hand views' cached hash indexes, and semijoins that
-// remove nothing return the unchanged handle — so the final (confirming)
-// round over every pair costs only probes, no materialization.
+// The kernel overload is the primary implementation. Acyclic view schemas
+// are detected up front and downgraded to the two-pass join-tree full
+// reducer (Beeri–Fagin–Maier–Yannakakis: pairwise consistency equals
+// global consistency there, and the reducer reaches it in O(n) semijoins).
+// Cyclic schemas run a worklist propagator instead of the old full-rescan
+// fixpoint: a pair (i, j) is re-enqueued only when its right side j
+// shrank, so the confirming rescans over every pair disappear. Both paths
+// reuse the right-hand views' cached hash indexes, and semijoins that
+// remove nothing return the unchanged handle (no materialization).
 bool EnforcePairwiseConsistency(std::vector<Rel>* views);
 
 // Legacy shim over the kernel implementation, preserved so callers holding

@@ -6,15 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
 #include <unordered_map>
 #include <vector>
 
+#include "algebra/exec_policy.h"
 #include "algebra/rel.h"
 #include "data/relation.h"
 #include "data/var_relation.h"
 #include "solver/consistency.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace sharpcq {
 namespace {
@@ -187,6 +190,279 @@ TEST(AlgebraKernelDifferentialTest, ConsistencyFixpointAgreesWithLegacy) {
     EXPECT_EQ(kernel_ok, legacy_ok) << "seed " << seed;
     if (kernel_ok && legacy_ok) {
       for (std::size_t i = 0; i < num_views; ++i) {
+        EXPECT_TRUE(SameAsLegacy(kernel[i], legacy[i]))
+            << "seed " << seed << " view " << i;
+      }
+    }
+  }
+}
+
+// --- packed-key probe kernel --------------------------------------------------
+
+// A random deduplicated VarRelation whose values are base + stretch * u for
+// u in [0, domain): stretch 1 exercises the dictionary-dense bit-packing,
+// large stretches blow the 62-bit budget and force the collision-checked
+// hash-word fallback.
+VarRelation RandomStretchedVarRel(std::mt19937_64* rng, IdSet vars,
+                                  int domain, int max_rows, Value base,
+                                  Value stretch) {
+  VarRelation r(std::move(vars));
+  std::uniform_int_distribution<int> rows_dist(0, max_rows);
+  std::uniform_int_distribution<Value> value_dist(0, domain - 1);
+  const int rows = rows_dist(*rng);
+  std::vector<Value> row(r.vars().size());
+  for (int i = 0; i < rows; ++i) {
+    for (Value& v : row) v = base + stretch * value_dist(*rng);
+    r.rel().AddRow(row);
+  }
+  r.rel().Dedup();
+  return r;
+}
+
+// Restores full-width hash words even if a test fails mid-way.
+struct NarrowHashedWords {
+  explicit NarrowHashedWords(int bits) {
+    TableIndex::SetHashedWordBitsForTesting(bits);
+  }
+  ~NarrowHashedWords() { TableIndex::SetHashedWordBitsForTesting(0); }
+};
+
+// One differential round of every kernel operator against the legacy
+// algebra (shared by the sequential and morsel-parallel sweeps below).
+void CheckOpsAgainstLegacy(std::mt19937_64* rng, const VarRelation& la,
+                           const VarRelation& lb, int domain, Value base,
+                           Value stretch, std::uint64_t seed) {
+  Rel ka(la);
+  Rel kb(lb);
+
+  EXPECT_TRUE(SameAsLegacy(Join(ka, kb), Join(la, lb))) << "seed " << seed;
+
+  bool kernel_changed = false;
+  bool legacy_changed = false;
+  Rel ks = Semijoin(ka, kb, &kernel_changed);
+  VarRelation ls = Semijoin(la, lb, &legacy_changed);
+  EXPECT_TRUE(SameAsLegacy(ks, ls)) << "seed " << seed;
+  EXPECT_EQ(kernel_changed, legacy_changed) << "seed " << seed;
+  EXPECT_TRUE(SameAsLegacy(Semijoin(kb, ka), Semijoin(lb, la)))
+      << "seed " << seed;
+
+  IdSet onto;
+  for (std::uint32_t v : la.vars()) {
+    if ((*rng)() % 2 == 0) onto.Insert(v);
+  }
+  EXPECT_TRUE(SameAsLegacy(Project(ka, onto), Project(la, onto)))
+      << "seed " << seed;
+  EXPECT_EQ(DistinctCount(ka, onto), Project(la, onto).size())
+      << "seed " << seed;
+  EXPECT_EQ(MaxGroupSize(ka, onto), LegacyDegree(la, onto)) << "seed " << seed;
+
+  // SelectEqual probes the single-column fast path; half the probes use a
+  // value absent from the relation (poison/out-of-dictionary case).
+  std::uint32_t var = la.vars()[(*rng)() % la.vars().size()];
+  Value value = base + stretch * static_cast<Value>((*rng)() % domain);
+  if ((*rng)() % 2 == 0) value += 1;  // usually misses every stretched value
+  EXPECT_TRUE(SameAsLegacy(SelectEqual(ka, var, value),
+                           SelectEqual(la, var, value)))
+      << "seed " << seed;
+
+  EXPECT_TRUE(SameRel(ka, Rel(la))) << "seed " << seed;
+  EXPECT_EQ(SameRel(ka, kb), SameVarRelation(la, lb)) << "seed " << seed;
+}
+
+// The ISSUE-5 packed-key differential: >= 200 random instances over
+// multi-column keys covering the dense bit-packing, shifted bases, the
+// hashed fallback, collision-forcing narrowed hash words, and morsel
+// parallelism both on and off — every configuration must agree with the
+// legacy by-value algebra.
+TEST(PackedKeyDifferentialTest, OpsAgreeWithLegacyOn240Instances) {
+  ThreadPool pool(3);
+  for (std::uint64_t seed = 1; seed <= 240; ++seed) {
+    std::mt19937_64 rng(seed);
+    const std::uint32_t pool_vars = 5;
+    const int domain = 2 + static_cast<int>(seed % 4);     // 2..5
+    const int max_rows = 4 + static_cast<int>(seed % 17);  // 4..20
+
+    Value base = 0;
+    Value stretch = 1;
+    switch (seed % 3) {
+      case 0:  // dictionary-dense small values
+        break;
+      case 1:  // dense packing with a shifted (negative) base
+        base = -1000003;
+        stretch = 7;
+        break;
+      case 2:  // ranges past the 62-bit budget: hashed fallback
+        base = -(Value{1} << 60);
+        stretch = Value{1} << 59;
+        break;
+    }
+    // Multi-column schemas (>= 2 vars) so shared keys are usually wide.
+    IdSet vars_a = RandomVars(&rng, pool_vars, 2);
+    IdSet vars_b = RandomVars(&rng, pool_vars, 2);
+    VarRelation la =
+        RandomStretchedVarRel(&rng, vars_a, domain, max_rows, base, stretch);
+    VarRelation lb =
+        RandomStretchedVarRel(&rng, vars_b, domain, max_rows, base, stretch);
+
+    // Every fourth seed narrows hash words to 3 bits, making word
+    // collisions between distinct keys near-certain: the collision-checked
+    // probe must still verify values.
+    std::unique_ptr<NarrowHashedWords> narrowed;
+    if (seed % 4 == 0) narrowed = std::make_unique<NarrowHashedWords>(3);
+
+    if (seed % 2 == 0) {
+      // Morsel-parallel: thresholds forced low so even tiny probe sides
+      // split into several chunks across the pool.
+      ExecPolicy policy;
+      policy.pool = [&pool]() -> ThreadPool* { return &pool; };
+      policy.morsel_rows = 3;
+      policy.row_threshold = 1;
+      ExecScope scope(std::move(policy));
+      CheckOpsAgainstLegacy(&rng, la, lb, domain, base, stretch, seed);
+    } else {
+      CheckOpsAgainstLegacy(&rng, la, lb, domain, base, stretch, seed);
+    }
+  }
+}
+
+TEST(PackedKeyTest, PackingModeSelectionAndPoisonProbes) {
+  // Dense: two columns with tiny ranges bit-pack exactly.
+  Rel dense = MakeVarRel(IdSet{0, 1}, {{1, 10}, {2, 11}, {3, 12}, {1, 12}});
+  auto dense_index = dense.table()->IndexOn({0, 1});
+  EXPECT_EQ(dense_index->packing().mode, KeyPacking::Mode::kDense);
+  const Value hit[2] = {1, 12};
+  EXPECT_EQ(dense_index->Lookup(std::span<const Value>(hit, 2)).size(), 1u);
+  // Out-of-range probes poison the word and must miss (not crash, not
+  // alias an in-range key).
+  const Value miss_low[2] = {0, 10};
+  const Value miss_high[2] = {1, 999};
+  EXPECT_TRUE(dense_index->Lookup(std::span<const Value>(miss_low, 2)).empty());
+  EXPECT_TRUE(
+      dense_index->Lookup(std::span<const Value>(miss_high, 2)).empty());
+
+  // Hashed: a column spanning more than 62 bits of range.
+  const Value wide = Value{1} << 62;
+  Rel hashed = MakeVarRel(IdSet{0, 1}, {{-wide, 0}, {wide, 1}, {0, 1}});
+  auto hashed_index = hashed.table()->IndexOn({0, 1});
+  EXPECT_EQ(hashed_index->packing().mode, KeyPacking::Mode::kHashed);
+  const Value hkey[2] = {wide, 1};
+  EXPECT_EQ(hashed_index->Lookup(std::span<const Value>(hkey, 2)).size(), 1u);
+  const Value habsent[2] = {wide, 0};
+  EXPECT_TRUE(
+      hashed_index->Lookup(std::span<const Value>(habsent, 2)).empty());
+
+  // Single column: pass-through words plus the Value fast-path overload.
+  auto single_index = dense.table()->IndexOn({0});
+  EXPECT_EQ(single_index->packing().mode, KeyPacking::Mode::kSingle);
+  EXPECT_EQ(single_index->Lookup(Value{1}).size(), 2u);
+  EXPECT_TRUE(single_index->Lookup(Value{42}).empty());
+  const Value one[1] = {1};
+  EXPECT_EQ(single_index->Lookup(Value{1}).data(),
+            single_index->Lookup(std::span<const Value>(one, 1)).data());
+
+  // Width-0 key: one group holding every row.
+  auto empty_key_index = dense.table()->IndexOn({});
+  EXPECT_EQ(empty_key_index->num_groups(), 1u);
+  EXPECT_EQ(empty_key_index->Lookup(std::span<const Value>{}).size(), 4u);
+}
+
+TEST(PackedKeyTest, NarrowedHashWordsForceCollisionCheckedProbes) {
+  // 2-bit hash words admit only 4 distinct words; 40 distinct wide-range
+  // keys therefore collide heavily, and both the index build and every
+  // probe must disambiguate by comparing actual values.
+  NarrowHashedWords narrowed(2);
+  const Value stretch = Value{1} << 56;  // 39 * 2^56 stays well inside int64
+  std::vector<std::vector<Value>> rows;
+  for (Value u = 0; u < 40; ++u) {
+    rows.push_back({u * stretch - (Value{1} << 60), (u % 7) * stretch});
+  }
+  Rel r = MakeVarRel(IdSet{0, 1}, rows);
+  auto index = r.table()->IndexOn({0, 1});
+  ASSERT_EQ(index->packing().mode, KeyPacking::Mode::kHashed);
+  EXPECT_EQ(index->num_groups(), 40u);  // collisions never merge groups
+  for (const auto& row : rows) {
+    std::span<const std::uint32_t> matches =
+        index->Lookup(std::span<const Value>(row));
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(r.table()->at(matches[0], 0), row[0]);
+    EXPECT_EQ(r.table()->at(matches[0], 1), row[1]);
+    // A perturbed key sharing the same word space must miss.
+    const Value absent[2] = {row[0] + 1, row[1]};
+    EXPECT_TRUE(index->Lookup(std::span<const Value>(absent, 2)).empty());
+  }
+}
+
+TEST(PackedKeyTest, MorselParallelSemijoinMatchesSequentialOnLargeInputs) {
+  // Large enough that the parallel plan splits into many morsels; the
+  // gathered selection must be byte-identical to the sequential result.
+  std::mt19937_64 rng(7);
+  std::vector<std::vector<Value>> a_rows;
+  std::vector<std::vector<Value>> b_rows;
+  for (int i = 0; i < 5000; ++i) {
+    a_rows.push_back({static_cast<Value>(rng() % 50),
+                      static_cast<Value>(rng() % 50),
+                      static_cast<Value>(rng() % 50)});
+    b_rows.push_back({static_cast<Value>(rng() % 40),
+                      static_cast<Value>(rng() % 40)});
+  }
+  VarRelation la = MakeVarRel(IdSet{0, 1, 2}, a_rows);
+  la.rel().Dedup();
+  VarRelation lb = MakeVarRel(IdSet{1, 2}, b_rows);
+  lb.rel().Dedup();
+  Rel ka(la);
+  Rel kb(lb);
+  Rel seq_semi = Semijoin(ka, kb);
+  Rel seq_join = Join(ka, kb);
+
+  ThreadPool pool(4);
+  ExecPolicy policy;
+  policy.pool = [&pool]() -> ThreadPool* { return &pool; };
+  policy.morsel_rows = 128;
+  policy.row_threshold = 256;
+  ExecScope scope(std::move(policy));
+  Rel par_semi = Semijoin(ka, kb);
+  Rel par_join = Join(ka, kb);
+  EXPECT_TRUE(SameRel(par_semi, seq_semi));
+  EXPECT_TRUE(SameRel(par_join, seq_join));
+  // Chunk gathering preserves probe order: results are row-for-row equal,
+  // not just set-equal.
+  ASSERT_EQ(par_join.size(), seq_join.size());
+  for (std::size_t i = 0; i < par_join.size(); ++i) {
+    for (int c = 0; c < par_join.table()->arity(); ++c) {
+      ASSERT_EQ(par_join.table()->at(i, c), seq_join.table()->at(i, c));
+    }
+  }
+}
+
+// --- worklist consistency propagator ------------------------------------------
+
+// Chain schemas are acyclic (the worklist downgrades to the join-tree full
+// reducer); triangles are cyclic (the worklist itself runs). Both must
+// match the legacy full-rescan fixpoint.
+TEST(WorklistConsistencyTest, MatchesLegacyFixpointOnChainsAndTriangles) {
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<VarRelation> legacy;
+    const bool triangle = seed % 2 == 0;
+    if (triangle) {
+      legacy.push_back(RandomVarRel(&rng, IdSet{0, 1}, 3, 14));
+      legacy.push_back(RandomVarRel(&rng, IdSet{1, 2}, 3, 14));
+      legacy.push_back(RandomVarRel(&rng, IdSet{0, 2}, 3, 14));
+      if (seed % 4 == 0) {  // a 4th view re-using an edge
+        legacy.push_back(RandomVarRel(&rng, IdSet{0, 1}, 3, 14));
+      }
+    } else {
+      const std::uint32_t len = 3 + static_cast<std::uint32_t>(seed % 3);
+      for (std::uint32_t i = 0; i < len; ++i) {
+        legacy.push_back(RandomVarRel(&rng, IdSet{i, i + 1}, 3, 14));
+      }
+    }
+    std::vector<Rel> kernel(legacy.begin(), legacy.end());
+    bool kernel_ok = EnforcePairwiseConsistency(&kernel);
+    bool legacy_ok = LegacyEnforcePairwiseConsistency(&legacy);
+    EXPECT_EQ(kernel_ok, legacy_ok) << "seed " << seed;
+    if (kernel_ok && legacy_ok) {
+      for (std::size_t i = 0; i < legacy.size(); ++i) {
         EXPECT_TRUE(SameAsLegacy(kernel[i], legacy[i]))
             << "seed " << seed << " view " << i;
       }

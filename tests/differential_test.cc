@@ -128,6 +128,44 @@ TEST(DifferentialOracleTest, TwoHundredRandomInstancesAgreeEverywhere) {
   EXPECT_GT(enumerable, 25);
 }
 
+TEST(DifferentialOracleTest, MorselParallelCountsAgreeWithSequential) {
+  // Morsel parallelism forced on for every probe loop (threshold 1, tiny
+  // morsels, a real pool) vs forced off: every strategy must return
+  // identical counts on the same workload. This is the intra-query
+  // analogue of the batch-vs-sequential check below, and the suite the
+  // ASan/TSan CI jobs run against the morsel dispatch.
+  EngineOptions parallel_options;
+  parallel_options.batch_threads = 3;
+  parallel_options.morsel_rows = 2;
+  parallel_options.morsel_row_threshold = 1;
+  CountingEngine parallel_engine(parallel_options);
+  EngineOptions sequential_options;
+  sequential_options.enable_morsel_parallelism = false;
+  CountingEngine sequential_engine(sequential_options);
+
+  std::vector<PlannerOptions> policies;
+  policies.push_back(PlannerOptions{});  // planner default
+  PlannerOptions sharp_only;
+  sharp_only.enable_acyclic_ps13 = false;
+  sharp_only.enable_hybrid = false;
+  policies.push_back(sharp_only);
+  PlannerOptions hybrid;
+  hybrid.enable_acyclic_ps13 = false;
+  hybrid.enable_hybrid = true;
+  policies.push_back(hybrid);
+
+  std::vector<OracleCase> cases = MakeCases(241, 300);
+  for (const OracleCase& c : cases) {
+    for (const PlannerOptions& policy : policies) {
+      CountResult par = parallel_engine.Count(c.query, c.db, policy);
+      CountResult seq = sequential_engine.Count(c.query, c.db, policy);
+      EXPECT_EQ(par.count, seq.count)
+          << "seed " << c.seed << " via " << par.method << " / "
+          << seq.method;
+    }
+  }
+}
+
 TEST(DifferentialOracleTest, BatchAgreesWithSequentialOnMixedWorkload) {
   // The concurrent batch path must return exactly what one-at-a-time
   // counting returns, in job order.
