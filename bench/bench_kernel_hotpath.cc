@@ -15,11 +15,27 @@
 //   - BM_CountAggregate_{Pr3,Packed}          the CountFullJoin weight
 //     aggregation sweep over a materialized chain instance.
 //
+// The ISSUE-6 additions measure the filter-fronted SIMD kernel against the
+// ISSUE-5 (PR 5) kernel it replaced — packed words and a word-compare slot
+// walk, but per-row scalar hashing, a gathered group_words compare, and no
+// miss filter — replicated below as Pr5WordIndex:
+//
+//   - BM_SemijoinProbe_MissHeavy_{Pr5,Filtered}  semijoin probes where 95%
+//     of probe keys are absent from an out-of-L2 build side (the
+//     reduced-relation fixpoint shape). CI gates Pr5 >= 1.5x Filtered time;
+//   - BM_IndexBuild_OutOfCache_{Streaming,Radix} index construction on a
+//     build side whose slot arrays dwarf L2: the streaming insert strides
+//     the whole table, the radix build partitions rows so each partition's
+//     slot span stays cache-resident.
+//
 // Baseline snapshot: BENCH_kernel_hotpath.json at the repository root
 // (regenerate with --benchmark_format=json).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <bit>
+#include <limits>
 #include <map>
 #include <memory>
 #include <random>
@@ -27,6 +43,7 @@
 #include <vector>
 
 #include "algebra/rel.h"
+#include "algebra/table.h"
 #include "count/join_tree_instance.h"
 #include "solver/consistency.h"
 #include "util/count_int.h"
@@ -189,6 +206,96 @@ bool Pr3EnforcePairwiseConsistency(std::vector<Rel>* views,
   return true;
 }
 
+// --- the ISSUE-5 (PR 5) kernel, replicated ------------------------------------
+
+// The PR 5 packing chooser, verbatim: single-column pass-through, dense
+// bit-packing under 62 bits, hashed fallback (the bench workloads below all
+// pack dense).
+KeyPacking Pr5ChoosePacking(const Table& table,
+                            const std::vector<int>& key_columns) {
+  KeyPacking packing;
+  if (key_columns.size() <= 1) {
+    packing.mode = KeyPacking::Mode::kSingle;
+    return packing;
+  }
+  int total_bits = 0;
+  for (int c : key_columns) {
+    std::span<const Value> col = table.Column(c);
+    Value lo = col[0];
+    Value hi = col[0];
+    for (Value v : col) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    std::uint64_t range =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    packing.base.push_back(static_cast<std::uint64_t>(lo));
+    packing.range.push_back(range);
+    packing.shift.push_back(total_bits);
+    total_bits += std::bit_width(range);
+  }
+  packing.mode = KeyPacking::Mode::kDense;
+  return packing;
+}
+
+// The PR 5 TableIndex probe path for exact packings: per-row scalar
+// HashMix, a slot array holding only group ids, and the word compare
+// gathering group_words_[g - 1] — no tags, no inline slot words, no miss
+// filter, no batched hashing.
+class Pr5WordIndex {
+ public:
+  static constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
+
+  Pr5WordIndex(const Table& table, std::vector<int> key_columns)
+      : key_columns_(std::move(key_columns)), width_(key_columns_.size()) {
+    packing_ = Pr5ChoosePacking(table, key_columns_);
+    const std::size_t n = table.rows();
+    std::size_t capacity = 16;
+    while (capacity < n * 2 + 2) capacity <<= 1;
+    slots_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    std::vector<std::uint64_t> words(n);
+    PackProbeWords(packing_, table,
+                   std::span<const int>(key_columns_.data(), width_), 0, n,
+                   words.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t h = static_cast<std::size_t>(HashMix(words[i])) & mask_;
+      while (true) {
+        std::uint32_t g = slots_[h];
+        if (g == 0) {
+          group_words_.push_back(words[i]);
+          slots_[h] = static_cast<std::uint32_t>(++num_groups_);
+          break;
+        }
+        if (group_words_[g - 1] == words[i]) break;
+        h = (h + 1) & mask_;
+      }
+    }
+  }
+
+  const KeyPacking& packing() const { return packing_; }
+  const std::vector<int>& key_columns() const { return key_columns_; }
+
+  std::uint32_t FindGroupWord(std::uint64_t word) const {
+    std::size_t h = static_cast<std::size_t>(HashMix(word)) & mask_;
+    while (true) {
+      std::uint32_t g = slots_[h];
+      if (g == 0) return kNoGroup;
+      if (group_words_[g - 1] == word) return g - 1;  // the PR 5 gather
+      h = (h + 1) & mask_;
+    }
+  }
+
+ private:
+  std::vector<int> key_columns_;
+  std::size_t width_;
+  KeyPacking packing_;
+  std::size_t num_groups_ = 0;
+  std::vector<std::uint64_t> group_words_;
+  std::vector<std::uint32_t> slots_;
+  std::size_t mask_ = 0;
+};
+
 // --- workloads ----------------------------------------------------------------
 
 constexpr int kChainViews = 6;
@@ -286,6 +393,158 @@ void BM_SemijoinProbe_MultiCol_Packed(benchmark::State& state) {
   state.counters["rows"] = static_cast<double>(a.size());
 }
 BENCHMARK(BM_SemijoinProbe_MultiCol_Packed);
+
+// Miss-heavy probe pair: the build side holds the ~260k distinct (x, y)
+// keys over 0..999 x 0..999 with (x + y) % 3 != 0, so its slot arrays
+// (1M slots x 13 bytes) dwarf L2 while the blocked bloom filter stays
+// L2-resident. The probe side is 95% keys with (x + y) % 3 == 0 —
+// guaranteed absent, yet inside the dense packing box, so every miss is a
+// real slot-table (or filter) miss, not a poisoned word — and 5% copies of
+// build rows. This is the fixpoint shape: semijoins against an
+// already-reduced relation, where nearly every probe misses and the
+// unfiltered kernel pays an out-of-cache slot touch to learn it.
+std::pair<Rel, Rel> MakeMissHeavyPair() {
+  std::mt19937_64 rng(4243);
+  std::uniform_int_distribution<Value> value(0, 999);
+  TableBuilder b_builder(3);
+  b_builder.ReserveRows(400000);
+  std::vector<std::pair<Value, Value>> build_keys;
+  build_keys.reserve(400000);
+  for (int t = 0; t < 400000; ++t) {
+    Value x = value(rng);
+    Value y = value(rng);
+    if ((x + y) % 3 == 0) x = (x + 1) % 1000 == 0 ? x - 2 : x + 1;
+    if ((x + y) % 3 == 0) continue;
+    build_keys.emplace_back(x, y);
+    std::vector<Value> row = {x, y, value(rng)};
+    b_builder.AddRow(row);
+  }
+  TableBuilder a_builder(3);
+  a_builder.ReserveRows(40000);
+  std::uniform_int_distribution<std::size_t> pick(0, build_keys.size() - 1);
+  for (int t = 0; t < 40000; ++t) {
+    if (t % 20 == 0) {
+      const auto& [x, y] = build_keys[pick(rng)];
+      std::vector<Value> row = {x, y, value(rng)};
+      a_builder.AddRow(row);
+    } else {
+      Value x = value(rng);
+      Value y = value(rng);
+      const Value adjust = (3 - (x + y) % 3) % 3;
+      y = y + adjust < 1000 ? y + adjust : y + adjust - 3;
+      std::vector<Value> row = {x, y, value(rng)};
+      a_builder.AddRow(row);
+    }
+  }
+  return {Rel(IdSet{0, 1, 2}, std::move(a_builder).Build()),
+          Rel(IdSet{0, 1, 3}, std::move(b_builder).Build())};
+}
+
+// Both miss-heavy benches measure the probe loop of a semijoin — pack the
+// probe rows, probe a prebuilt (cache-served) index, collect surviving row
+// ids — with output materialization and per-call allocation stripped from
+// BOTH sides, so the ratio isolates kernel against kernel. (The PR 5 side
+// even gets the reused buffers the shipped PR 5 code never had; the gate
+// holds anyway.)
+void BM_SemijoinProbe_MissHeavy_Pr5(benchmark::State& state) {
+  auto [a, b] = MakeMissHeavyPair();
+  IdSet shared = Intersect(a.vars(), b.vars());
+  Pr5WordIndex index(*b.table(), ColumnsOf(b, shared));
+  std::vector<int> a_cols = ColumnsOf(a, shared);
+  const Table& ta = *a.table();
+  const std::size_t n = ta.rows();
+  std::vector<std::uint64_t> words(n);
+  std::vector<std::uint32_t> kept;
+  kept.reserve(n);
+  for (auto _ : state) {
+    kept.clear();
+    PackProbeWords(index.packing(), ta,
+                   std::span<const int>(a_cols.data(), a_cols.size()), 0, n,
+                   words.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (index.FindGroupWord(words[i]) != Pr5WordIndex::kNoGroup) {
+        kept.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    benchmark::DoNotOptimize(kept.size());
+  }
+  state.counters["rows"] = static_cast<double>(n);
+  state.counters["kept"] = static_cast<double>(kept.size());
+}
+BENCHMARK(BM_SemijoinProbe_MissHeavy_Pr5);
+
+void BM_SemijoinProbe_MissHeavy_Filtered(benchmark::State& state) {
+  auto [a, b] = MakeMissHeavyPair();
+  IdSet shared = Intersect(a.vars(), b.vars());
+  std::shared_ptr<const TableIndex> index =
+      b.table()->IndexOn(ColumnsOf(b, shared));
+  std::vector<int> a_cols = ColumnsOf(a, shared);
+  const Table& ta = *a.table();
+  const std::size_t n = ta.rows();
+  std::vector<std::uint32_t> kept;
+  kept.reserve(n);
+  for (auto _ : state) {
+    kept.clear();
+    ForEachProbeGroup(*index, ta,
+                      std::span<const int>(a_cols.data(), a_cols.size()), 0, n,
+                      [&](std::size_t i, std::uint32_t group) {
+                        if (group != TableIndex::kNoGroup) {
+                          kept.push_back(static_cast<std::uint32_t>(i));
+                        }
+                      });
+    benchmark::DoNotOptimize(kept.size());
+  }
+  state.counters["rows"] = static_cast<double>(n);
+  state.counters["kept"] = static_cast<double>(kept.size());
+}
+BENCHMARK(BM_SemijoinProbe_MissHeavy_Filtered);
+
+// Out-of-cache build side: ~330k distinct 2-column keys put the slot
+// arrays (1M slots x 13 bytes) far past L2. Each iteration constructs the
+// index directly — the table itself is built once — so the measurement is
+// the insert pass, streaming vs radix-partitioned.
+std::shared_ptr<const Table> MakeOutOfCacheBuildTable() {
+  std::mt19937_64 rng(515151);
+  std::uniform_int_distribution<Value> value(0, 999);
+  TableBuilder builder(2);
+  builder.ReserveRows(400000);
+  for (int t = 0; t < 400000; ++t) {
+    std::vector<Value> row = {value(rng), value(rng)};
+    builder.AddRow(row);
+  }
+  return std::move(builder).Build();
+}
+
+void BM_IndexBuild_OutOfCache_Streaming(benchmark::State& state) {
+  auto table = MakeOutOfCacheBuildTable();
+  TableIndex::SetRadixRowThresholdForTesting(
+      std::numeric_limits<std::size_t>::max());
+  std::size_t groups = 0;
+  for (auto _ : state) {
+    TableIndex index(*table, {0, 1});
+    groups = index.num_groups();
+    benchmark::DoNotOptimize(groups);
+  }
+  TableIndex::SetRadixRowThresholdForTesting(0);
+  state.counters["rows"] = static_cast<double>(table->rows());
+  state.counters["groups"] = static_cast<double>(groups);
+}
+BENCHMARK(BM_IndexBuild_OutOfCache_Streaming);
+
+void BM_IndexBuild_OutOfCache_Radix(benchmark::State& state) {
+  auto table = MakeOutOfCacheBuildTable();
+  TableIndex::SetRadixRowThresholdForTesting(1);
+  std::size_t groups = 0;
+  for (auto _ : state) {
+    TableIndex index(*table, {0, 1});
+    groups = index.num_groups();
+    benchmark::DoNotOptimize(groups);
+  }
+  TableIndex::SetRadixRowThresholdForTesting(0);
+  state.counters["rows"] = static_cast<double>(table->rows());
+  state.counters["groups"] = static_cast<double>(groups);
+}
+BENCHMARK(BM_IndexBuild_OutOfCache_Radix);
 
 // Both reducer benches ingest the chain once and enforce consistency on a
 // fresh vector of handles per iteration (Rel copies share tables, so the

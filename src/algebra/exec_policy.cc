@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "algebra/simd.h"
 #include "util/thread_pool.h"
 
 namespace sharpcq {
@@ -33,6 +34,15 @@ MorselPlan PlanMorsels(std::size_t rows) {
     return plan;
   }
   plan.rows_per_chunk = policy->morsel_rows;
+  // Align morsels to whole probe blocks so a morsel boundary never splits
+  // a block of the vectorized probe driver into two partial (tail-lane)
+  // blocks. Policies tuned below one block — tests forcing tiny morsels —
+  // keep their exact size.
+  if (plan.rows_per_chunk >= kProbeBlockRows) {
+    plan.rows_per_chunk =
+        (plan.rows_per_chunk + kProbeBlockRows - 1) / kProbeBlockRows *
+        kProbeBlockRows;
+  }
   plan.chunks = (rows + plan.rows_per_chunk - 1) / plan.rows_per_chunk;
   plan.parallel = plan.chunks > 1;
   if (!plan.parallel) plan.rows_per_chunk = rows;

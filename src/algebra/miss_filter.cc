@@ -1,0 +1,126 @@
+#include "algebra/miss_filter.h"
+
+#include <atomic>
+
+#include "algebra/simd.h"
+
+namespace sharpcq {
+
+namespace {
+
+// Largest build cardinality served by the byte tag vector; beyond it the
+// blocked bloom's per-key cost (2 bytes) beats the tag vector's shrinking
+// accuracy.
+constexpr std::size_t kMaxTagVectorGroups = 2048;
+
+std::size_t Pow2AtLeast(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::atomic<int> filter_disable_count{0};
+
+}  // namespace
+
+MissFilter MissFilter::Build(std::span<const std::uint64_t> group_words) {
+  MissFilter filter;
+  const std::size_t n = group_words.size();
+  if (n == 0) return filter;  // kAlwaysMiss
+
+  // Hash in probe-block chunks through the dispatched batch primitive so
+  // the filter's bits are derived from exactly the hashes probes compute.
+  std::uint64_t hashes[kProbeBlockRows];
+  if (n <= kMaxTagVectorGroups) {
+    filter.kind_ = Kind::kTagVector;
+    // >= 4 buckets per key: one-bit-of-eight occupancy stays ~3% per probe.
+    const std::size_t buckets = Pow2AtLeast(n * 4 < 64 ? 64 : n * 4);
+    filter.mask_ = buckets - 1;
+    filter.bytes_.assign(buckets, 0);
+    for (std::size_t begin = 0; begin < n; begin += kProbeBlockRows) {
+      const std::size_t len =
+          begin + kProbeBlockRows < n ? kProbeBlockRows : n - begin;
+      HashWordsBatch(group_words.data() + begin, len, hashes);
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::uint64_t h = hashes[i];
+        filter.bytes_[(h >> 32) & filter.mask_] |=
+            static_cast<std::uint8_t>(1u << ((h >> 29) & 7));
+      }
+    }
+    return filter;
+  }
+
+  filter.kind_ = Kind::kBlockedBloom;
+  // ~16 filter bits per key across 64-bit blocks, 2 probe bits each:
+  // false-positive rate ~1.5% at 2 bytes per key.
+  const std::size_t blocks = Pow2AtLeast((n + 3) / 4);
+  filter.mask_ = blocks - 1;
+  filter.blocks_.assign(blocks, 0);
+  for (std::size_t begin = 0; begin < n; begin += kProbeBlockRows) {
+    const std::size_t len =
+        begin + kProbeBlockRows < n ? kProbeBlockRows : n - begin;
+    HashWordsBatch(group_words.data() + begin, len, hashes);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::uint64_t h = hashes[i];
+      filter.blocks_[(h >> 32) & filter.mask_] |=
+          (std::uint64_t{1} << ((h >> 26) & 63)) |
+          (std::uint64_t{1} << ((h >> 20) & 63));
+    }
+  }
+  return filter;
+}
+
+void MissFilter::MightContainBatch(const std::uint64_t* hashes, std::size_t n,
+                                   std::uint8_t* out) const {
+  switch (kind_) {
+    case Kind::kAlwaysMiss:
+      for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+      return;
+    case Kind::kTagVector:
+      // At most 8 KiB and L1-resident next to any probed index: a plain
+      // loop beats a gather here.
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t h = hashes[i];
+        out[i] = (bytes_[(h >> 32) & mask_] >> ((h >> 29) & 7)) & 1;
+      }
+      return;
+    case Kind::kBlockedBloom:
+      BloomMightContainBatch(blocks_.data(), mask_, hashes, n, out);
+      return;
+  }
+}
+
+bool MissFiltersEnabled() {
+  return filter_disable_count.load(std::memory_order_relaxed) == 0;
+}
+
+MissFilterDisableScope::MissFilterDisableScope() {
+  filter_disable_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+MissFilterDisableScope::~MissFilterDisableScope() {
+  filter_disable_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::atomic<std::uint64_t> filter_hits_total{0};
+std::atomic<std::uint64_t> filter_passes_total{0};
+
+}  // namespace
+
+ProbeFilterStats GlobalProbeFilterStats() {
+  ProbeFilterStats stats;
+  stats.hits = filter_hits_total.load(std::memory_order_relaxed);
+  stats.passes = filter_passes_total.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void AddProbeFilterTallies(std::uint64_t hits, std::uint64_t passes) {
+  if (hits != 0) filter_hits_total.fetch_add(hits, std::memory_order_relaxed);
+  if (passes != 0) {
+    filter_passes_total.fetch_add(passes, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sharpcq

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <memory>
+#include <numeric>
 
+#include "util/cpu.h"
 #include "util/hash.h"
 
 namespace sharpcq {
@@ -28,6 +31,9 @@ std::uint64_t HashedWordOf(std::span<const Value> key) {
   if (bits > 0 && bits < 64) word &= (std::uint64_t{1} << bits) - 1;
   return word;
 }
+
+// Test-only override of the radix build threshold (0 = L2-derived).
+std::atomic<std::size_t> radix_threshold_override{0};
 
 // Chooses the packing for `key_columns` of `table`: single-column keys pass
 // the value through; multi-column keys bit-pack when the per-column ranges
@@ -82,6 +88,26 @@ KeyPacking ChoosePacking(const Table& table,
 
 }  // namespace
 
+namespace probe_internal {
+
+namespace {
+// One scratch set per thread; the in_use flag hands nested probes (a probe
+// issued from inside a probe callback) a nullptr so they fall back to
+// plain locals instead of clobbering the outer call's buffers.
+thread_local ProbeScratch tls_probe_scratch;
+}  // namespace
+
+ProbeScratch* AcquireProbeScratch() {
+  ProbeScratch& scratch = tls_probe_scratch;
+  if (scratch.in_use) return nullptr;
+  scratch.in_use = true;
+  return &scratch;
+}
+
+void ReleaseProbeScratch(ProbeScratch* scratch) { scratch->in_use = false; }
+
+}  // namespace probe_internal
+
 std::uint64_t KeyPacking::Pack(std::span<const Value> key) const {
   switch (mode) {
     case Mode::kSingle:
@@ -106,6 +132,25 @@ void TableIndex::SetHashedWordBitsForTesting(int bits) {
   hashed_word_bits.store(bits, std::memory_order_relaxed);
 }
 
+std::size_t TableIndex::RadixRowThreshold() {
+  const std::size_t forced =
+      radix_threshold_override.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  // Partitioning pays for itself only once the slot arrays overflow the
+  // LAST-level cache: below that, streaming inserts miss L2 but the LLC
+  // absorbs them at a cost smaller than the radix build's extra scatter and
+  // renumber passes (measured ~1.4x slower at LLC-resident sizes). The slot
+  // arrays cost 13 bytes per slot and capacity is the first power of two
+  // above 2n, so 26n bytes is their floor; LLC/13 rows puts the working set
+  // at >= 2x the LLC, comfortably into the DRAM regime. The per-partition
+  // span is sized from L2 separately (RadixBuild).
+  return std::max<std::size_t>(65536, LastLevelCacheBytes() / 13);
+}
+
+void TableIndex::SetRadixRowThresholdForTesting(std::size_t rows) {
+  radix_threshold_override.store(rows, std::memory_order_relaxed);
+}
+
 std::uint64_t TableIndex::HashWord(std::uint64_t word) {
   return HashMix(word);
 }
@@ -116,54 +161,45 @@ TableIndex::TableIndex(const Table& table, std::vector<int> key_columns)
   packing_ = ChoosePacking(table, key_columns_);
   const std::size_t n = table.rows();
   const std::size_t capacity = SlotCapacityFor(n);
-  slots_.assign(capacity, 0);
+  tags_.assign(capacity, 0);
+  slot_words_ = std::make_unique_for_overwrite<std::uint64_t[]>(capacity);
+  slots_ = std::make_unique_for_overwrite<std::uint32_t[]>(capacity);
   mask_ = capacity - 1;
 
-  // Pack every row's key into its word, column-major (each key column is
-  // streamed once). Build-side dense keys are inside the box by
-  // construction, so no word is poisoned.
-  std::vector<std::uint64_t> words(n);
-  if (n > 0) {
-    PackProbeWords(packing_, table,
-                   std::span<const int>(key_columns_.data(), width_),
-                   /*begin=*/0, /*end=*/n, words.data());
-  }
-
-  // Pass 1: assign every row a group id, appending each fresh key to the
-  // flat key buffer. group_of and the per-group counts are the only
-  // scratch. For exact packings the word alone decides equality, so the
-  // key values are gathered only when a fresh group is inserted — repeated
-  // keys (the dictionary-dense common case) cost one word compare, not a
-  // width_-wide row gather.
-  const bool exact = packing_.exact();
+  // Pre-size every growable buffer from the row count (the distinct-key
+  // upper bound) so the build performs no regrow churn: one pass over the
+  // rows, each appending into already-reserved storage.
+  keys_.reserve(n * width_);
+  group_words_.reserve(n);
   std::vector<std::uint32_t> group_of(n);
   std::vector<std::uint32_t> counts;
-  std::vector<Value> key(width_);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!exact) {
-      for (std::size_t j = 0; j < width_; ++j) {
-        key[j] = table.at(i, key_columns_[j]);
-      }
+  counts.reserve(n);
+  std::vector<std::uint32_t> first_row;
+  first_row.reserve(n);
+
+  if (n > 0) {
+    if (n >= RadixRowThreshold()) {
+      RadixBuild(table, &group_of, &counts, &first_row);
+    } else {
+      StreamingBuild(table, &group_of, &counts, &first_row);
     }
-    std::size_t slot = FindSlotForInsert(words[i], key.data());
-    if (slots_[slot] == 0) {
-      if (exact) {
-        for (std::size_t j = 0; j < width_; ++j) {
-          key[j] = table.at(i, key_columns_[j]);
-        }
-      }
-      keys_.insert(keys_.end(), key.begin(), key.end());
-      group_words_.push_back(words[i]);
-      counts.push_back(0);
-      slots_[slot] = static_cast<std::uint32_t>(++num_groups_);
-    }
-    std::uint32_t g = slots_[slot] - 1;
-    group_of[i] = g;
-    max_group_size_ = std::max(max_group_size_,
-                               static_cast<std::size_t>(++counts[g]));
   }
 
-  // Pass 2: CSR layout — prefix-sum the counts, then scatter row ids.
+  // Exact packings never compare key values during the build, so the flat
+  // key buffer is gathered here in one pass, after the group numbering is
+  // final: first_row is ascending in group order, so the row accesses
+  // stream forward through the columns instead of jumping per insert.
+  // (kHashed builds gathered keys inline — collision checks need them.)
+  if (packing_.exact()) {
+    keys_.resize(num_groups_ * width_);
+    for (std::size_t g = 0; g < num_groups_; ++g) {
+      for (std::size_t j = 0; j < width_; ++j) {
+        keys_[g * width_ + j] = table.at(first_row[g], key_columns_[j]);
+      }
+    }
+  }
+
+  // CSR layout: prefix-sum the counts, then scatter row ids.
   offsets_.assign(num_groups_ + 1, 0);
   for (std::size_t g = 0; g < num_groups_; ++g) {
     offsets_[g + 1] = offsets_[g] + counts[g];
@@ -173,34 +209,223 @@ TableIndex::TableIndex(const Table& table, std::vector<int> key_columns)
   for (std::size_t i = 0; i < n; ++i) {
     rows_[cursor[group_of[i]]++] = static_cast<std::uint32_t>(i);
   }
+
+  filter_ = MissFilter::Build(group_words_);
 }
 
-std::size_t TableIndex::FindSlotForInsert(std::uint64_t word,
-                                          const Value* key) const {
-  std::size_t h = static_cast<std::size_t>(HashWord(word)) & mask_;
+std::uint32_t TableIndex::InsertRow(const Table& table, std::size_t i,
+                                    std::uint64_t word,
+                                    std::vector<Value>* key_scratch,
+                                    std::vector<std::uint32_t>* counts) {
   const bool exact = packing_.exact();
+  Value* key = key_scratch->data();
+  if (!exact) {
+    // kHashed: a word collision between distinct keys must be resolved by
+    // value, so the row's key is gathered up front.
+    for (std::size_t j = 0; j < width_; ++j) {
+      key[j] = table.at(i, key_columns_[j]);
+    }
+  }
+  const std::uint64_t hash = HashWord(word);
+  std::size_t h = static_cast<std::size_t>(hash) & mask_;
+  const std::uint8_t tag = TagOfHash(hash);
   while (true) {
-    std::uint32_t g = slots_[h];
-    if (g == 0) return h;
-    if (group_words_[g - 1] == word) {
-      if (exact) return h;
-      // kHashed: a word collision between distinct keys occupies two
-      // groups; compare the stored values to find ours.
-      const Value* stored = keys_.data() + (g - 1) * width_;
-      if (std::equal(key, key + width_, stored)) return h;
+    const std::uint8_t t = tags_[h];
+    if (t == 0) {
+      // Fresh group. Exact packings defer the key gather to the ctor's
+      // bulk fill — the build loop never touches the table's columns, so
+      // repeated keys (the dictionary-dense common case) cost one tag+word
+      // compare and nothing else.
+      if (!exact) keys_.insert(keys_.end(), key, key + width_);
+      group_words_.push_back(word);
+      counts->push_back(0);
+      tags_[h] = tag;
+      slot_words_[h] = word;
+      slots_[h] = static_cast<std::uint32_t>(++num_groups_);
+      return static_cast<std::uint32_t>(num_groups_) - 1;
+    }
+    if (t == tag && slot_words_[h] == word) {
+      const std::uint32_t g = slots_[h] - 1;
+      if (exact) return g;
+      const Value* stored = keys_.data() + g * width_;
+      if (std::equal(key, key + width_, stored)) return g;
     }
     h = (h + 1) & mask_;
   }
 }
 
-std::uint32_t TableIndex::FindGroupWord(std::uint64_t word) const {
-  std::size_t h = static_cast<std::size_t>(HashWord(word)) & mask_;
-  while (true) {
-    std::uint32_t g = slots_[h];
-    if (g == 0) return kNoGroup;
-    if (group_words_[g - 1] == word) return g - 1;
-    h = (h + 1) & mask_;
+void TableIndex::StreamingBuild(const Table& table,
+                                std::vector<std::uint32_t>* group_of,
+                                std::vector<std::uint32_t>* counts,
+                                std::vector<std::uint32_t>* first_row) {
+  // Fused single pass in probe-block units: pack a block of key words
+  // (column-major, SIMD-dispatched), then insert its rows, so the words
+  // never round-trip through an n-sized buffer.
+  const std::size_t n = table.rows();
+  const std::span<const int> cols(key_columns_.data(), width_);
+  std::vector<Value> key(width_);
+  std::uint64_t words[kProbeBlockRows];
+  for (std::size_t begin = 0; begin < n; begin += kProbeBlockRows) {
+    const std::size_t end =
+        begin + kProbeBlockRows < n ? begin + kProbeBlockRows : n;
+    PackProbeWords(packing_, table, cols, begin, end, words);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t groups_before = num_groups_;
+      const std::uint32_t g =
+          InsertRow(table, i, words[i - begin], &key, counts);
+      if (num_groups_ > groups_before) {
+        first_row->push_back(static_cast<std::uint32_t>(i));
+      }
+      (*group_of)[i] = g;
+      max_group_size_ = std::max(max_group_size_,
+                                 static_cast<std::size_t>(++(*counts)[g]));
+    }
   }
+}
+
+void TableIndex::RadixBuild(const Table& table,
+                            std::vector<std::uint32_t>* group_of,
+                            std::vector<std::uint32_t>* counts,
+                            std::vector<std::uint32_t>* first_row) {
+  built_with_radix_ = true;
+  const std::size_t n = table.rows();
+  const std::span<const int> cols(key_columns_.data(), width_);
+
+  // Materialize all words and hashes, then partition rows by the top bits
+  // of their slot index. Rows of one partition land in one contiguous span
+  // of the slot arrays, so the insert pass walks the table partition by
+  // partition with its slot span cache-resident instead of striding the
+  // whole (out-of-cache) array. The scatter moves the words along with the
+  // row ids, so the insert pass streams both sequentially — its only
+  // scattered traffic is the partition's own slot span.
+  std::vector<std::uint64_t> words(n);
+  PackProbeWords(packing_, table, cols, 0, n, words.data());
+  std::vector<std::uint64_t> hashes(n);
+  HashWordsBatch(words.data(), n, hashes.data());
+
+  const std::size_t capacity = mask_ + 1;
+  const int cap_bits = std::countr_zero(capacity);
+  const std::size_t slot_bytes =
+      capacity * (sizeof(std::uint8_t) + sizeof(std::uint64_t) +
+                  sizeof(std::uint32_t));
+  const std::size_t target = std::max<std::size_t>(L2CacheBytes() / 2, 65536);
+  int pbits = 1;  // at least two partitions: the path is only taken when
+                  // the build is (or is forced) out of cache
+  while ((slot_bytes >> pbits) > target && pbits < 10) ++pbits;
+  if (pbits > cap_bits - 1) pbits = cap_bits - 1;
+  const std::size_t parts = std::size_t{1} << pbits;
+  const int part_shift = cap_bits - pbits;
+  auto part_of = [&](std::uint64_t hash) {
+    return (static_cast<std::size_t>(hash) & mask_) >> part_shift;
+  };
+
+  std::vector<std::uint32_t> part_counts(parts, 0);
+  for (std::size_t i = 0; i < n; ++i) ++part_counts[part_of(hashes[i])];
+  std::vector<std::uint32_t> part_start(parts, 0);
+  for (std::size_t p = 1; p < parts; ++p) {
+    part_start[p] = part_start[p - 1] + part_counts[p - 1];
+  }
+  std::vector<std::uint32_t> cursor = part_start;
+  std::vector<std::uint64_t> part_words(n);
+  const bool exact = packing_.exact();
+  std::vector<std::uint32_t> order;
+  if (!exact) order.resize(n);  // kHashed inserts gather keys by row id
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t c = cursor[part_of(hashes[i])]++;
+    part_words[c] = words[i];
+    if (!exact) order[c] = static_cast<std::uint32_t>(i);
+  }
+
+  // Insert in partition order. For exact packings the loop touches nothing
+  // but the sequential word stream and the partition's (cache-resident)
+  // slot span: keys are deferred to the ctor's bulk fill and group ids are
+  // written to a sequential per-partition-position array, not scattered to
+  // row order mid-loop (a random write stream would evict the slot span).
+  std::vector<std::uint32_t> part_group(n);
+  std::vector<Value> key(width_);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = exact ? std::size_t{0} : order[k];
+    const std::uint32_t g = InsertRow(table, i, part_words[k], &key, counts);
+    part_group[k] = g;
+    max_group_size_ = std::max(max_group_size_,
+                               static_cast<std::size_t>(++(*counts)[g]));
+  }
+
+  // Scatter group ids back to row order. The partition of row i is
+  // recomputed from its hash, so the pass reads hashes and writes group_of
+  // sequentially, consuming part_group through `parts` forward-moving
+  // cursors (the kHashed path reuses the explicit order array instead).
+  if (exact) {
+    std::vector<std::uint32_t> take = part_start;
+    for (std::size_t i = 0; i < n; ++i) {
+      (*group_of)[i] = part_group[take[part_of(hashes[i])]++];
+    }
+  } else {
+    for (std::size_t k = 0; k < n; ++k) (*group_of)[order[k]] = part_group[k];
+  }
+
+  // Canonicalize: renumber groups by first-occurrence row order, so the
+  // group structure (ids, key order, CSR layout) is byte-identical to the
+  // streaming build's. Only the physical slot placement may differ, and
+  // that is invisible through the API. One row-order scan settles the
+  // mapping, the remapped group_of, and each group's first row at once:
+  // all rows of a group share a word — hence a hash, hence a partition —
+  // and the scatter is stable, so the first row mentioning a group here is
+  // also the first row its partition inserted.
+  std::vector<std::uint32_t> old_to_new(num_groups_, kNoGroup);
+  first_row->resize(num_groups_);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t m = old_to_new[(*group_of)[i]];
+    if (m == kNoGroup) {
+      m = next;
+      old_to_new[(*group_of)[i]] = m;
+      (*first_row)[m] = static_cast<std::uint32_t>(i);
+      ++next;
+    }
+    (*group_of)[i] = m;
+  }
+
+  std::vector<std::uint64_t> new_words(num_groups_);
+  std::vector<std::uint32_t> new_counts(num_groups_);
+  for (std::uint32_t old = 0; old < num_groups_; ++old) {
+    const std::uint32_t g = old_to_new[old];
+    new_words[g] = group_words_[old];
+    new_counts[g] = (*counts)[old];
+  }
+  group_words_ = std::move(new_words);
+  *counts = std::move(new_counts);
+  if (!exact) {
+    std::vector<Value> new_keys(keys_.size());
+    for (std::uint32_t old = 0; old < num_groups_; ++old) {
+      std::copy(keys_.begin() + old * width_,
+                keys_.begin() + (old + 1) * width_,
+                new_keys.begin() + old_to_new[old] * width_);
+    }
+    keys_ = std::move(new_keys);
+  }
+  for (std::size_t h = 0; h < capacity; ++h) {
+    if (tags_[h] != 0) slots_[h] = old_to_new[slots_[h] - 1] + 1;
+  }
+}
+
+std::uint32_t TableIndex::FindGroupWord(std::uint64_t word) const {
+  return FindGroupWordHashed(word, HashWord(word));
+}
+
+void TableIndex::ResolveProbeWords(const std::uint64_t* words, std::size_t n,
+                                   const std::uint8_t* skip,
+                                   std::uint32_t* groups) const {
+  if (skip != nullptr) {
+    // Skipped rows are never emitted; give them their kNoGroup up front.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip[i] != 0) groups[i] = kNoGroup;
+    }
+  }
+  ResolveWordsFused(words, n, skip,
+                    [groups](std::size_t i, std::uint32_t g) {
+                      groups[i] = g;
+                    });
 }
 
 std::span<const std::uint32_t> TableIndex::Lookup(
@@ -229,20 +454,15 @@ void PackProbeWords(const KeyPacking& packing, const Table& probe,
       return;
     }
     case KeyPacking::Mode::kDense: {
+      // Each column contributes its digit through the dispatched SIMD
+      // primitive: out-of-range probes poison the word (bit 63); in-range
+      // digits only ever touch bits < 62, so a poisoned word stays >= 2^63
+      // and can never equal a stored word.
       std::fill(out, out + n, std::uint64_t{0});
       for (std::size_t j = 0; j < cols.size(); ++j) {
         std::span<const Value> col = probe.Column(cols[j]);
-        const std::uint64_t base = packing.base[j];
-        const std::uint64_t range = packing.range[j];
-        const int shift = packing.shift[j];
-        for (std::size_t i = 0; i < n; ++i) {
-          std::uint64_t diff =
-              static_cast<std::uint64_t>(col[begin + i]) - base;
-          // Out-of-range probes poison the word (bit 63); in-range digits
-          // only ever touch bits < 62, so a poisoned word stays >= 2^63
-          // and can never equal a stored word.
-          out[i] |= diff <= range ? diff << shift : KeyPacking::kPoison;
-        }
+        PackDenseDigits(col.data() + begin, n, packing.base[j],
+                        packing.range[j], packing.shift[j], out);
       }
       return;
     }
@@ -354,39 +574,46 @@ std::shared_ptr<const Table> TableBuilder::Build(bool known_distinct) && {
         new Table(std::move(cols_), rows_));
   }
   // Hash dedup keeping first occurrences in order, comparing rows in place
-  // (no keys are materialized): open addressing over row ids. The table is
-  // sized from the reservation hint when one was given, so a builder that
-  // reserved its input size up front allocates the hash exactly once.
+  // (no keys are materialized): open addressing over row ids, fronted by a
+  // 1-byte tag vector so only tag-matching slots pay the column-wise row
+  // compare. Both arrays are sized from the reservation hint when one was
+  // given, so a builder that reserved its input size up front allocates
+  // the hash exactly once.
   const std::size_t capacity =
       SlotCapacityFor(std::max(rows_, reserved_rows_));
   const std::size_t mask = capacity - 1;
+  std::vector<std::uint8_t> tags(capacity, 0);
   std::vector<std::uint32_t> slots(capacity, 0);
   std::vector<std::uint32_t> keep;
   keep.reserve(rows_);
   const std::size_t width = cols_.size();
   for (std::size_t i = 0; i < rows_; ++i) {
-    std::size_t h = 0x9e3779b9u;
+    std::uint64_t full = 0x9e3779b97f4a7c15ULL;
     for (std::size_t c = 0; c < width; ++c) {
-      h = HashCombine(h, static_cast<std::size_t>(cols_[c][i]));
+      full = HashMix(full ^ static_cast<std::uint64_t>(cols_[c][i]));
     }
-    h &= mask;
+    std::size_t h = static_cast<std::size_t>(full) & mask;
+    const std::uint8_t tag = static_cast<std::uint8_t>(full >> 56) | 0x80;
     bool duplicate = false;
     while (true) {
-      std::uint32_t other = slots[h];
-      if (other == 0) {
+      const std::uint8_t t = tags[h];
+      if (t == 0) {
+        tags[h] = tag;
         slots[h] = static_cast<std::uint32_t>(i + 1);
         keep.push_back(static_cast<std::uint32_t>(i));
         break;
       }
-      const std::size_t o = other - 1;
-      duplicate = true;
-      for (std::size_t c = 0; c < width; ++c) {
-        if (cols_[c][i] != cols_[c][o]) {
-          duplicate = false;
-          break;
+      if (t == tag) {
+        const std::size_t o = slots[h] - 1;
+        duplicate = true;
+        for (std::size_t c = 0; c < width; ++c) {
+          if (cols_[c][i] != cols_[c][o]) {
+            duplicate = false;
+            break;
+          }
         }
+        if (duplicate) break;
       }
-      if (duplicate) break;
       h = (h + 1) & mask;
     }
   }

@@ -8,10 +8,14 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "algebra/miss_filter.h"
+#include "algebra/simd.h"
 #include "data/value.h"
 #include "util/check.h"
+#include "util/cpu.h"
 
 namespace sharpcq {
 
@@ -57,12 +61,25 @@ struct KeyPacking {
 // group structure (one group per distinct key) that counted projection and
 // the PS13 initial partition read directly. Immutable after construction.
 //
-// Storage is flat: group keys live in one contiguous buffer, each group's
-// packed key word in a contiguous uint64 column, and the row ids of all
-// groups in one CSR array, so building the index performs no per-group
-// allocations — it is the inner loop of every semijoin. The open-addressing
-// table is keyed by packed words: a probe costs one word comparison per
-// visited slot (plus a value re-check in kHashed mode only).
+// Storage is flat and gather-free on the probe path: the open-addressing
+// slot array carries, per slot, a 1-byte tag (top byte of the slot hash,
+// high bit set; 0 = empty), the full packed key word, and the group id —
+// so the compare loop reads the tag and the word straight out of the slot
+// arrays instead of chasing the group id into a side table. Group keys
+// live in one contiguous buffer and the row ids of all groups in one CSR
+// array, so building the index performs no per-group allocations.
+//
+// Every index also carries a MissFilter over its distinct key hashes
+// (algebra/miss_filter.h); the block probe driver consults it before the
+// slot walk, so miss-heavy probe loops skip the slot arrays entirely.
+//
+// Builds over RadixRowThreshold() rows (cache-derived, override below)
+// radix-partition their rows by slot-index prefix first, so each
+// partition's inserts touch an L2-resident span of the slot arrays instead
+// of striding the whole table. Group numbering is canonical either way:
+// groups are numbered by first occurrence in row order, so the radix and
+// streaming builds produce identical group structure (the differential
+// suite asserts this).
 class TableIndex {
  public:
   TableIndex(const Table& table, std::vector<int> key_columns);
@@ -86,7 +103,8 @@ class TableIndex {
 
   // Group whose packed word is `word`, or kNoGroup. Exact packings only —
   // for kHashed packings a word match does not pin down the key, so callers
-  // must use LookupGroupVerify with the probe row's actual values.
+  // must use FindGroupVerify with the probe row's actual values. The raw
+  // slot walk: no miss-filter consult (the probe drivers layer that on).
   std::uint32_t FindGroupWord(std::uint64_t word) const;
 
   // Group whose packed word is `word` AND whose key values equal
@@ -94,23 +112,23 @@ class TableIndex {
   // (also correct, just redundant, for exact ones).
   template <typename KeyAt>
   std::uint32_t FindGroupVerify(std::uint64_t word, KeyAt&& key_at) const {
-    std::size_t h = static_cast<std::size_t>(HashWord(word)) & mask_;
-    while (true) {
-      std::uint32_t g = slots_[h];
-      if (g == 0) return kNoGroup;
-      if (group_words_[g - 1] == word) {
-        const Value* stored = keys_.data() + (g - 1) * width_;
-        bool equal = true;
-        for (std::size_t j = 0; j < width_; ++j) {
-          if (stored[j] != key_at(j)) {
-            equal = false;
-            break;
-          }
-        }
-        if (equal) return g - 1;
-      }
-      h = (h + 1) & mask_;
+    return FindGroupVerifyHashed(word, HashWord(word),
+                                 static_cast<KeyAt&&>(key_at));
+  }
+
+  // FindGroupVerify fronted by the miss filter (when `use_filter`):
+  // definite misses return kNoGroup without touching the slots and bump
+  // *filter_hits. The probe driver's kHashed path.
+  template <typename KeyAt>
+  std::uint32_t FindGroupVerifyFiltered(std::uint64_t word, bool use_filter,
+                                        std::uint64_t* filter_hits,
+                                        KeyAt&& key_at) const {
+    const std::uint64_t hash = HashWord(word);
+    if (use_filter && !filter_.MightContain(hash)) {
+      ++*filter_hits;
+      return kNoGroup;
     }
+    return FindGroupVerifyHashed(word, hash, static_cast<KeyAt&&>(key_at));
   }
 
   // Rows of the group matching a pre-packed probe word (see
@@ -118,6 +136,26 @@ class TableIndex {
   std::span<const std::uint32_t> LookupWord(std::uint64_t word) const {
     return group_rows_or_empty(FindGroupWord(word));
   }
+
+  // The fused block probe driver (exact packings only): batch-hashes the
+  // words (SIMD when available), consults the miss filter with an adaptive
+  // bypass, prefetches surviving rows' slot lines when the slot arrays are
+  // bigger than L2, walks the slots, and calls emit(i, group) inline for
+  // every row i in [0, n) with skip[i] == 0 (skip may be null: no row
+  // skipped). Filter use and prefetching are compile-time specialized per
+  // block, so a hit-heavy probe runs the same tight loop it would without
+  // a filter. The single integration point for the vectorized probe path —
+  // every probe driver below lands here.
+  template <typename Emit>
+  void ResolveWordsFused(const std::uint64_t* words, std::size_t n,
+                         const std::uint8_t* skip, Emit&& emit) const;
+
+  // Array form of ResolveWordsFused for callers that want materialized
+  // group ids: groups[i] = matching group or kNoGroup (skipped rows come
+  // back kNoGroup).
+  void ResolveProbeWords(const std::uint64_t* words, std::size_t n,
+                         const std::uint8_t* skip,
+                         std::uint32_t* groups) const;
 
   // Group view: one entry per distinct key, in first-occurrence row order.
   std::size_t num_groups() const { return num_groups_; }
@@ -135,6 +173,26 @@ class TableIndex {
   // the indexed relation w.r.t. the key columns (Definition 6.1).
   std::size_t max_group_size() const { return max_group_size_; }
 
+  // The miss filter over this index's distinct key hashes (diagnostics).
+  const MissFilter& miss_filter() const { return filter_; }
+  // Filter verdict for a packed probe word (tests construct deliberate
+  // false positives with this).
+  bool FilterMightContainWord(std::uint64_t word) const {
+    return filter_.MightContain(HashWord(word));
+  }
+
+  // Whether this index was built through the radix-partitioned path.
+  bool built_with_radix() const { return built_with_radix_; }
+
+  // Builds at or above this many rows radix-partition. Derived from the
+  // cache hierarchy: engages where the slot arrays overflow the last-level
+  // cache (the regime where partitioning beats streaming); each partition's
+  // slot-array span is then sized to stay L2-resident.
+  static std::size_t RadixRowThreshold();
+  // Test hook: overrides the threshold (0 restores the cache-derived
+  // value). Not for production use.
+  static void SetRadixRowThresholdForTesting(std::size_t rows);
+
   // Test hook: masks kHashed words to the low `bits` bits (0 restores full
   // width) so word collisions between distinct keys become constructible.
   // The mask applies to hashed-word computation everywhere — index builds
@@ -147,14 +205,82 @@ class TableIndex {
  private:
   static std::uint64_t HashWord(std::uint64_t word);
 
+  // Slot tag of a hash: the top byte with the high bit forced, so no
+  // occupied slot's tag is 0 (the empty marker). Disjoint from the bits
+  // driving the slot index (low) and the miss filter (20..45).
+  static std::uint8_t TagOfHash(std::uint64_t hash) {
+    return static_cast<std::uint8_t>(hash >> 56) | 0x80;
+  }
+
+  // The raw slot walk for a word whose hash is already known.
+  std::uint32_t FindGroupWordHashed(std::uint64_t word,
+                                    std::uint64_t hash) const {
+    std::size_t h = static_cast<std::size_t>(hash) & mask_;
+    const std::uint8_t tag = TagOfHash(hash);
+    while (true) {
+      const std::uint8_t t = tags_[h];
+      if (t == 0) return kNoGroup;
+      if (t == tag && slot_words_[h] == word) return slots_[h] - 1;
+      h = (h + 1) & mask_;
+    }
+  }
+
+  template <typename KeyAt>
+  std::uint32_t FindGroupVerifyHashed(std::uint64_t word, std::uint64_t hash,
+                                      KeyAt&& key_at) const {
+    std::size_t h = static_cast<std::size_t>(hash) & mask_;
+    const std::uint8_t tag = TagOfHash(hash);
+    while (true) {
+      const std::uint8_t t = tags_[h];
+      if (t == 0) return kNoGroup;
+      if (t == tag && slot_words_[h] == word) {
+        const std::uint32_t g = slots_[h] - 1;
+        const Value* stored = keys_.data() + g * width_;
+        bool equal = true;
+        for (std::size_t j = 0; j < width_; ++j) {
+          if (stored[j] != key_at(j)) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) return g;
+      }
+      h = (h + 1) & mask_;
+    }
+  }
+
   std::span<const std::uint32_t> group_rows_or_empty(std::uint32_t g) const {
     if (g == kNoGroup) return {};
     return group_rows(g);
   }
 
-  // Slot of the build-side row with packed word `word` and key starting at
-  // `key`: either its group's slot or the empty slot where it belongs.
-  std::size_t FindSlotForInsert(std::uint64_t word, const Value* key) const;
+  // One probe block of ResolveWordsFused, with the filter decision and the
+  // prefetch decision baked in at compile time (defined after the class).
+  template <bool kUseFilter, bool kPrefetch, typename Emit>
+  void ResolveBlockFused(const std::uint64_t* words, std::size_t begin,
+                         std::size_t len, const std::uint64_t* hashes,
+                         const std::uint8_t* might, const std::uint8_t* skip,
+                         Emit&& emit, std::uint64_t* filter_hits,
+                         std::uint64_t* filter_passes) const;
+
+  // Inserts row `i` (packed word `word`, key values via `table` when a
+  // fresh group must be gathered or a kHashed collision disambiguated)
+  // into the slot arrays; returns the row's group id.
+  std::uint32_t InsertRow(const Table& table, std::size_t i,
+                          std::uint64_t word, std::vector<Value>* key_scratch,
+                          std::vector<std::uint32_t>* counts);
+
+  // Build paths: one streaming pass of fused pack+insert blocks, or the
+  // radix-partitioned variant for out-of-cache builds. Both leave
+  // group_of/counts describing a first-occurrence group numbering and
+  // first_row holding each group's first row id (ascending), from which
+  // the ctor bulk-gathers the key buffer for exact packings.
+  void StreamingBuild(const Table& table, std::vector<std::uint32_t>* group_of,
+                      std::vector<std::uint32_t>* counts,
+                      std::vector<std::uint32_t>* first_row);
+  void RadixBuild(const Table& table, std::vector<std::uint32_t>* group_of,
+                  std::vector<std::uint32_t>* counts,
+                  std::vector<std::uint32_t>* first_row);
 
   std::vector<int> key_columns_;
   std::size_t width_ = 0;        // = key_columns_.size()
@@ -162,32 +288,126 @@ class TableIndex {
   std::size_t num_groups_ = 0;
   std::vector<Value> keys_;      // group g's key at [g*width_, (g+1)*width_)
   std::vector<std::uint64_t> group_words_;  // group g's packed word
-  std::vector<std::uint32_t> slots_;    // open addressing -> group id + 1
+  // Slot arrays, all `capacity` long (open addressing, linear probing).
+  // Only the tag vector is zero-initialized: slot_words_/slots_ entries are
+  // read strictly after their slot's tag is set, so those 12 of the 13
+  // bytes per slot are allocated uninitialized (a measurable share of small
+  // index builds is otherwise pure memset).
+  std::vector<std::uint8_t> tags_;           // 0 empty, else TagOfHash
+  std::unique_ptr<std::uint64_t[]> slot_words_;  // packed word in the slot
+  std::unique_ptr<std::uint32_t[]> slots_;       // group id + 1
   std::size_t mask_ = 0;
   std::vector<std::uint32_t> offsets_;  // CSR: group g rows at
   std::vector<std::uint32_t> rows_;     //   rows_[offsets_[g]..offsets_[g+1])
   std::size_t max_group_size_ = 0;
+  MissFilter filter_;
+  bool built_with_radix_ = false;
 };
+
+namespace probe_internal {
+
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace probe_internal
+
+template <bool kUseFilter, bool kPrefetch, typename Emit>
+void TableIndex::ResolveBlockFused(const std::uint64_t* words,
+                                   std::size_t begin, std::size_t len,
+                                   const std::uint64_t* hashes,
+                                   const std::uint8_t* might,
+                                   const std::uint8_t* skip, Emit&& emit,
+                                   std::uint64_t* filter_hits,
+                                   std::uint64_t* filter_passes) const {
+  // Slot-line prefetch distance: far enough that a line is (mostly) in
+  // flight by the time its row walks, near enough not to be evicted.
+  constexpr std::size_t kAhead = 8;
+  for (std::size_t i = 0; i < len; ++i) {
+    if constexpr (kPrefetch) {
+      if (i + kAhead < len) {
+        const std::size_t j = i + kAhead;
+        if ((!kUseFilter || might[j]) &&
+            (skip == nullptr || skip[begin + j] == 0)) {
+          const std::size_t h = static_cast<std::size_t>(hashes[j]) & mask_;
+          probe_internal::PrefetchRead(tags_.data() + h);
+          probe_internal::PrefetchRead(slot_words_.get() + h);
+        }
+      }
+    }
+    if (skip != nullptr && skip[begin + i] != 0) continue;
+    if constexpr (kUseFilter) {
+      if (!might[i]) {
+        emit(begin + i, kNoGroup);
+        ++*filter_hits;
+        continue;
+      }
+      ++*filter_passes;
+    }
+    emit(begin + i, FindGroupWordHashed(words[begin + i], hashes[i]));
+  }
+}
+
+template <typename Emit>
+void TableIndex::ResolveWordsFused(const std::uint64_t* words, std::size_t n,
+                                   const std::uint8_t* skip,
+                                   Emit&& emit) const {
+  SHARPCQ_DCHECK(packing_.exact());
+  bool use_filter = MissFiltersEnabled();
+  // Prefetching pays only when a slot line can actually miss cache; for an
+  // L2-resident index the two prefetch instructions per row are dead cost.
+  const bool prefetch =
+      (mask_ + 1) * (sizeof(std::uint8_t) + sizeof(std::uint64_t) +
+                     sizeof(std::uint32_t)) >
+      L2CacheBytes();
+  std::uint64_t hashes[kProbeBlockRows];
+  std::uint8_t might[kProbeBlockRows];
+  std::uint64_t filter_hits = 0;
+  std::uint64_t filter_passes = 0;
+  for (std::size_t begin = 0; begin < n; begin += kProbeBlockRows) {
+    const std::size_t len =
+        begin + kProbeBlockRows < n ? kProbeBlockRows : n - begin;
+    HashWordsBatch(words + begin, len, hashes);
+    if (use_filter) {
+      // The batched (software-prefetched) verdicts settle every row's
+      // might-contain bit before the resolve loop branches on them, so the
+      // random filter loads overlap instead of stalling the loop in turn.
+      filter_.MightContainBatch(hashes, len, might);
+      ResolveBlockFused<true, true>(words, begin, len, hashes, might, skip,
+                                    emit, &filter_hits, &filter_passes);
+      // Adaptive bypass: a filter absorbs ~10ns of slot walk per definite
+      // miss and costs ~1-2ns per consulted row, so it stops paying below
+      // a ~20% miss rate. Once the consulted rows prove this probe
+      // hit-heavy, later blocks run the unfiltered loop (the first block
+      // always consults, so miss-heavy probes keep full protection).
+      if (filter_hits * 4 < filter_hits + filter_passes) use_filter = false;
+    } else if (prefetch) {
+      ResolveBlockFused<false, true>(words, begin, len, hashes, nullptr, skip,
+                                     emit, &filter_hits, &filter_passes);
+    } else {
+      ResolveBlockFused<false, false>(words, begin, len, hashes, nullptr,
+                                      skip, emit, &filter_hits,
+                                      &filter_passes);
+    }
+  }
+  if (filter_hits != 0 || filter_passes != 0) {
+    AddProbeFilterTallies(filter_hits, filter_passes);
+  }
+}
 
 // Packs rows [begin, end) of `probe` over `cols` into words comparable with
 // `packing` (the build side's), writing to out[0..end-begin). Column-major:
 // each key column is streamed once, so the probe loops touch contiguous
-// memory instead of gathering a Value vector per row. Dense keys outside
-// the packed box come back poisoned and match nothing.
+// memory instead of gathering a Value vector per row; the kDense digit
+// accumulation runs through the dispatched SIMD primitive. Dense keys
+// outside the packed box come back poisoned and match nothing.
 void PackProbeWords(const KeyPacking& packing, const Table& probe,
                     std::span<const int> cols, std::size_t begin,
                     std::size_t end, std::uint64_t* out);
-
-// Calls fn(row, group) for every probe row in [begin, end), where group is
-// the id of the index group matching the row's key columns, or
-// TableIndex::kNoGroup. Packs the range's probe words once (see
-// PackProbeWords), then probes one word per row; kHashed packings re-verify
-// values on word match. Safe to call concurrently from morsel workers over
-// disjoint ranges — the index is immutable and all scratch is local.
-template <typename Fn>
-void ForEachProbeGroup(const TableIndex& index, const Table& probe,
-                       std::span<const int> cols, std::size_t begin,
-                       std::size_t end, Fn&& fn);
 
 // Immutable columnar tuple storage: each column is one contiguous buffer.
 // Tables are created through TableBuilder (or the Gather helpers) and
@@ -282,40 +502,130 @@ class Table {
       index_cache_;
 };
 
-// Variant with a skip predicate: rows where skip(row) is true are neither
-// probed nor reported. Their words are still packed — packing is bulk and
-// branch-free — but the slot walk (the cache-missing part of a probe) is
-// saved, which matters when a caller can rule rows out cheaply (e.g.
-// CountFullJoin's zero-weight rows).
+namespace probe_internal {
+
+// Statically-known "skip nothing" predicate: lets the unified driver elide
+// the skip mask entirely for plain ForEachProbeGroup calls.
+struct NeverSkip {
+  bool operator()(std::size_t) const { return false; }
+};
+
+// Per-thread reusable probe buffers. Fixpoint passes call the probe driver
+// thousands of times with transient word/group arrays big enough that a
+// fresh vector each call means an mmap round trip and page faults from the
+// allocator; reusing one high-water-mark buffer per thread removes that
+// from the hot path. Acquire returns nullptr when the thread's scratch is
+// already in use (a probe issued from inside a probe callback) — callers
+// then fall back to plain locals.
+struct ProbeScratch {
+  std::vector<std::uint64_t> words;
+  std::vector<std::uint8_t> skip_mask;
+  bool in_use = false;
+};
+ProbeScratch* AcquireProbeScratch();
+void ReleaseProbeScratch(ProbeScratch* scratch);
+
+// RAII over Acquire/Release; exposes locals as the fallback store.
+class ProbeScratchLease {
+ public:
+  ProbeScratchLease() : scratch_(AcquireProbeScratch()) {}
+  ~ProbeScratchLease() {
+    if (scratch_ != nullptr) ReleaseProbeScratch(scratch_);
+  }
+  ProbeScratchLease(const ProbeScratchLease&) = delete;
+  ProbeScratchLease& operator=(const ProbeScratchLease&) = delete;
+
+  ProbeScratch& get() { return scratch_ != nullptr ? *scratch_ : local_; }
+
+ private:
+  ProbeScratch* scratch_;
+  ProbeScratch local_;
+};
+
+}  // namespace probe_internal
+
+// The one probe driver: calls fn(row, group) for every non-skipped probe
+// row in [begin, end), where group is the id of the index group matching
+// the row's key columns, or TableIndex::kNoGroup. Packs the range's probe
+// words once (column-major, SIMD-dispatched), then:
+//
+//   - exact packings resolve through TableIndex::ResolveProbeWords — the
+//     batched hash + miss-filter + prefetched tag/word compare block
+//     kernel;
+//   - kHashed packings probe row-at-a-time through the filter-fronted
+//     collision-checked walk (values must be re-verified, so there is no
+//     batch form).
+//
+// Rows where skip(row) is true are neither filtered, probed, nor reported;
+// their words are still packed (packing is bulk and branch-free). Safe to
+// call concurrently from morsel workers over disjoint ranges — the index
+// is immutable and scratch is per-thread (reused across calls; see
+// ProbeScratch).
 template <typename Skip, typename Fn>
-void ForEachProbeGroupUnless(const TableIndex& index, const Table& probe,
-                             std::span<const int> cols, std::size_t begin,
-                             std::size_t end, Skip&& skip, Fn&& fn) {
+void ForEachProbeGroupImpl(const TableIndex& index, const Table& probe,
+                           std::span<const int> cols, std::size_t begin,
+                           std::size_t end, Skip&& skip, Fn&& fn) {
   if (begin >= end) return;
-  std::vector<std::uint64_t> words(end - begin);
+  const std::size_t n = end - begin;
+  probe_internal::ProbeScratchLease lease;
+  probe_internal::ProbeScratch& scratch = lease.get();
+  std::vector<std::uint64_t>& words = scratch.words;
+  if (words.size() < n) words.resize(n);
   PackProbeWords(index.packing(), probe, cols, begin, end, words.data());
+
+  constexpr bool kNeverSkips =
+      std::is_same_v<std::remove_cvref_t<Skip>, probe_internal::NeverSkip>;
+
   if (index.packing().exact()) {
-    for (std::size_t i = begin; i < end; ++i) {
-      if (skip(i)) continue;
-      fn(i, index.FindGroupWord(words[i - begin]));
+    std::vector<std::uint8_t>& skip_mask = scratch.skip_mask;
+    const std::uint8_t* skip_ptr = nullptr;
+    if constexpr (!kNeverSkips) {
+      if (skip_mask.size() < n) skip_mask.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        skip_mask[i] = skip(begin + i) ? 1 : 0;
+      }
+      skip_ptr = skip_mask.data();
     }
+    index.ResolveWordsFused(words.data(), n, skip_ptr,
+                            [&](std::size_t i, std::uint32_t group) {
+                              fn(begin + i, group);
+                            });
     return;
   }
+
+  const bool use_filter = MissFiltersEnabled();
+  std::uint64_t filter_hits = 0;
+  std::uint64_t probed = 0;
   for (std::size_t i = begin; i < end; ++i) {
-    if (skip(i)) continue;
-    fn(i, index.FindGroupVerify(words[i - begin], [&](std::size_t j) {
-      return probe.at(i, cols[j]);
-    }));
+    if constexpr (!kNeverSkips) {
+      if (skip(i)) continue;
+    }
+    ++probed;
+    fn(i, index.FindGroupVerifyFiltered(
+              words[i - begin], use_filter, &filter_hits,
+              [&](std::size_t j) { return probe.at(i, cols[j]); }));
   }
+  if (use_filter) AddProbeFilterTallies(filter_hits, probed - filter_hits);
 }
 
 template <typename Fn>
 void ForEachProbeGroup(const TableIndex& index, const Table& probe,
                        std::span<const int> cols, std::size_t begin,
                        std::size_t end, Fn&& fn) {
-  ForEachProbeGroupUnless(index, probe, cols, begin, end,
-                          [](std::size_t) { return false; },
-                          static_cast<Fn&&>(fn));
+  ForEachProbeGroupImpl(index, probe, cols, begin, end,
+                        probe_internal::NeverSkip{}, static_cast<Fn&&>(fn));
+}
+
+// Variant with a skip predicate: rows where skip(row) is true are neither
+// probed nor reported, saving the filter consult and slot walk (the
+// cache-missing part of a probe) when a caller can rule rows out cheaply
+// (e.g. CountFullJoin's zero-weight rows).
+template <typename Skip, typename Fn>
+void ForEachProbeGroupUnless(const TableIndex& index, const Table& probe,
+                             std::span<const int> cols, std::size_t begin,
+                             std::size_t end, Skip&& skip, Fn&& fn) {
+  ForEachProbeGroupImpl(index, probe, cols, begin, end,
+                        static_cast<Skip&&>(skip), static_cast<Fn&&>(fn));
 }
 
 // Mutable row accumulator; Build() dedups and publishes the immutable Table.
@@ -329,9 +639,10 @@ class TableBuilder {
   std::size_t rows() const { return rows_; }
 
   // Capacity hint from a known input row count: reserves every column
-  // buffer, and Build sizes its dedup hash from the hint up front instead
-  // of from however many rows actually arrived — one allocation each, no
-  // regrow/rehash churn on ingest.
+  // buffer, and Build sizes its dedup hash — the slot vector AND its
+  // 1-byte tag vector — from the hint up front instead of from however
+  // many rows actually arrived. One allocation each, no regrow/rehash
+  // churn on ingest.
   void ReserveRows(std::size_t n) {
     for (auto& col : cols_) col.reserve(n);
     if (n > reserved_rows_) reserved_rows_ = n;

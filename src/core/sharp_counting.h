@@ -1,6 +1,7 @@
 #ifndef SHARPCQ_CORE_SHARP_COUNTING_H_
 #define SHARPCQ_CORE_SHARP_COUNTING_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -31,6 +32,16 @@ struct CountResult {
   std::size_t cache_shard = 0;
   std::size_t cache_shard_hits = 0;
   std::size_t cache_shard_misses = 0;
+
+  // Miss-filter provenance (engine layer): of the probes this execution
+  // issued, how many the per-index miss filters resolved as definite misses
+  // without touching a slot table (`filter_hits`) and how many went on to
+  // the slot walk (`filter_passes`). Deltas of process-wide counters taken
+  // around the execution, so concurrent executions attribute every probe in
+  // their window, not just their own. Both zero when
+  // EngineOptions::enable_probe_filters is false.
+  std::uint64_t filter_hits = 0;
+  std::uint64_t filter_passes = 0;
 };
 
 // The Theorem 3.7 algorithm, given a #-decomposition: materializes the

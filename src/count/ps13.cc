@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/check.h"
@@ -94,23 +92,30 @@ CountInt Ps13Count(const JoinTreeInstance& instance, const IdSet& free_vars,
                           p_keys[row] = group;
                         });
 
-      // Key sets of each child #-set, for O(1) membership in the semijoin.
-      std::vector<std::unordered_set<std::uint32_t>> q_key_sets(rel_q.size());
-      for (std::size_t s = 0; s < rel_q.size(); ++s) {
-        for (std::uint32_t row : rel_q[s].rows) {
-          q_key_sets[s].insert(q_keys[row]);
-        }
-      }
-
       // R^alpha_p := R^(alpha-1)_p ⋉ R_q with coefficient accumulation
-      // (collapsing identical result sets).
+      // (collapsing identical result sets). Membership of a child #-set's
+      // key ids is an epoch-stamped array over q's dense group ids: set s
+      // stamps its keys with epoch s+1 and a p row survives iff its key id
+      // carries the current epoch — one array indexed twice per row, no
+      // hash sets and no clearing between sets. The accumulation is
+      // commutative, so iterating s outermost changes no result. p keys
+      // absent from q are kNoGroup and guarded explicitly (they are in no
+      // set).
+      std::vector<std::uint32_t> member_epoch(q_index->num_groups(), 0);
       std::map<std::vector<std::uint32_t>, CountInt> accum;
-      for (const SharpSet& sp : rel_p) {
-        for (std::size_t s = 0; s < rel_q.size(); ++s) {
+      for (std::size_t s = 0; s < rel_q.size(); ++s) {
+        const std::uint32_t epoch = static_cast<std::uint32_t>(s) + 1;
+        for (std::uint32_t row : rel_q[s].rows) {
+          member_epoch[q_keys[row]] = epoch;
+        }
+        for (const SharpSet& sp : rel_p) {
           ++st->semijoin_ops;
           std::vector<std::uint32_t> kept;
           for (std::uint32_t row : sp.rows) {
-            if (q_key_sets[s].count(p_keys[row]) > 0) kept.push_back(row);
+            const std::uint32_t k = p_keys[row];
+            if (k != TableIndex::kNoGroup && member_epoch[k] == epoch) {
+              kept.push_back(row);
+            }
           }
           if (kept.empty()) continue;
           accum[std::move(kept)] += sp.coeff * rel_q[s].coeff;

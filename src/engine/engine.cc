@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "algebra/exec_policy.h"
+#include "algebra/miss_filter.h"
 #include "util/check.h"
 
 namespace sharpcq {
@@ -94,7 +95,18 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
     policy.row_threshold = options_.morsel_row_threshold;
     scope.emplace(std::move(policy));
   }
+  // Filter gating and provenance: disable probe-filter consults when the
+  // engine is configured without them, and attribute the execution's filter
+  // outcomes by snapshotting the process-wide counters around it (a delta,
+  // so concurrent executions fold into each other's windows — see
+  // CountResult).
+  std::optional<MissFilterDisableScope> no_filters;
+  if (!options_.enable_probe_filters) no_filters.emplace();
+  const ProbeFilterStats before = GlobalProbeFilterStats();
   CountResult result = ExecutePlan(*planned.plan, db);
+  const ProbeFilterStats after = GlobalProbeFilterStats();
+  result.filter_hits = after.hits - before.hits;
+  result.filter_passes = after.passes - before.passes;
   result.planner_ms = planned.planner_ms;
   result.cache_hit = planned.cache_hit;
   result.cache_shard = planned.cache_shard;

@@ -45,6 +45,13 @@ struct EngineOptions {
   bool enable_morsel_parallelism = true;
   std::size_t morsel_rows = kDefaultMorselRows;
   std::size_t morsel_row_threshold = kDefaultMorselRowThreshold;
+  // Per-index miss filters on the probe path: probes whose key the filter
+  // rules out skip the slot walk entirely. On by default (the filters are
+  // one-sided, so results never change); set false to measure raw probe
+  // cost or to sidestep the filters' few bytes of cache pressure on
+  // hit-heavy workloads. Filter outcomes are reported per query in
+  // CountResult::filter_hits / filter_passes.
+  bool enable_probe_filters = true;
 };
 
 // Named planner policies, for tools that take a strategy by name (the

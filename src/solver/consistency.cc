@@ -1,5 +1,6 @@
 #include "solver/consistency.h"
 
+#include <algorithm>
 #include <deque>
 #include <optional>
 #include <utility>
@@ -51,9 +52,22 @@ bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
       }
     }
   }
+  // Seed the worklist by ascending right-side size: small build sides go
+  // first, so by the time the big semijoins run, their left sides have
+  // already been trimmed by every cheap filter — fewer rows probed where a
+  // probe is most expensive. Pure scheduling: the fixpoint is confluent, so
+  // the result is order-independent (and the stable sort keeps runs
+  // deterministic).
+  std::vector<std::size_t> seed(pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) seed[p] = p;
+  std::stable_sort(seed.begin(), seed.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return (*views)[pairs[a].second].size() <
+                            (*views)[pairs[b].second].size();
+                   });
   std::deque<std::size_t> worklist;
   std::vector<char> queued(pairs.size(), 1);
-  for (std::size_t p = 0; p < pairs.size(); ++p) worklist.push_back(p);
+  for (std::size_t p : seed) worklist.push_back(p);
 
   while (!worklist.empty()) {
     const std::size_t p = worklist.front();

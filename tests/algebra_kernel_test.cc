@@ -6,16 +6,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
+#include <optional>
 #include <random>
 #include <unordered_map>
 #include <vector>
 
 #include "algebra/exec_policy.h"
+#include "algebra/miss_filter.h"
 #include "algebra/rel.h"
+#include "algebra/simd.h"
 #include "data/relation.h"
 #include "data/var_relation.h"
 #include "solver/consistency.h"
+#include "util/cpu.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -432,6 +438,289 @@ TEST(PackedKeyTest, MorselParallelSemijoinMatchesSequentialOnLargeInputs) {
       ASSERT_EQ(par_join.table()->at(i, c), seq_join.table()->at(i, c));
     }
   }
+}
+
+// --- SIMD probe kernel, miss filters, radix builds ----------------------------
+
+// Restores the auto-dispatched kernel even if a test fails mid-way.
+struct ForcedProbeKernel {
+  explicit ForcedProbeKernel(ProbeKernel kernel) {
+    SetProbeKernelForTesting(kernel);
+  }
+  ~ForcedProbeKernel() { SetProbeKernelForTesting(ProbeKernel::kAuto); }
+};
+
+// Restores the L2-derived radix threshold even if a test fails mid-way.
+struct ForcedRadixThreshold {
+  explicit ForcedRadixThreshold(std::size_t rows) {
+    TableIndex::SetRadixRowThresholdForTesting(rows);
+  }
+  ~ForcedRadixThreshold() { TableIndex::SetRadixRowThresholdForTesting(0); }
+};
+
+// The ISSUE-6 axes differential: >= 200 instances sweeping the probe
+// kernel's new degrees of freedom — SIMD vs scalar dispatch, miss filters
+// on vs off, radix-partitioned vs streaming index builds — crossed with the
+// packing-mode configurations of the ISSUE-5 sweep. Every combination must
+// agree with the legacy by-value algebra. (Forcing kSimd on a machine
+// without AVX2 resolves to the scalar kernel, so the sweep degrades
+// gracefully rather than skipping.)
+TEST(ProbeKernelAxesDifferentialTest, FilterSimdRadixAxesAgreeOn216Instances) {
+  for (std::uint64_t seed = 1; seed <= 27; ++seed) {
+    for (int axes = 0; axes < 8; ++axes) {
+      const bool force_simd = (axes & 1) != 0;
+      const bool filters_off = (axes & 2) != 0;
+      const bool force_radix = (axes & 4) != 0;
+      ForcedProbeKernel kernel(force_simd ? ProbeKernel::kSimd
+                                          : ProbeKernel::kScalar);
+      // Threshold 1 pushes even these tiny builds through the radix
+      // partitioner (including its group renumbering); 0 keeps the
+      // L2-derived default, i.e. the streaming path.
+      ForcedRadixThreshold radix(force_radix ? 1 : 0);
+      std::optional<MissFilterDisableScope> no_filters;
+      if (filters_off) no_filters.emplace();
+
+      std::mt19937_64 rng(seed * 8 + static_cast<std::uint64_t>(axes));
+      const int domain = 2 + static_cast<int>(seed % 4);     // 2..5
+      const int max_rows = 4 + static_cast<int>(seed % 17);  // 4..20
+      Value base = 0;
+      Value stretch = 1;
+      switch (seed % 3) {
+        case 0:
+          break;
+        case 1:
+          base = -1000003;
+          stretch = 7;
+          break;
+        case 2:  // hashed fallback
+          base = -(Value{1} << 60);
+          stretch = Value{1} << 59;
+          break;
+      }
+      // Every fifth seed narrows hash words so the filter and the slot
+      // walk both face word collisions between distinct keys.
+      std::unique_ptr<NarrowHashedWords> narrowed;
+      if (seed % 5 == 0) narrowed = std::make_unique<NarrowHashedWords>(3);
+
+      IdSet vars_a = RandomVars(&rng, 5, 2);
+      IdSet vars_b = RandomVars(&rng, 5, 2);
+      VarRelation la =
+          RandomStretchedVarRel(&rng, vars_a, domain, max_rows, base, stretch);
+      VarRelation lb =
+          RandomStretchedVarRel(&rng, vars_b, domain, max_rows, base, stretch);
+      CheckOpsAgainstLegacy(&rng, la, lb, domain, base, stretch,
+                            seed * 8 + static_cast<std::uint64_t>(axes));
+    }
+  }
+}
+
+TEST(SimdKernelTest, SimdAndScalarPrimitivesAreByteIdentical) {
+  if (!SimdProbeAvailable()) {
+    GTEST_SKIP() << "AVX2 kernel not available in this build/CPU";
+  }
+  std::mt19937_64 rng(11);
+  const std::size_t n = 1031;  // odd: exercises the vector tails
+  std::vector<std::uint64_t> words(n);
+  for (auto& w : words) w = rng();
+  words[0] = 0;
+  words[1] = ~std::uint64_t{0};
+  words[2] = KeyPacking::kPoison;
+
+  std::vector<std::uint64_t> scalar_hashes(n);
+  std::vector<std::uint64_t> simd_hashes(n);
+  {
+    ForcedProbeKernel scalar(ProbeKernel::kScalar);
+    HashWordsBatch(words.data(), n, scalar_hashes.data());
+  }
+  {
+    ForcedProbeKernel simd(ProbeKernel::kSimd);
+    HashWordsBatch(words.data(), n, simd_hashes.data());
+  }
+  EXPECT_EQ(std::memcmp(scalar_hashes.data(), simd_hashes.data(),
+                        n * sizeof(std::uint64_t)),
+            0);
+
+  // Dense digit packing: values straddling the in-range box, a negative
+  // base, and a nonzero accumulator (the |= contract).
+  std::vector<Value> col(n);
+  for (auto& v : col) v = static_cast<Value>(rng() % 2000) - 1000;
+  const std::uint64_t base = static_cast<std::uint64_t>(Value{-900});
+  const std::uint64_t range = 1500;
+  const int shift = 13;
+  std::vector<std::uint64_t> scalar_out(n);
+  std::vector<std::uint64_t> simd_out(n);
+  for (std::size_t i = 0; i < n; ++i) scalar_out[i] = simd_out[i] = rng() % 8;
+  {
+    ForcedProbeKernel scalar(ProbeKernel::kScalar);
+    PackDenseDigits(col.data(), n, base, range, shift, scalar_out.data());
+  }
+  {
+    ForcedProbeKernel simd(ProbeKernel::kSimd);
+    PackDenseDigits(col.data(), n, base, range, shift, simd_out.data());
+  }
+  EXPECT_EQ(std::memcmp(scalar_out.data(), simd_out.data(),
+                        n * sizeof(std::uint64_t)),
+            0);
+}
+
+// Both filter layouts: no stored key may be filtered out (one-sidedness),
+// and a false positive must fall through to a slot walk that misses.
+TEST(MissFilterTest, OneSidedAndFalsePositivesResolveToMiss) {
+  for (const std::size_t keys : {100u, 5000u}) {
+    std::vector<std::vector<Value>> rows;
+    rows.reserve(keys);
+    for (std::size_t u = 0; u < keys; ++u) {
+      rows.push_back({static_cast<Value>(u * 3)});
+    }
+    Rel r = MakeVarRel(IdSet{0}, rows);
+    auto index = r.table()->IndexOn({0});
+    ASSERT_EQ(index->num_groups(), keys);
+    EXPECT_EQ(index->miss_filter().kind(),
+              keys <= 2048 ? MissFilter::Kind::kTagVector
+                           : MissFilter::Kind::kBlockedBloom);
+
+    // One-sided: every stored word passes.
+    for (std::size_t u = 0; u < keys; ++u) {
+      EXPECT_TRUE(index->FilterMightContainWord(
+          static_cast<std::uint64_t>(u * 3)))
+          << "key " << u * 3;
+    }
+
+    // Hunt for a false positive among absent keys; at the filters' ~2-3%
+    // rates one shows up in the first few thousand candidates.
+    bool found_false_positive = false;
+    std::vector<std::uint64_t> absent_word(1);
+    std::vector<std::uint32_t> group(1);
+    for (std::uint64_t candidate = 1; candidate < 1000000 * 3;
+         candidate += 3) {  // == 1 mod 3: never a stored key
+      if (!index->FilterMightContainWord(candidate)) continue;
+      found_false_positive = true;
+      // The slot walk must still resolve it as a miss, through both the
+      // point lookup and the block driver.
+      EXPECT_TRUE(index->Lookup(static_cast<Value>(candidate)).empty());
+      absent_word[0] = candidate;
+      index->ResolveProbeWords(absent_word.data(), 1, nullptr, group.data());
+      EXPECT_EQ(group[0], TableIndex::kNoGroup);
+      break;
+    }
+    EXPECT_TRUE(found_false_positive) << keys << " keys";
+  }
+}
+
+TEST(MissFilterTest, CountersTallyHitsAndPassesAndDisableScopeStopsThem) {
+  std::vector<std::vector<Value>> build_rows;
+  for (Value u = 0; u < 64; ++u) build_rows.push_back({u, u});
+  std::vector<std::vector<Value>> probe_rows;
+  for (Value u = 0; u < 512; ++u) probe_rows.push_back({u + 100000, u});
+  probe_rows.push_back({5, 5});  // one present key
+  Rel build = MakeVarRel(IdSet{0, 1}, build_rows);
+  Rel probe = MakeVarRel(IdSet{0, 1}, probe_rows);
+
+  const ProbeFilterStats before = GlobalProbeFilterStats();
+  Rel kept = Semijoin(probe, build);
+  const ProbeFilterStats after = GlobalProbeFilterStats();
+  EXPECT_EQ(kept.size(), 1u);
+  // Nearly every probe is a definite miss the filter absorbs; the present
+  // key (plus any false positives) walks the slots.
+  EXPECT_GT(after.hits - before.hits, 400u);
+  EXPECT_GE(after.passes - before.passes, 1u);
+
+  MissFilterDisableScope off;
+  const ProbeFilterStats disabled_before = GlobalProbeFilterStats();
+  Rel kept_off = Semijoin(probe, build);
+  const ProbeFilterStats disabled_after = GlobalProbeFilterStats();
+  EXPECT_EQ(kept_off.size(), 1u);
+  EXPECT_EQ(disabled_after.hits, disabled_before.hits);
+  EXPECT_EQ(disabled_after.passes, disabled_before.passes);
+}
+
+TEST(RadixBuildTest, ThresholdDefaultsToCacheDerivedValueAndOverrides) {
+  // No override: the cache-derived default — slot arrays must overflow the
+  // last-level cache before partitioning engages, with a floor so small
+  // builds always stream.
+  const std::size_t expected =
+      std::max<std::size_t>(65536, LastLevelCacheBytes() / 13);
+  EXPECT_EQ(TableIndex::RadixRowThreshold(), expected);
+  {
+    ForcedRadixThreshold forced(5);
+    EXPECT_EQ(TableIndex::RadixRowThreshold(), 5u);
+  }
+  EXPECT_EQ(TableIndex::RadixRowThreshold(), expected);
+}
+
+// The radix build must be semantically invisible: same group ids, keys,
+// words, CSR row lists, and degree as the streaming build, for every
+// packing mode.
+TEST(RadixBuildTest, RadixAndStreamingBuildsProduceIdenticalGroupStructure) {
+  for (int mode = 0; mode < 3; ++mode) {
+    std::mt19937_64 rng(31 + static_cast<std::uint64_t>(mode));
+    // Mode 2's stretch blows the 62-bit dense budget across two columns
+    // (2 * 61 bits) while 39 * 2^55 still fits int64.
+    const Value stretch = mode == 2 ? (Value{1} << 55) : 1;
+    std::vector<std::vector<Value>> rows;
+    for (int i = 0; i < 3000; ++i) {
+      Value a = static_cast<Value>(rng() % 40) * stretch;
+      Value b = static_cast<Value>(rng() % 40) * stretch;
+      if (mode == 0) {
+        rows.push_back({a});  // kSingle
+      } else {
+        rows.push_back({a, b});  // kDense (mode 1) / kHashed (mode 2)
+      }
+    }
+    const IdSet vars = mode == 0 ? IdSet{0} : IdSet{0, 1};
+    std::vector<int> key_cols(mode == 0 ? 1 : 2);
+    for (std::size_t c = 0; c < key_cols.size(); ++c) {
+      key_cols[c] = static_cast<int>(c);
+    }
+
+    Rel streaming_rel = MakeVarRel(vars, rows);
+    auto streaming = streaming_rel.table()->IndexOn(key_cols);
+    ASSERT_FALSE(streaming->built_with_radix());
+
+    ForcedRadixThreshold forced(1);
+    Rel radix_rel = MakeVarRel(vars, rows);  // fresh table, fresh index
+    auto radix = radix_rel.table()->IndexOn(key_cols);
+    ASSERT_TRUE(radix->built_with_radix());
+
+    ASSERT_EQ(radix->num_groups(), streaming->num_groups()) << "mode " << mode;
+    EXPECT_EQ(radix->max_group_size(), streaming->max_group_size());
+    for (std::size_t g = 0; g < streaming->num_groups(); ++g) {
+      EXPECT_EQ(radix->group_words()[g], streaming->group_words()[g])
+          << "mode " << mode << " group " << g;
+      std::span<const Value> rk = radix->group_key(g);
+      std::span<const Value> sk = streaming->group_key(g);
+      ASSERT_EQ(rk.size(), sk.size());
+      for (std::size_t j = 0; j < rk.size(); ++j) ASSERT_EQ(rk[j], sk[j]);
+      std::span<const std::uint32_t> rr = radix->group_rows(g);
+      std::span<const std::uint32_t> sr = streaming->group_rows(g);
+      ASSERT_EQ(rr.size(), sr.size()) << "mode " << mode << " group " << g;
+      for (std::size_t j = 0; j < rr.size(); ++j) ASSERT_EQ(rr[j], sr[j]);
+    }
+  }
+}
+
+TEST(TableBuilderTest, ReservedTaggedDedupKeepsFirstOccurrences) {
+  // Heavy duplication through the tag-fronted dedup hash, with the
+  // capacity reserved up front from the input size.
+  TableBuilder builder(2);
+  builder.ReserveRows(4000);
+  for (int i = 0; i < 4000; ++i) {
+    const Value a = i % 37;
+    const Value b = i % 11;
+    const Value row[2] = {a, b};
+    builder.AddRow(std::span<const Value>(row, 2));
+  }
+  auto table = std::move(builder).Build();
+  // lcm(37, 11) = 407 distinct pairs.
+  ASSERT_EQ(table->rows(), 407u);
+  // First occurrences in input order: row i of the output is the i-th
+  // fresh pair of the input stream.
+  EXPECT_EQ(table->at(0, 0), 0);
+  EXPECT_EQ(table->at(0, 1), 0);
+  EXPECT_EQ(table->at(1, 0), 1);
+  EXPECT_EQ(table->at(1, 1), 1);
+  EXPECT_EQ(table->at(37, 0), 0);   // 37 % 37 == 0, 37 % 11 == 4
+  EXPECT_EQ(table->at(37, 1), 4);
 }
 
 // --- worklist consistency propagator ------------------------------------------

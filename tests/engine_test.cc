@@ -290,6 +290,31 @@ TEST(ExecutorTest, ProvenanceFieldsPopulated) {
   EXPECT_LT(warm.planner_ms, cold.planner_ms);
 }
 
+TEST(ExecutorTest, FilterProvenanceCountsMissHeavyProbesAndGatesOff) {
+  ConjunctiveQuery q = Parse("Q(X,Z) <- r(X,Y), s(Y,Z)");
+  Database db;
+  Relation& r = db.DeclareRelation("r", 2);
+  Relation& s = db.DeclareRelation("s", 2);
+  // 380 of r's 400 join-key values are absent from s: the reducer's
+  // semijoin over r is miss-heavy, the shape the filters absorb.
+  for (Value i = 0; i < 400; ++i) r.AddRow({i, i + 1000});
+  for (Value i = 0; i < 20; ++i) s.AddRow({i + 1000, i});
+
+  CountingEngine filtered;
+  CountResult with = filtered.Count(q, db);
+  EXPECT_EQ(with.count, CountInt{20});
+  EXPECT_GT(with.filter_hits, 300u);
+  EXPECT_GE(with.filter_passes, 20u);
+
+  EngineOptions off_options;
+  off_options.enable_probe_filters = false;
+  CountingEngine unfiltered(off_options);
+  CountResult without = unfiltered.Count(q, db);
+  EXPECT_EQ(without.count, CountInt{20});  // filters never change results
+  EXPECT_EQ(without.filter_hits, 0u);
+  EXPECT_EQ(without.filter_passes, 0u);
+}
+
 // --- cross-engine agreement ---------------------------------------------------
 //
 // Every strategy must produce the identical CountInt on whatever the random
