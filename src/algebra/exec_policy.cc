@@ -13,26 +13,64 @@ namespace sharpcq {
 namespace {
 
 thread_local const ExecPolicy* current_policy = nullptr;
+thread_local ExecStats* current_stats = nullptr;
+
+// Installs a stats sink on a pool worker for the duration of one morsel.
+class WorkerStatsScope {
+ public:
+  explicit WorkerStatsScope(ExecStats* stats) : previous_(current_stats) {
+    if (stats != nullptr) current_stats = stats;
+  }
+  ~WorkerStatsScope() { current_stats = previous_; }
+
+  WorkerStatsScope(const WorkerStatsScope&) = delete;
+  WorkerStatsScope& operator=(const WorkerStatsScope&) = delete;
+
+ private:
+  ExecStats* previous_;
+};
 
 }  // namespace
 
 ExecScope::ExecScope(ExecPolicy policy)
-    : previous_(current_policy), policy_(std::move(policy)) {
+    : previous_(current_policy),
+      previous_stats_(current_stats),
+      policy_(std::move(policy)) {
   current_policy = &policy_;
+  current_stats = policy_.stats;
 }
 
-ExecScope::~ExecScope() { current_policy = previous_; }
+ExecScope::~ExecScope() {
+  current_policy = previous_;
+  current_stats = previous_stats_;
+}
 
 const ExecPolicy* CurrentExecPolicy() { return current_policy; }
+
+ExecStats* CurrentExecStats() { return current_stats; }
+
+void CheckExecInterrupt() {
+  const ExecPolicy* policy = current_policy;
+  if (policy == nullptr || policy->cancel == nullptr) return;
+  const CancelToken::StopReason reason = policy->cancel->ShouldStop();
+  if (reason != CancelToken::StopReason::kNone) {
+    throw ExecInterrupted{reason};
+  }
+}
 
 MorselPlan PlanMorsels(std::size_t rows) {
   MorselPlan plan;
   plan.rows_per_chunk = rows;
   const ExecPolicy* policy = current_policy;
-  if (policy == nullptr || policy->pool == nullptr ||
-      rows < policy->row_threshold || policy->morsel_rows == 0) {
+  if (policy == nullptr || rows < policy->row_threshold ||
+      policy->morsel_rows == 0) {
     return plan;
   }
+  // A cancel token without a pool still chunks: sequential executions then
+  // check the token between morsels instead of only before and after one
+  // monolithic probe loop.
+  const bool has_pool = policy->pool != nullptr;
+  if (!has_pool && policy->cancel == nullptr) return plan;
   plan.rows_per_chunk = policy->morsel_rows;
   // Align morsels to whole probe blocks so a morsel boundary never splits
   // a block of the vectorized probe driver into two partial (tail-lane)
@@ -44,28 +82,33 @@ MorselPlan PlanMorsels(std::size_t rows) {
         kProbeBlockRows;
   }
   plan.chunks = (rows + plan.rows_per_chunk - 1) / plan.rows_per_chunk;
-  plan.parallel = plan.chunks > 1;
-  if (!plan.parallel) plan.rows_per_chunk = rows;
+  plan.parallel = has_pool && plan.chunks > 1;
+  if (plan.chunks == 1) plan.rows_per_chunk = rows;
   return plan;
 }
 
 void RunMorsels(const MorselPlan& plan, std::size_t rows,
                 const std::function<void(std::size_t, std::size_t,
                                          std::size_t)>& body) {
+  const ExecPolicy* policy = current_policy;
+  const CancelToken* cancel = policy != nullptr ? policy->cancel : nullptr;
   if (!plan.parallel) {
     for (std::size_t c = 0; c < plan.chunks; ++c) {
+      if (cancel != nullptr && c != 0) CheckExecInterrupt();
       body(c, plan.ChunkBegin(c), plan.ChunkEnd(c, rows));
     }
+    if (cancel != nullptr) CheckExecInterrupt();
     return;
   }
-  ThreadPool* pool =
-      current_policy != nullptr && current_policy->pool != nullptr
-          ? current_policy->pool()
-          : nullptr;
+  ThreadPool* pool = policy != nullptr && policy->pool != nullptr
+                         ? policy->pool()
+                         : nullptr;
   if (pool == nullptr) {
     for (std::size_t c = 0; c < plan.chunks; ++c) {
+      if (cancel != nullptr && c != 0) CheckExecInterrupt();
       body(c, plan.ChunkBegin(c), plan.ChunkEnd(c, rows));
     }
+    if (cancel != nullptr) CheckExecInterrupt();
     return;
   }
 
@@ -78,6 +121,11 @@ void RunMorsels(const MorselPlan& plan, std::size_t rows,
   // captured by pointer into this frame — safe because the caller does not
   // return until `completed == chunks`, i.e. until no claimed chunk can
   // still be executing it, and unclaimed chunks are never started.
+  //
+  // Once the cancel token trips, drainers keep claiming chunks but skip
+  // their bodies — the claim loop converges in a few atomic increments
+  // instead of finishing the remaining probe work, and the caller throws
+  // below, discarding whatever the executed chunks produced.
   struct State {
     std::atomic<std::size_t> next{0};
     std::mutex mu;
@@ -86,11 +134,18 @@ void RunMorsels(const MorselPlan& plan, std::size_t rows,
   };
   auto state = std::make_shared<State>();
   const std::size_t chunks = plan.chunks;
-  auto drain = [state, plan, rows, body = &body, chunks] {
+  ExecStats* stats = policy != nullptr ? policy->stats : nullptr;
+  auto drain = [state, plan, rows, body = &body, chunks, cancel, stats] {
+    WorkerStatsScope stats_scope(stats);
     for (;;) {
+      // Claim before touching `cancel`: a runner the pool schedules only
+      // after the caller returned exits on the exhausted cursor without
+      // dereferencing caller-owned pointers.
       std::size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
-      (*body)(c, plan.ChunkBegin(c), plan.ChunkEnd(c, rows));
+      if (cancel == nullptr || !cancel->stop_requested()) {
+        (*body)(c, plan.ChunkBegin(c), plan.ChunkEnd(c, rows));
+      }
       std::lock_guard<std::mutex> lock(state->mu);
       if (++state->completed == chunks) state->done_cv.notify_one();
     }
@@ -101,6 +156,8 @@ void RunMorsels(const MorselPlan& plan, std::size_t rows,
   drain();  // the caller claims chunks too: progress never depends on the pool
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&] { return state->completed == chunks; });
+  lock.unlock();
+  if (cancel != nullptr) CheckExecInterrupt();
 }
 
 }  // namespace sharpcq

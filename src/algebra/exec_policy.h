@@ -1,8 +1,12 @@
 #ifndef SHARPCQ_ALGEBRA_EXEC_POLICY_H_
 #define SHARPCQ_ALGEBRA_EXEC_POLICY_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+
+#include "util/cancel.h"
 
 namespace sharpcq {
 
@@ -20,6 +24,15 @@ class ThreadPool;
 inline constexpr std::size_t kDefaultMorselRows = 4096;
 inline constexpr std::size_t kDefaultMorselRowThreshold = 16384;
 
+// Per-execution outcome counters, owned by whoever installs the ExecScope
+// (the engine allocates one per Count call). Atomics because morsel workers
+// tally concurrently; probe drivers accumulate locally and add once per
+// block, so the atomics are off the per-row path.
+struct ExecStats {
+  std::atomic<std::uint64_t> filter_hits{0};
+  std::atomic<std::uint64_t> filter_passes{0};
+};
+
 struct ExecPolicy {
   // Called (at most once per operator invocation) only when a probe loop
   // crosses row_threshold, so engines can create their pool lazily. A null
@@ -30,6 +43,19 @@ struct ExecPolicy {
   // Probe loops below this many rows never dispatch (morsel setup costs
   // more than it saves on small inputs).
   std::size_t row_threshold = kDefaultMorselRowThreshold;
+  // Cooperative stop signal for this execution, or null (never stops).
+  // RunMorsels checks it once per morsel claim — workers stop claiming and
+  // the calling thread raises ExecInterrupted once the loop drains — and
+  // strategy code polls it at checkpoint sites via CheckExecInterrupt().
+  // When a token is set, large loops are chunked into morsels even without
+  // a pool, so single-threaded executions get the same check granularity.
+  const CancelToken* cancel = nullptr;
+  // Per-execution tally sink for probe-filter outcomes, or null (tallies
+  // fall through to the process-wide counters). RunMorsels re-installs the
+  // sink on pool workers around each claimed morsel, so tallies from
+  // parallel probes land in their own query's stats — concurrent
+  // executions never pollute each other's provenance.
+  ExecStats* stats = nullptr;
 };
 
 // Installs `policy` as the current thread's execution policy for the
@@ -47,11 +73,33 @@ class ExecScope {
 
  private:
   const ExecPolicy* previous_;
+  ExecStats* previous_stats_;
   ExecPolicy policy_;
 };
 
 // The policy installed on this thread, or nullptr (sequential).
 const ExecPolicy* CurrentExecPolicy();
+
+// The per-execution stats sink visible to this thread, or nullptr. Set by
+// ExecScope (from ExecPolicy::stats) and re-installed on pool workers by
+// RunMorsels for the duration of each morsel, so probe drivers can tally
+// from any thread participating in the execution.
+ExecStats* CurrentExecStats();
+
+// Raised when an execution observes its CancelToken stopped: the strategy
+// stack unwinds to CountingEngine::Count, which maps the reason onto
+// CountResult::status. Never thrown from pool workers (morsel bodies must
+// not throw) — only from checkpoints on the thread driving the execution.
+struct ExecInterrupted {
+  CancelToken::StopReason reason = CancelToken::StopReason::kCancelled;
+};
+
+// Checkpoint: throws ExecInterrupted if the current thread's policy carries
+// a stopped token. Cheap when no token is installed (one thread-local
+// read). Strategy loops outside the morselized kernel paths — the
+// consistency worklist, the backtracking counter, the width searches —
+// call this so deadline expiry surfaces even on small-table executions.
+void CheckExecInterrupt();
 
 // Chunking decision for a probe loop over `rows` rows under the current
 // thread's policy.
@@ -79,6 +127,12 @@ MorselPlan PlanMorsels(std::size_t rows);
 // to dispatch onto the engine's batch pool from inside a batch job. `body`
 // must be safe to invoke concurrently for disjoint chunks and must not
 // throw.
+//
+// Cancellation: the claim loop checks the policy's CancelToken before every
+// claim. Once stopped, remaining chunks are claimed but not executed (so
+// the completion count still converges), and after the loop drains the
+// CALLING thread throws ExecInterrupted — the partially-produced operator
+// output never reaches a caller.
 void RunMorsels(const MorselPlan& plan, std::size_t rows,
                 const std::function<void(std::size_t, std::size_t,
                                          std::size_t)>& body);

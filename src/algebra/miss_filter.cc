@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "algebra/exec_policy.h"
 #include "algebra/simd.h"
 
 namespace sharpcq {
@@ -117,6 +118,20 @@ ProbeFilterStats GlobalProbeFilterStats() {
 }
 
 void AddProbeFilterTallies(std::uint64_t hits, std::uint64_t passes) {
+  if (hits == 0 && passes == 0) return;
+  // Per-execution attribution first: when an ExecScope installed a stats
+  // sink (the engine does, one per Count call; RunMorsels re-installs it on
+  // pool workers), the tallies belong to that execution alone — concurrent
+  // queries never see each other's probes. The process-wide counters keep
+  // accumulating regardless, as the cross-execution total.
+  if (ExecStats* stats = CurrentExecStats(); stats != nullptr) {
+    if (hits != 0) {
+      stats->filter_hits.fetch_add(hits, std::memory_order_relaxed);
+    }
+    if (passes != 0) {
+      stats->filter_passes.fetch_add(passes, std::memory_order_relaxed);
+    }
+  }
   if (hits != 0) filter_hits_total.fetch_add(hits, std::memory_order_relaxed);
   if (passes != 0) {
     filter_passes_total.fetch_add(passes, std::memory_order_relaxed);

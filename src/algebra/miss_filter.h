@@ -108,10 +108,15 @@ class MissFilterDisableScope {
 // resolved as definite misses without touching the slot table (the saved
 // work), `passes` are probes that went on to the slot walk (including the
 // rare false positives). Probe drivers tally locally and add once per
-// block, so the counters cost nothing on the per-row path. The engine
-// snapshots deltas around ExecutePlan into CountResult provenance; under
-// concurrent executions a delta attributes every probe in the window, not
-// just this query's.
+// block, so the counters cost nothing on the per-row path.
+//
+// Attribution: when the current thread (or the morsel worker's enclosing
+// RunMorsels) carries a per-execution ExecStats sink (algebra/
+// exec_policy.h), tallies are ALSO added there — that is what the engine
+// reads into CountResult::filter_hits/filter_passes, so each query reports
+// exactly its own probes even under concurrent executions. The global
+// counters below remain the process-wide total for kernel-level tests and
+// diagnostics that run without a scope.
 struct ProbeFilterStats {
   std::uint64_t hits = 0;
   std::uint64_t passes = 0;

@@ -6,6 +6,18 @@
 
 namespace sharpcq {
 
+const char* CountStatusName(CountStatus status) {
+  switch (status) {
+    case CountStatus::kOk:
+      return "OK";
+    case CountStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case CountStatus::kCancelled:
+      return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
 CountResult CountViaSharpDecomposition(const ConjunctiveQuery& q,
                                        const Database& db,
                                        const SharpDecomposition& d) {

@@ -12,12 +12,26 @@
 
 namespace sharpcq {
 
+// How a counting call ended. Only the engine layer produces non-kOk
+// values: a Count given a CancelToken whose deadline expired (or that was
+// cancelled outright) stops at the next morsel boundary or strategy
+// checkpoint and reports it here — `count` is then meaningless.
+enum class CountStatus : std::uint8_t {
+  kOk,
+  kDeadlineExceeded,
+  kCancelled,
+};
+
+const char* CountStatusName(CountStatus status);
+
 // Outcome of a counting call, with provenance for diagnostics and the
 // experiment harness.
 struct CountResult {
   CountInt count = 0;
   std::string method;  // e.g. "#-hypertree(k=2)", "backtracking"
   int width = 0;       // decomposition width used (0 for brute force)
+  CountStatus status = CountStatus::kOk;
+  bool ok() const { return status == CountStatus::kOk; }
 
   // Engine provenance (filled by the src/engine/ layer; zero elsewhere):
   // wall time spent choosing the strategy vs. materializing the count, and
@@ -36,9 +50,9 @@ struct CountResult {
   // Miss-filter provenance (engine layer): of the probes this execution
   // issued, how many the per-index miss filters resolved as definite misses
   // without touching a slot table (`filter_hits`) and how many went on to
-  // the slot walk (`filter_passes`). Deltas of process-wide counters taken
-  // around the execution, so concurrent executions attribute every probe in
-  // their window, not just their own. Both zero when
+  // the slot walk (`filter_passes`). Accumulated in the execution's own
+  // ExecStats sink (algebra/exec_policy.h), so concurrent executions each
+  // report exactly their own probes. Both zero when
   // EngineOptions::enable_probe_filters is false.
   std::uint64_t filter_hits = 0;
   std::uint64_t filter_passes = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "algebra/exec_policy.h"
 #include "algebra/rel.h"
 #include "data/var_relation.h"
 #include "query/atom_relation.h"
@@ -89,9 +90,17 @@ class BacktrackCounter {
     return true;
   }
 
+  // Deadline/cancellation checkpoint, amortized: the backtracking search
+  // can run for seconds without ever touching a morselized probe loop, so
+  // it polls the execution's cancel token itself every 4096 tree nodes.
+  void MaybeCheckInterrupt() {
+    if ((++interrupt_tick_ & 0xFFFu) == 0) CheckExecInterrupt();
+  }
+
   // Counts answers below the current partial assignment of order_[0..pos).
   // Only called with pos <= num_free_.
   void Recurse(std::size_t pos, CountInt* count) {
+    MaybeCheckInterrupt();
     if (pos == num_free_) {
       // All free variables bound: this is an answer iff the existential
       // suffix has at least one witness (found with early exit).
@@ -108,6 +117,7 @@ class BacktrackCounter {
   }
 
   bool ExistsExtension(std::size_t pos) {
+    MaybeCheckInterrupt();
     if (pos == order_.size()) return true;
     VarId v = order_[pos];
     for (Value candidate : Candidates(v)) {
@@ -159,6 +169,7 @@ class BacktrackCounter {
   std::unordered_map<VarId, std::vector<std::size_t>> atoms_of_;
   std::vector<bool> bound_;
   std::vector<Value> value_;
+  std::uint32_t interrupt_tick_ = 0;
 };
 
 }  // namespace

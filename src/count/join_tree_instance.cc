@@ -7,9 +7,12 @@ namespace sharpcq {
 
 bool FullReduce(JoinTreeInstance* instance) {
   std::vector<int> order = instance->shape.TopoOrder();
-  // Upward pass: parents semijoined with children, leaves first.
+  // Upward pass: parents semijoined with children, leaves first. The
+  // per-node checkpoint covers deadline expiry on trees whose individual
+  // semijoins are below the morsel threshold.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     std::size_t v = static_cast<std::size_t>(*it);
+    CheckExecInterrupt();
     for (int c : instance->shape.children[v]) {
       instance->nodes[v] = Semijoin(instance->nodes[v],
                                     instance->nodes[static_cast<std::size_t>(c)]);
@@ -18,6 +21,7 @@ bool FullReduce(JoinTreeInstance* instance) {
   }
   // Downward pass: children semijoined with parents, root first.
   for (int v : order) {
+    CheckExecInterrupt();
     for (int c : instance->shape.children[static_cast<std::size_t>(v)]) {
       instance->nodes[static_cast<std::size_t>(c)] =
           Semijoin(instance->nodes[static_cast<std::size_t>(c)],

@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "algebra/exec_policy.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -55,6 +56,7 @@ CountInt Ps13Count(const JoinTreeInstance& instance, const IdSet& free_vars,
 
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     std::size_t p = static_cast<std::size_t>(*it);
+    CheckExecInterrupt();  // per-node deadline/cancellation checkpoint
     const Rel& rp = instance.nodes[p];
     SharpRelation rel_p = InitialSharpRelation(rp, free_vars);
     // The initial partition is where the degree bound h of Theorem 6.2

@@ -66,6 +66,15 @@ CsvResult ParseCsv(std::istream& in, ValueDict* dict,
     }
     row.resize(fields.size());
     for (std::size_t i = 0; i < fields.size(); ++i) {
+      // Empty fields are rejected rather than silently dropped: before the
+      // split preserved them, a row like "1,,3" parsed as two fields and
+      // either locked the relation's arity wrong (first line) or shifted
+      // values into the wrong columns with no error.
+      if (fields[i].empty()) {
+        return Fail(CsvStatus::kParseError,
+                    "line " + std::to_string(line_number) + ", column " +
+                        std::to_string(i + 1) + ": empty field");
+      }
       if (!ParseField(fields[i], dict, &row[i], &error)) {
         return Fail(CsvStatus::kParseError,
                     "line " + std::to_string(line_number) + ": " + error);

@@ -83,30 +83,47 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
 CountResult CountingEngine::Count(const ConjunctiveQuery& q,
                                   const Database& db,
                                   const PlannerOptions& options) {
+  return Count(q, db, options, /*cancel=*/nullptr);
+}
+
+CountResult CountingEngine::Count(const ConjunctiveQuery& q,
+                                  const Database& db,
+                                  const PlannerOptions& options,
+                                  const CancelToken* cancel) {
   Planned planned = Plan(q, options);
   // Install this engine's execution policy for the duration of the
   // execution: kernel probe loops above the row threshold morselize onto
-  // the engine pool (created lazily on the first such probe).
-  std::optional<ExecScope> scope;
+  // the engine pool (created lazily on the first such probe), the cancel
+  // token reaches the morsel claim loops and checkpoint sites, and filter
+  // tallies land in this execution's own stats sink (so concurrent counts
+  // never pollute each other's provenance).
+  ExecPolicy policy;
   if (options_.enable_morsel_parallelism) {
-    ExecPolicy policy;
     policy.pool = [this] { return &Pool(); };
-    policy.morsel_rows = options_.morsel_rows;
-    policy.row_threshold = options_.morsel_row_threshold;
-    scope.emplace(std::move(policy));
   }
-  // Filter gating and provenance: disable probe-filter consults when the
-  // engine is configured without them, and attribute the execution's filter
-  // outcomes by snapshotting the process-wide counters around it (a delta,
-  // so concurrent executions fold into each other's windows — see
-  // CountResult).
+  policy.morsel_rows = options_.morsel_rows;
+  policy.row_threshold = options_.morsel_row_threshold;
+  policy.cancel = cancel;
+  ExecStats stats;
+  policy.stats = &stats;
+  ExecScope scope(std::move(policy));
+  // Disable probe-filter consults when the engine is configured without
+  // them (results never change; only the consult is gated).
   std::optional<MissFilterDisableScope> no_filters;
   if (!options_.enable_probe_filters) no_filters.emplace();
-  const ProbeFilterStats before = GlobalProbeFilterStats();
-  CountResult result = ExecutePlan(*planned.plan, db);
-  const ProbeFilterStats after = GlobalProbeFilterStats();
-  result.filter_hits = after.hits - before.hits;
-  result.filter_passes = after.passes - before.passes;
+  CountResult result;
+  try {
+    CheckExecInterrupt();  // expired before execution: fail without a probe
+    result = ExecutePlan(*planned.plan, db);
+  } catch (const ExecInterrupted& interrupted) {
+    result = CountResult{};
+    result.status = interrupted.reason == CancelToken::StopReason::kDeadline
+                        ? CountStatus::kDeadlineExceeded
+                        : CountStatus::kCancelled;
+    result.method = "interrupted";
+  }
+  result.filter_hits = stats.filter_hits.load(std::memory_order_relaxed);
+  result.filter_passes = stats.filter_passes.load(std::memory_order_relaxed);
   result.planner_ms = planned.planner_ms;
   result.cache_hit = planned.cache_hit;
   result.cache_shard = planned.cache_shard;

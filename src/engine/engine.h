@@ -103,6 +103,16 @@ class CountingEngine {
   // Same with per-call planner options (cached separately per policy).
   CountResult Count(const ConjunctiveQuery& q, const Database& db,
                     const PlannerOptions& options);
+  // Same with a cooperative stop signal: the token is threaded into the
+  // kernel's morsel claim loops (checked once per morsel) and the
+  // strategies' checkpoint sites, so a deadline expiring — or an explicit
+  // Cancel(), e.g. the daemon noticing the client disconnected — stops the
+  // execution within one morsel of probe work and returns a CountResult
+  // whose status is kDeadlineExceeded/kCancelled (count is meaningless
+  // then). `cancel` may be null (never stops) and must outlive the call.
+  CountResult Count(const ConjunctiveQuery& q, const Database& db,
+                    const PlannerOptions& options,
+                    const CancelToken* cancel);
 
   // Counts every job on the batch pool and blocks until all are done;
   // results are positionally aligned with `jobs`. Jobs sharing a canonical

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "algebra/exec_policy.h"
 #include "count/enumeration.h"
 #include "count/join_tree_instance.h"
 #include "count/ps13.h"
@@ -28,6 +29,7 @@ CountResult ExecuteSharpB(const CountingPlan& plan, const Database& db) {
   options.max_cores = plan.options.max_cores;
   options.max_subsets = plan.options.hybrid_max_subsets;
   for (int k = 2; k <= plan.options.max_width; ++k) {
+    CheckExecInterrupt();
     std::optional<CountResult> result =
         CountBySharpBDecomposition(plan.query, db, k, options);
     if (result.has_value()) return *result;

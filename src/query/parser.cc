@@ -36,8 +36,17 @@ bool ParseAtomText(std::string_view text, std::string* name,
   }
   std::string_view inner = text.substr(open + 1, text.size() - open - 2);
   args->clear();
-  for (const std::string& piece : SplitAndTrim(inner, ',')) {
-    args->push_back(piece);
+  // "r()" is a nullary atom; anything else splits positionally, and an
+  // empty position ("r(X,,Y)", "r(X,)") is a syntax error rather than a
+  // silently narrower atom.
+  if (!StripWhitespace(inner).empty()) {
+    for (const std::string& piece : SplitAndTrim(inner, ',')) {
+      if (piece.empty()) {
+        return SetError(error,
+                        "empty argument position in atom: " + std::string(text));
+      }
+      args->push_back(piece);
+    }
   }
   return true;
 }

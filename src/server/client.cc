@@ -1,0 +1,112 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sharpcq {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+bool Client::Connect(const std::string& host, int port, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad address: " + host;
+    Close();
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect " + host + ":" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    }
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Response> Client::Call(const Request& request,
+                                     std::string* error) {
+  if (!Send(request, error)) return std::nullopt;
+  return Receive(error);
+}
+
+bool Client::Send(const Request& request, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  return SendFrame(fd_, SerializeRequest(request), error);
+}
+
+std::optional<Response> Client::Receive(std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return std::nullopt;
+  }
+  std::string payload;
+  FrameStatus status =
+      RecvFrame(fd_, kDefaultMaxFrameBytes, &payload, error);
+  if (status != FrameStatus::kOk) {
+    if (status == FrameStatus::kClosed && error != nullptr) {
+      *error = "server closed the connection";
+    }
+    return std::nullopt;
+  }
+  return ParseResponse(payload, error);
+}
+
+bool Client::SendRaw(std::string_view bytes, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::SendFramed(std::string_view payload, std::string* error) {
+  return SendFrame(fd_, payload, error);
+}
+
+}  // namespace sharpcq

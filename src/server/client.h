@@ -1,0 +1,51 @@
+#ifndef SHARPCQ_SERVER_CLIENT_H_
+#define SHARPCQ_SERVER_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+
+namespace sharpcq {
+
+// Blocking client for the sharpcqd protocol: one TCP connection, strictly
+// request-response. Used by the `sharpcqd send` subcommand, the server
+// tests, and the throughput benchmark. Not thread-safe; use one Client per
+// thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  bool Connect(const std::string& host, int port, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Send + Receive. nullopt with *error set on transport failure; protocol
+  // errors come back as a Response with ok == false.
+  std::optional<Response> Call(const Request& request, std::string* error);
+
+  // Split halves, for tests that disconnect between them.
+  bool Send(const Request& request, std::string* error);
+  std::optional<Response> Receive(std::string* error);
+
+  // Writes raw bytes (an arbitrary frame payload, or deliberately broken
+  // framing) — for protocol robustness tests.
+  bool SendRaw(std::string_view bytes, std::string* error);
+  bool SendFramed(std::string_view payload, std::string* error);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_SERVER_CLIENT_H_

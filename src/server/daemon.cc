@@ -1,0 +1,508 @@
+#include "server/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "data/csv.h"
+#include "engine/engine.h"
+#include "query/parser.h"
+#include "util/count_int.h"
+#include "util/string_util.h"
+
+namespace sharpcq {
+
+namespace {
+
+// Database names become directory names under the catalog root, so they
+// are restricted to a filesystem-safe alphabet (and cannot start with '.',
+// which also rules out traversal).
+bool ValidDbName(const std::string& name) {
+  if (name.empty() || name[0] == '.') return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string FormatMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+// RAII registration with the disconnect watcher.
+class DisconnectWatch {
+ public:
+  DisconnectWatch(Daemon* daemon, void (Daemon::*watch)(int, CancelToken*),
+                  void (Daemon::*unwatch)(int), int fd, CancelToken* token)
+      : daemon_(daemon), unwatch_(unwatch), fd_(fd) {
+    (daemon_->*watch)(fd_, token);
+  }
+  ~DisconnectWatch() { (daemon_->*unwatch_)(fd_); }
+
+ private:
+  Daemon* daemon_;
+  void (Daemon::*unwatch_)(int);
+  int fd_;
+};
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)),
+      catalog_(options_.catalog_root, options_.catalog) {}
+
+Daemon::~Daemon() { Stop(); }
+
+bool Daemon::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad listen address: " + options_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  watch_thread_ = std::thread([this] { WatchLoop(); });
+  return true;
+}
+
+void Daemon::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+}
+
+void Daemon::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // A second Stop still waits for the first to have joined; joining
+    // happens below only on the first call, so just signal waiters.
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_cv_.notify_all();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+    // Kick every open connection out of its blocking recv. The fds stay
+    // owned (and closed) by their connection threads.
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  {
+    // Cancel inflight executions directly; faster than waiting for the
+    // watcher to notice the shut-down sockets.
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    for (auto& [fd, token] : watched_) token->Cancel();
+  }
+  admission_cv_.notify_all();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (watch_thread_.joinable()) watch_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connection_threads_);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+}
+
+DaemonStats Daemon::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Daemon::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop (or fatal; either way, stop)
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    // Request/response round trips are latency-bound; without this, Nagle
+    // can couple small frames to the peer's delayed ACK.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.connections_accepted;
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Daemon::WatchLoop() {
+  while (!stopping_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      for (auto& [fd, token] : watched_) {
+        // The protocol is request-response, so a well-behaved client sends
+        // nothing while its request executes; readable data here is either
+        // EOF (client gone — cancel) or junk (ignored, the connection loop
+        // deals with it after the response).
+        char byte;
+        ssize_t n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (n == 0) {
+          token->Cancel();
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          token->Cancel();
+        }
+      }
+    }
+    std::this_thread::sleep_for(options_.watch_interval);
+  }
+}
+
+void Daemon::ServeConnection(int fd) {
+  for (;;) {
+    std::string payload;
+    std::string error;
+    FrameStatus status =
+        RecvFrame(fd, options_.max_frame_bytes, &payload, &error);
+    if (status == FrameStatus::kClosed || status == FrameStatus::kError) break;
+    if (status == FrameStatus::kTooLarge) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.frames_too_large;
+        ++stats_.responses_error;
+      }
+      // The oversized payload was never read, so the stream cannot be
+      // resynchronized: answer and drop the connection.
+      SendFrame(fd, SerializeResponse(
+                        ErrorResponse(wire::kFrameTooLarge, error)),
+                &error);
+      break;
+    }
+
+    Response response;
+    std::optional<Request> request = ParseRequest(payload, &error);
+    bool is_shutdown = false;
+    if (!request.has_value()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests;
+      ++stats_.malformed_requests;
+      response = ErrorResponse(wire::kBadRequest, error);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.requests;
+      }
+      is_shutdown = request->command == "shutdown";
+      response = Dispatch(*request, fd);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (response.ok) {
+        ++stats_.responses_ok;
+      } else {
+        ++stats_.responses_error;
+      }
+    }
+    if (!SendFrame(fd, SerializeResponse(response), &error)) break;
+    if (is_shutdown) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_requested_ = true;
+      stop_cv_.notify_all();
+      // Keep serving until the client hangs up or Stop() shuts the socket;
+      // Stop() itself must come from the Wait() caller (joining this
+      // thread from inside itself would deadlock).
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connection_fds_.erase(
+        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+        connection_fds_.end());
+  }
+  ::close(fd);
+}
+
+Response Daemon::Dispatch(const Request& request, int fd) {
+  if (request.command == "status") return HandleStatus();
+  if (request.command == "inspect") return HandleInspect(request);
+  if (request.command == "shutdown") return OkResponse();
+  if (request.command == "count" || request.command == "ingest") {
+    if (!EnterAdmission()) {
+      if (stopping_.load()) {
+        return ErrorResponse(wire::kShuttingDown, "daemon is shutting down");
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected_overload;
+      return ErrorResponse(
+          wire::kOverloaded,
+          "admission queue full (" + std::to_string(options_.max_inflight) +
+              " inflight, " + std::to_string(options_.max_queued) +
+              " queued)");
+    }
+    Response response = request.command == "count" ? HandleCount(request, fd)
+                                                   : HandleIngest(request);
+    LeaveAdmission();
+    return response;
+  }
+  return ErrorResponse(wire::kUnknownCommand,
+                       "unknown command: " + request.command);
+}
+
+bool Daemon::EnterAdmission() {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (inflight_ < options_.max_inflight) {
+    ++inflight_;
+    return true;
+  }
+  if (queued_ >= options_.max_queued) return false;
+  ++queued_;
+  admission_cv_.wait(lock, [this] {
+    return stopping_.load() || inflight_ < options_.max_inflight;
+  });
+  --queued_;
+  if (stopping_.load()) return false;
+  ++inflight_;
+  return true;
+}
+
+void Daemon::LeaveAdmission() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --inflight_;
+  }
+  admission_cv_.notify_one();
+}
+
+void Daemon::WatchDisconnect(int fd, CancelToken* token) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  watched_[fd] = token;
+}
+
+void Daemon::UnwatchDisconnect(int fd) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  watched_.erase(fd);
+}
+
+Response Daemon::HandleCount(const Request& request, int fd) {
+  const std::string* db_name = request.Arg("db");
+  if (db_name == nullptr || !ValidDbName(*db_name)) {
+    return ErrorResponse(wire::kBadRequest, "count requires db=<name>");
+  }
+  if (request.body.empty()) {
+    return ErrorResponse(wire::kBadRequest,
+                         "count requires the query text as the request body");
+  }
+  std::string error;
+  std::shared_ptr<const Catalog::Entry> entry = catalog_.Open(*db_name, &error);
+  if (entry == nullptr) return ErrorResponse(wire::kNotFound, error);
+
+  const std::string* strategy = request.Arg("strategy");
+  std::optional<PlannerOptions> planner = PlannerOptionsForStrategy(
+      strategy != nullptr ? *strategy : "auto", entry->engine->options().planner);
+  if (!planner.has_value()) {
+    return ErrorResponse(wire::kBadRequest, "unknown strategy: " + *strategy);
+  }
+
+  // Query constants may intern names the snapshot dictionary lacks, so the
+  // parse works on a private copy; the underlying data never changes.
+  ValueDict parse_dict = *entry->dict;
+  std::optional<ConjunctiveQuery> query =
+      ParseQuery(request.body, &parse_dict, &error);
+  if (!query.has_value()) return ErrorResponse(wire::kParseError, error);
+
+  CancelToken token;
+  std::chrono::milliseconds deadline = options_.default_deadline;
+  if (const std::string* arg = request.Arg("deadline_ms"); arg != nullptr) {
+    char* end = nullptr;
+    long long ms = std::strtoll(arg->c_str(), &end, 10);
+    if (end != arg->c_str() + arg->size() || ms < 0) {
+      return ErrorResponse(wire::kBadRequest, "bad deadline_ms: " + *arg);
+    }
+    deadline = std::chrono::milliseconds(ms);
+  }
+  if (deadline.count() > 0) token.SetDeadlineAfter(deadline);
+
+  CountResult result;
+  {
+    DisconnectWatch watch(this, &Daemon::WatchDisconnect,
+                          &Daemon::UnwatchDisconnect, fd, &token);
+    result = entry->engine->Count(*query, *entry->db, *planner, &token);
+  }
+
+  Response response;
+  if (result.status == CountStatus::kDeadlineExceeded) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deadline_exceeded;
+    }
+    response = ErrorResponse(wire::kDeadlineExceeded,
+                             "deadline of " + std::to_string(deadline.count()) +
+                                 "ms expired during execution");
+  } else if (result.status == CountStatus::kCancelled) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.cancelled_disconnect;
+    }
+    response = ErrorResponse(wire::kCancelled, "request cancelled");
+  } else {
+    response = OkResponse();
+    response.Add("count", CountToString(result.count));
+  }
+
+  // Provenance travels on every outcome — an expired request still tells
+  // the operator which strategy and cache shard it was on.
+  response.Add("db", entry->name);
+  response.Add("generation", std::to_string(entry->generation));
+  response.Add("method", result.method);
+  response.Add("width", std::to_string(result.width));
+  response.Add("cache", result.cache_hit ? "hit" : "miss");
+  response.Add("cache_shard", std::to_string(result.cache_shard));
+  response.Add("cache_shard_hits", std::to_string(result.cache_shard_hits));
+  response.Add("cache_shard_misses",
+               std::to_string(result.cache_shard_misses));
+  response.Add("filter_hits", std::to_string(result.filter_hits));
+  response.Add("filter_passes", std::to_string(result.filter_passes));
+  response.Add("planner_ms", FormatMs(result.planner_ms));
+  response.Add("execute_ms", FormatMs(result.execute_ms));
+  return response;
+}
+
+Response Daemon::HandleIngest(const Request& request) {
+  const std::string* db_name = request.Arg("db");
+  const std::string* relation = request.Arg("relation");
+  if (db_name == nullptr || !ValidDbName(*db_name)) {
+    return ErrorResponse(wire::kBadRequest, "ingest requires db=<name>");
+  }
+  if (relation == nullptr || relation->empty()) {
+    return ErrorResponse(wire::kBadRequest, "ingest requires relation=<name>");
+  }
+
+  // Read-copy-swap under the ingest lock: counts keep serving the pinned
+  // old generation throughout (ingest-while-serving).
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+  std::string error;
+  Database db;
+  ValueDict dict;
+  if (catalog_.CurrentGeneration(*db_name, &error).has_value()) {
+    std::shared_ptr<const Catalog::Entry> entry =
+        catalog_.Open(*db_name, &error);
+    if (entry == nullptr) return ErrorResponse(wire::kInternal, error);
+    db = *entry->db;
+    dict = *entry->dict;
+  }
+
+  std::istringstream body(request.body);
+  CsvResult loaded = LoadRelationCsv(body, *relation, &db, &dict);
+  if (!loaded.ok()) {
+    return ErrorResponse(wire::kParseError,
+                         "relation " + *relation + ": " + loaded.message);
+  }
+  std::optional<std::uint64_t> generation =
+      catalog_.Ingest(*db_name, db, &dict, &error);
+  if (!generation.has_value()) {
+    return ErrorResponse(wire::kInternal, error);
+  }
+  Response response = OkResponse();
+  response.Add("db", *db_name);
+  response.Add("generation", std::to_string(*generation));
+  response.Add("relation", *relation);
+  response.Add("tuples", std::to_string(loaded.tuples));
+  return response;
+}
+
+Response Daemon::HandleStatus() {
+  Response response = OkResponse();
+  DaemonStats snapshot = stats();
+  std::size_t inflight;
+  std::size_t queued;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    inflight = inflight_;
+    queued = queued_;
+  }
+  response.Add("connections_accepted",
+               std::to_string(snapshot.connections_accepted));
+  response.Add("requests", std::to_string(snapshot.requests));
+  response.Add("responses_ok", std::to_string(snapshot.responses_ok));
+  response.Add("responses_error", std::to_string(snapshot.responses_error));
+  response.Add("rejected_overload",
+               std::to_string(snapshot.rejected_overload));
+  response.Add("deadline_exceeded",
+               std::to_string(snapshot.deadline_exceeded));
+  response.Add("cancelled_disconnect",
+               std::to_string(snapshot.cancelled_disconnect));
+  response.Add("inflight", std::to_string(inflight));
+  response.Add("queued", std::to_string(queued));
+  std::vector<std::string> names = catalog_.ListDatabases();
+  response.Add("databases", JoinStrings(names, ","));
+  return response;
+}
+
+Response Daemon::HandleInspect(const Request& request) {
+  const std::string* db_name = request.Arg("db");
+  if (db_name == nullptr || !ValidDbName(*db_name)) {
+    return ErrorResponse(wire::kBadRequest, "inspect requires db=<name>");
+  }
+  std::string error;
+  std::shared_ptr<const Catalog::Entry> entry = catalog_.Open(*db_name, &error);
+  if (entry == nullptr) return ErrorResponse(wire::kNotFound, error);
+  Response response = OkResponse();
+  response.Add("db", entry->name);
+  response.Add("generation", std::to_string(entry->generation));
+  response.Add("relations", std::to_string(entry->info.relations.size()));
+  response.Add("tuples", std::to_string(entry->info.TotalTuples()));
+  // Body: one "name arity rows" line per relation.
+  for (const SnapshotRelationInfo& rel : entry->info.relations) {
+    response.body += rel.name + " " + std::to_string(rel.arity) + " " +
+                     std::to_string(rel.rows) + "\n";
+  }
+  return response;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,151 @@
+#ifndef SHARPCQ_SERVER_DAEMON_H_
+#define SHARPCQ_SERVER_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/protocol.h"
+#include "storage/catalog.h"
+#include "util/cancel.h"
+
+namespace sharpcq {
+
+// Cumulative daemon counters, readable while serving (`status` returns
+// them over the wire; tests poll them in-process).
+struct DaemonStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_error = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cancelled_disconnect = 0;
+  std::uint64_t frames_too_large = 0;
+  std::uint64_t malformed_requests = 0;
+};
+
+struct DaemonOptions {
+  // Catalog root directory; created by Catalog::Ingest on first write.
+  std::string catalog_root;
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; the bound port is Daemon::port()
+  // Admission control: at most max_inflight count/ingest requests execute
+  // concurrently; up to max_queued more wait for a slot; anything beyond
+  // that is rejected immediately with OVERLOADED. Cheap commands (status,
+  // inspect, shutdown) bypass the gate so health checks work under load.
+  std::size_t max_inflight = 4;
+  std::size_t max_queued = 16;
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  // Applied to count requests that carry no deadline_ms argument; zero
+  // means no deadline.
+  std::chrono::milliseconds default_deadline{0};
+  // How often the disconnect watcher polls executing requests' sockets.
+  std::chrono::milliseconds watch_interval{5};
+  Catalog::Options catalog;
+};
+
+// The sharpcqd network daemon: serves a Catalog of durable databases over
+// TCP with the length-framed protocol of server/protocol.h.
+//
+//   count   db=<name> [strategy=<s>] [deadline_ms=<n>]   body: query text
+//   ingest  db=<name> relation=<rel>                     body: CSV rows
+//   status                                               counters + db list
+//   inspect db=<name>                                    schema + sizes
+//   shutdown                                             ack, then Wait() returns
+//
+// Request lifecycle: the connection thread parses the frame, passes the
+// admission gate, and builds a CancelToken carrying the request deadline.
+// While the count executes, the disconnect watcher polls the connection's
+// socket and cancels the token if the client vanished; the token is also
+// checked once per morsel inside the kernel (algebra/exec_policy.h), so a
+// deadline expiring mid-join stops the execution within one morsel of
+// probe work and the client gets a DEADLINE_EXCEEDED (or CANCELLED)
+// response instead of a hang.
+//
+// Threading: one accept thread, one watcher thread, one thread per
+// connection. Stop() (or the `shutdown` command followed by Stop()) closes
+// the listener, shuts down every open connection socket, cancels inflight
+// tokens, and joins everything; the destructor calls Stop().
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Binds, listens, and starts the accept + watcher threads. False with
+  // *error set if the address cannot be bound.
+  bool Start(std::string* error);
+
+  // The bound port (valid after Start; useful with options.port == 0).
+  int port() const { return port_; }
+
+  // Blocks until Stop() is called or a client sends `shutdown`.
+  void Wait();
+
+  // Idempotent full shutdown: stop accepting, cancel and drain inflight
+  // requests, join all threads.
+  void Stop();
+
+  DaemonStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void WatchLoop();
+  void ServeConnection(int fd);
+
+  Response Dispatch(const Request& request, int fd);
+  Response HandleCount(const Request& request, int fd);
+  Response HandleIngest(const Request& request);
+  Response HandleStatus();
+  Response HandleInspect(const Request& request);
+
+  // Admission gate for count/ingest. False = reject with OVERLOADED.
+  bool EnterAdmission();
+  void LeaveAdmission();
+
+  // Disconnect watcher registry: while a request executes, its connection
+  // fd maps to the request's cancel token.
+  void WatchDisconnect(int fd, CancelToken* token);
+  void UnwatchDisconnect(int fd);
+
+  DaemonOptions options_;
+  Catalog catalog_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::thread watch_thread_;
+
+  mutable std::mutex mu_;  // connections, stats, stop signal
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;
+  DaemonStats stats_;
+
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  std::size_t inflight_ = 0;
+  std::size_t queued_ = 0;
+
+  std::mutex watch_mu_;
+  std::unordered_map<int, CancelToken*> watched_;
+
+  // Serializes ingest's read-copy-swap against concurrent ingests of the
+  // same catalog; counts are unaffected (they pin their generation).
+  std::mutex ingest_mu_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_SERVER_DAEMON_H_

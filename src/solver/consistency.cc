@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "algebra/exec_policy.h"
 #include "count/join_tree_instance.h"
 #include "hypergraph/acyclic.h"
 
@@ -70,6 +71,10 @@ bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
   for (std::size_t p : seed) worklist.push_back(p);
 
   while (!worklist.empty()) {
+    // Deadline/cancellation checkpoint: the fixpoint can run thousands of
+    // semijoins whose probe sides are each too small to morselize, so the
+    // per-morsel checks alone would never fire here.
+    CheckExecInterrupt();
     const std::size_t p = worklist.front();
     worklist.pop_front();
     queued[p] = 0;

@@ -1,0 +1,187 @@
+// The sharpcqd daemon: serves a catalog of durable databases over TCP with
+// the length-framed request protocol of server/protocol.h.
+//
+//   sharpcqd serve --root DIR [--host H] [--port N] [--max-inflight N]
+//                  [--max-queued N] [--default-deadline-ms N]
+//   sharpcqd send  --port N [--host H] [--body TEXT] 'HEADER'
+//
+// `serve` prints "sharpcqd listening on HOST:PORT" once ready (with
+// --port 0 the kernel-assigned port; CI's smoke job scrapes it) and blocks
+// until a client sends `shutdown`.
+//
+// `send` is a one-shot client: HEADER is a protocol header line, e.g.
+// 'count db=demo deadline_ms=500'; the request body comes from --body or,
+// when stdin is not a terminal, from stdin (so `echo 'Q(X) <- r(X,Y)' |
+// sharpcqd send --port N 'count db=demo'` works). Exits 0 on an ok
+// response, 1 on an error response, 2 on usage errors, 3 on transport
+// failure.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "server/daemon.h"
+
+namespace sharpcq {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitTransport = 3;
+
+int Usage() {
+  std::fprintf(stderr, R"(usage:
+  sharpcqd serve --root DIR [--host H] [--port N] [--max-inflight N]
+                 [--max-queued N] [--default-deadline-ms N]
+  sharpcqd send  --port N [--host H] [--body TEXT] 'HEADER LINE'
+)");
+  return kExitUsage;
+}
+
+int CmdServe(const DaemonOptions& options) {
+  Daemon daemon(options);
+  std::string error;
+  if (!daemon.Start(&error)) {
+    std::fprintf(stderr, "sharpcqd: %s\n", error.c_str());
+    return kExitError;
+  }
+  std::printf("sharpcqd listening on %s:%d\n", options.host.c_str(),
+              daemon.port());
+  std::fflush(stdout);
+  daemon.Wait();
+  daemon.Stop();
+  DaemonStats stats = daemon.stats();
+  std::printf("sharpcqd exiting: %llu requests (%llu ok, %llu error)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.responses_ok),
+              static_cast<unsigned long long>(stats.responses_error));
+  return kExitOk;
+}
+
+int CmdSend(const std::string& host, int port, const std::string& header,
+            const std::optional<std::string>& body_flag) {
+  std::string body;
+  if (body_flag.has_value()) {
+    body = *body_flag;
+  } else if (!::isatty(STDIN_FILENO)) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    body = buffer.str();
+  }
+  std::string error;
+  std::optional<Request> request = ParseRequest(header + "\n" + body, &error);
+  if (!request.has_value()) {
+    std::fprintf(stderr, "sharpcqd: bad request: %s\n", error.c_str());
+    return kExitUsage;
+  }
+  Client client;
+  if (!client.Connect(host, port, &error)) {
+    std::fprintf(stderr, "sharpcqd: %s\n", error.c_str());
+    return kExitTransport;
+  }
+  std::optional<Response> response = client.Call(*request, &error);
+  if (!response.has_value()) {
+    std::fprintf(stderr, "sharpcqd: %s\n", error.c_str());
+    return kExitTransport;
+  }
+  if (response->ok) {
+    std::printf("ok\n");
+  } else {
+    std::printf("error %s %s\n", response->code.c_str(),
+                response->message.c_str());
+  }
+  for (const auto& [key, value] : response->fields) {
+    std::printf("%s: %s\n", key.c_str(), value.c_str());
+  }
+  if (!response->body.empty()) {
+    std::printf("\n%s", response->body.c_str());
+  }
+  return response->ok ? kExitOk : kExitError;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+
+  std::string root;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  bool have_port = false;
+  std::size_t max_inflight = 4;
+  std::size_t max_queued = 16;
+  long long default_deadline_ms = 0;
+  std::optional<std::string> body;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--root") {
+      auto v = next();
+      if (!v) return Usage();
+      root = *v;
+    } else if (arg == "--host") {
+      auto v = next();
+      if (!v) return Usage();
+      host = *v;
+    } else if (arg == "--port") {
+      auto v = next();
+      if (!v) return Usage();
+      port = std::atoi(v->c_str());
+      have_port = true;
+    } else if (arg == "--max-inflight") {
+      auto v = next();
+      if (!v) return Usage();
+      max_inflight = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (arg == "--max-queued") {
+      auto v = next();
+      if (!v) return Usage();
+      max_queued = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (arg == "--default-deadline-ms") {
+      auto v = next();
+      if (!v) return Usage();
+      default_deadline_ms = std::atoll(v->c_str());
+    } else if (arg == "--body") {
+      auto v = next();
+      if (!v) return Usage();
+      body = *v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "sharpcqd: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (command == "serve") {
+    if (root.empty() || !positional.empty()) return Usage();
+    if (max_inflight == 0 || default_deadline_ms < 0) return Usage();
+    DaemonOptions options;
+    options.catalog_root = root;
+    options.host = host;
+    options.port = port;
+    options.max_inflight = max_inflight;
+    options.max_queued = max_queued;
+    options.default_deadline = std::chrono::milliseconds(default_deadline_ms);
+    return CmdServe(options);
+  }
+  if (command == "send") {
+    if (!have_port || port <= 0 || positional.size() != 1) return Usage();
+    return CmdSend(host, port, positional[0], body);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sharpcq
+
+int main(int argc, char** argv) { return sharpcq::Main(argc, argv); }

@@ -17,12 +17,20 @@ std::string CountToString(CountInt value) {
 
 bool ParseCount(const std::string& text, CountInt* out) {
   if (text.empty()) return false;
+  // Overflow is checked before the multiply: the old `next < value` test
+  // after the fact misses 128-bit wraps that still land above the previous
+  // value (e.g. 2^128 + 6 wraps to 6 only after value already wrapped
+  // through a larger intermediate on longer inputs, and value * 10 can
+  // wrap to something >= value).
+  constexpr CountInt kMax = ~CountInt{0};
   CountInt value = 0;
   for (char c : text) {
     if (c < '0' || c > '9') return false;
-    CountInt next = value * 10 + static_cast<CountInt>(c - '0');
-    if (next < value) return false;  // overflow
-    value = next;
+    const CountInt digit = static_cast<CountInt>(c - '0');
+    if (value > kMax / 10) return false;       // value * 10 would wrap
+    value *= 10;
+    if (digit > kMax - value) return false;    // + digit would wrap
+    value += digit;
   }
   *out = value;
   return true;

@@ -33,8 +33,7 @@ std::vector<std::string_view> SplitAndTrimViews(std::string_view text,
   while (start <= text.size()) {
     std::size_t pos = text.find(sep, start);
     if (pos == std::string_view::npos) pos = text.size();
-    std::string_view piece = StripWhitespace(text.substr(start, pos - start));
-    if (!piece.empty()) pieces.push_back(piece);
+    pieces.push_back(StripWhitespace(text.substr(start, pos - start)));
     start = pos + 1;
   }
   return pieces;

@@ -7,8 +7,11 @@
 
 namespace sharpcq {
 
-// Splits `text` on `sep`, trimming ASCII whitespace from each piece and
-// dropping empty pieces.
+// Splits `text` on `sep`, trimming ASCII whitespace from each piece. Empty
+// pieces are preserved so positional formats (CSV rows, atom argument
+// lists) keep their arity: "1,,3" yields three pieces, the middle one
+// empty, and the empty string yields a single empty piece. Callers that
+// need to reject blanks check for them explicitly.
 std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
 
 // Allocation-free variant: the returned views alias `text`, which must

@@ -171,6 +171,41 @@ TEST(ConcurrentEngineTest, CountAsyncDeliversExactCounts) {
   }
 }
 
+TEST(ConcurrentEngineTest, FilterTalliesStayPerQueryUnderConcurrency) {
+  // The probe-filter provenance in CountResult must describe that query's
+  // execution alone. This workload's tallies are deterministic — the same
+  // query on the same database always probes the same rows — so if any
+  // result under concurrency reports more (or fewer) probes than the solo
+  // run, executions leaked tallies into each other (the old process-global
+  // counters did exactly that).
+  CountingEngine engine;
+  Database db = MakeQ1Database(80, 900, 11);
+  ConjunctiveQuery q = MakeQ1();
+
+  CountResult solo = engine.Count(q, db);
+  ASSERT_GT(solo.filter_hits, 0u);
+  ASSERT_GT(solo.filter_passes, 0u);
+
+  const int kThreads = 8;
+  const int kItersPerThread = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, &db, &q, &solo, &mismatches] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        CountResult result = engine.Count(q, db);
+        if (result.count != solo.count ||
+            result.filter_hits != solo.filter_hits ||
+            result.filter_passes != solo.filter_passes) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(ConcurrentEngineTest, EvictedPlansSurviveWhileExecuting) {
   // capacity=1 collapses to one shard, so every new shape evicts the
   // previous plan; threads alternating two shapes thrash the cache while

@@ -138,6 +138,25 @@ TEST(ParserTest, RejectsMalformedInput) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(ParserTest, RejectsEmptyArgumentPositions) {
+  // "Q(X,,Y) <- r(X,Y)" used to parse as if the head were Q(X,Y): the split
+  // dropped the empty position, silently narrowing the atom.
+  std::string error;
+  EXPECT_FALSE(ParseQuery("Q(X,,Y) <- r(X,Y), s(Y)", nullptr, &error)
+                   .has_value());
+  EXPECT_NE(error.find("empty argument position"), std::string::npos)
+      << error;
+  error.clear();
+  EXPECT_FALSE(ParseQuery("Q(X) <- r(X,,Y)", nullptr, &error).has_value());
+  EXPECT_NE(error.find("empty argument position"), std::string::npos)
+      << error;
+  EXPECT_FALSE(ParseQuery("Q(X) <- r(X,)", nullptr, &error).has_value());
+  EXPECT_FALSE(ParseQuery("Q(X) <- r(,X)", nullptr, &error).has_value());
+  EXPECT_FALSE(ParseQuery("Q(,) <- r(X)", nullptr, &error).has_value());
+  // Nullary atoms remain legal; only positional blanks are errors.
+  EXPECT_TRUE(ParseQuery("Q() <- r(X,Y)").has_value());
+}
+
 // --- atom -> VarRelation ----------------------------------------------------
 
 TEST(AtomRelationTest, PlainAtom) {

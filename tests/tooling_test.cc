@@ -49,6 +49,44 @@ TEST(CsvTest, RejectsArityMismatch) {
   EXPECT_NE(result.message.find("arity"), std::string::npos);
 }
 
+TEST(CsvTest, RejectsEmptyFieldWithLineAndColumn) {
+  // "1,,3" used to split as a 2-field row (empty pieces dropped), silently
+  // locking the relation's arity to 2 when it was the first data line and
+  // shifting values into the wrong columns on later lines.
+  std::istringstream in("# header comment\n1,,3\n");
+  Database db;
+  CsvResult result = LoadRelationCsv(in, "r", &db);
+  EXPECT_EQ(result.status, CsvStatus::kParseError);
+  EXPECT_NE(result.message.find("line 2"), std::string::npos)
+      << result.message;
+  EXPECT_NE(result.message.find("column 2"), std::string::npos)
+      << result.message;
+  EXPECT_NE(result.message.find("empty field"), std::string::npos)
+      << result.message;
+}
+
+TEST(CsvTest, RejectsWhitespaceOnlyField) {
+  // Trimming reduces a whitespace-only field to empty; it must be rejected
+  // like any other empty field, not shifted out of the row.
+  std::istringstream in("1,2,3\n4,  ,6\n");
+  Database db;
+  CsvResult result = LoadRelationCsv(in, "r", &db);
+  EXPECT_EQ(result.status, CsvStatus::kParseError);
+  EXPECT_NE(result.message.find("line 2, column 2"), std::string::npos)
+      << result.message;
+}
+
+TEST(CsvTest, RejectsTrailingEmptyFieldAsArityMismatch) {
+  // A trailing comma now produces a real (empty) field, so "5,6," is a
+  // 3-field row against an established arity of 2.
+  std::istringstream in("1,2\n5,6,\n");
+  Database db;
+  CsvResult result = LoadRelationCsv(in, "r", &db);
+  EXPECT_EQ(result.status, CsvStatus::kParseError);
+  EXPECT_NE(result.message.find("arity"), std::string::npos)
+      << result.message;
+}
+
 TEST(CsvTest, RejectsEmptyInput) {
   std::istringstream in("# only comments\n");
   Database db;

@@ -92,12 +92,57 @@ TEST(CountIntTest, ParseRoundTrip) {
   EXPECT_FALSE(ParseCount("12a", &v));
 }
 
+TEST(CountIntTest, ParseRejectsOverflowAtBoundary) {
+  // 2^128 - 1 is the largest representable count; everything at or above
+  // 2^128 must be rejected. The old post-hoc `next < value` check let
+  // wrapped values through whenever the wrap landed above the previous
+  // partial value.
+  const std::string kMaxDecimal = "340282366920938463463374607431768211455";
+  CountInt v = 0;
+  ASSERT_TRUE(ParseCount(kMaxDecimal, &v));
+  EXPECT_EQ(v, ~CountInt{0});
+  EXPECT_EQ(CountToString(v), kMaxDecimal);
+
+  // Exactly 2^128 and the first values above it.
+  EXPECT_FALSE(ParseCount("340282366920938463463374607431768211456", &v));
+  EXPECT_FALSE(ParseCount("340282366920938463463374607431768211457", &v));
+  // Old-check escapes: the wrap of 3.99e38 lands at ~5.9e37, which is
+  // *above* the previous partial value 3.99e37, so `next < value` was
+  // false and the wrapped garbage parsed successfully. Same for longer
+  // inputs that wrap more than once.
+  EXPECT_FALSE(ParseCount("399999999999999999999999999999999999999", &v));
+  EXPECT_FALSE(ParseCount("999999999999999999999999999999999999999999", &v));
+  // Rejection must not clobber the output.
+  EXPECT_EQ(v, ~CountInt{0});
+}
+
 TEST(StringUtilTest, SplitAndTrim) {
-  auto pieces = SplitAndTrim(" a, b ,, c ", ',');
+  auto pieces = SplitAndTrim(" a, b , c ", ',');
   ASSERT_EQ(pieces.size(), 3u);
   EXPECT_EQ(pieces[0], "a");
   EXPECT_EQ(pieces[1], "b");
   EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringUtilTest, SplitAndTrimPreservesEmptyPieces) {
+  // Positional formats depend on empty pieces surviving the split: "1,,3"
+  // is a three-field row with an empty middle, not a two-field row.
+  auto pieces = SplitAndTrim("1,,3", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "1");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "3");
+
+  auto padded = SplitAndTrim(" a, b ,, c ", ',');
+  ASSERT_EQ(padded.size(), 4u);
+  EXPECT_EQ(padded[2], "");
+
+  EXPECT_EQ(SplitAndTrim("", ',').size(), 1u);
+  EXPECT_EQ(SplitAndTrim(",", ',').size(), 2u);
+  auto trailing = SplitAndTrim("a,", ',');
+  ASSERT_EQ(trailing.size(), 2u);
+  EXPECT_EQ(trailing[0], "a");
+  EXPECT_EQ(trailing[1], "");
 }
 
 TEST(StringUtilTest, StripWhitespace) {
