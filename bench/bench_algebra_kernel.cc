@@ -23,6 +23,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <array>
 #include <random>
 #include <utility>
@@ -209,4 +211,4 @@ BENCHMARK(BM_CountedProjection_Kernel);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

@@ -21,6 +21,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <vector>
 
 #include "engine/engine.h"
@@ -114,4 +116,4 @@ BENCHMARK(BM_Batch_ColdPlanning)->Arg(1)->Arg(4)
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

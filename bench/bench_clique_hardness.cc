@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "count/enumeration.h"
 #include "engine/engine.h"
 #include "gen/paper_queries.h"
@@ -100,4 +102,4 @@ BENCHMARK(BM_Clique4_GraphScaling)->RangeMultiplier(2)->Range(10, 40);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/sharp_decomposition.h"
 #include "gen/paper_queries.h"
 #include "hybrid/sharp_b.h"
@@ -121,4 +123,4 @@ BENCHMARK(BM_Ablation_FullCoreEnumeration);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "count/enumeration.h"
 #include "gen/paper_queries.h"
 #include "hybrid/degree.h"
@@ -179,4 +181,4 @@ BENCHMARK(BM_Ps13_AcyclicScalingInM)->DenseRange(4, 12, 2);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

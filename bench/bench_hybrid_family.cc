@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/sharp_decomposition.h"
 #include "count/enumeration.h"
 #include "engine/engine.h"
@@ -159,4 +161,4 @@ BENCHMARK(BM_Qbar_JoinProject_ZScaling)->RangeMultiplier(4)->Range(4, 256);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

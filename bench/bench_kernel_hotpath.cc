@@ -33,6 +33,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <algorithm>
 #include <bit>
 #include <limits>
@@ -658,4 +660,4 @@ BENCHMARK(BM_CountAggregate_Packed);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/sharp_counting.h"
 #include "core/sharp_decomposition.h"
 #include "decomp/hypertree.h"
@@ -145,4 +147,4 @@ BENCHMARK(BM_TheoremA3_BicliqueWidthGap)->DenseRange(2, 4);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

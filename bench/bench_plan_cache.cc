@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "engine/engine.h"
 #include "gen/paper_queries.h"
 #include "util/check.h"
@@ -114,4 +116,4 @@ BENCHMARK(BM_Count_Cached)->DenseRange(0, 3);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

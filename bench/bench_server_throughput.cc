@@ -21,6 +21,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <cstdlib>
 #include <filesystem>
 #include <mutex>
@@ -192,4 +194,4 @@ BENCHMARK(BM_InProcess_Sequential)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <unistd.h>
 
 #include <cstdio>
@@ -150,4 +152,4 @@ BENCHMARK(BM_FirstCount_Mmap)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

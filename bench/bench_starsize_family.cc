@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "count/enumeration.h"
 #include "count/starsize.h"
 #include "engine/engine.h"
@@ -106,4 +108,4 @@ BENCHMARK(BM_Qn1_SharpCount_DbScaling)->RangeMultiplier(2)->Range(8, 64);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

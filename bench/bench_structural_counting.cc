@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "count/enumeration.h"
 #include "engine/engine.h"
 #include "gen/paper_queries.h"
@@ -110,4 +112,4 @@ BENCHMARK(BM_Q1_Backtracking)->RangeMultiplier(2)->Range(8, 64);
 }  // namespace
 }  // namespace sharpcq
 
-BENCHMARK_MAIN();
+SHARPCQ_BENCH_MAIN();

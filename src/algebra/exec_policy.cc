@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "algebra/simd.h"
+#include "util/cpu.h"
 #include "util/thread_pool.h"
 
 namespace sharpcq {
@@ -58,12 +59,13 @@ void CheckExecInterrupt() {
   }
 }
 
-MorselPlan PlanMorsels(std::size_t rows) {
+namespace {
+
+MorselPlan PlanMorselsWithThreshold(std::size_t rows, std::size_t threshold) {
   MorselPlan plan;
   plan.rows_per_chunk = rows;
   const ExecPolicy* policy = current_policy;
-  if (policy == nullptr || rows < policy->row_threshold ||
-      policy->morsel_rows == 0) {
+  if (policy == nullptr || rows < threshold || policy->morsel_rows == 0) {
     return plan;
   }
   // A cancel token without a pool still chunks: sequential executions then
@@ -85,6 +87,29 @@ MorselPlan PlanMorsels(std::size_t rows) {
   plan.parallel = has_pool && plan.chunks > 1;
   if (plan.chunks == 1) plan.rows_per_chunk = rows;
   return plan;
+}
+
+}  // namespace
+
+MorselPlan PlanMorsels(std::size_t rows) {
+  const ExecPolicy* policy = current_policy;
+  return PlanMorselsWithThreshold(
+      rows, policy != nullptr ? policy->row_threshold : rows + 1);
+}
+
+MorselPlan PlanMorsels(std::size_t rows, std::size_t build_groups) {
+  const ExecPolicy* policy = current_policy;
+  if (policy == nullptr || !policy->cost_model) return PlanMorsels(rows);
+  // ~26 bytes of index structure touched per group on the probe path (slot
+  // array at ~50% occupancy plus the group offset pair); once that
+  // footprint spills out of L2, each probe is a likely cache miss and the
+  // per-row cost is several times the in-cache case, so morselize earlier.
+  constexpr std::size_t kApproxIndexBytesPerGroup = 26;
+  const bool out_of_cache =
+      build_groups > L2CacheBytes() / kApproxIndexBytesPerGroup;
+  const std::size_t threshold =
+      out_of_cache ? policy->row_threshold / 4 : policy->row_threshold;
+  return PlanMorselsWithThreshold(rows, threshold);
 }
 
 void RunMorsels(const MorselPlan& plan, std::size_t rows,

@@ -31,6 +31,10 @@ inline constexpr std::size_t kDefaultMorselRowThreshold = 16384;
 struct ExecStats {
   std::atomic<std::uint64_t> filter_hits{0};
   std::atomic<std::uint64_t> filter_passes{0};
+  // Scheduling decisions the cost model changed: join-tree re-rootings /
+  // child reorderings (OptimizeInstanceOrder) and priority-ordered
+  // consistency worklists that deviated from FIFO. Provenance only.
+  std::atomic<std::uint64_t> cost_reorders{0};
 };
 
 struct ExecPolicy {
@@ -56,6 +60,11 @@ struct ExecPolicy {
   // parallel probes land in their own query's stats — concurrent
   // executions never pollute each other's provenance.
   ExecStats* stats = nullptr;
+  // Statistics-driven scheduling: join-tree rooting/child ordering, the
+  // consistency worklist priority, and the build-size-aware morsel
+  // threshold consult data stats when set. Scheduling only — counts are
+  // identical either way (the differential suite runs both settings).
+  bool cost_model = false;
 };
 
 // Installs `policy` as the current thread's execution policy for the
@@ -118,6 +127,14 @@ struct MorselPlan {
   }
 };
 MorselPlan PlanMorsels(std::size_t rows);
+
+// Build-side-aware variant: `build_groups` is the probed index's group
+// count. Under a cost-model policy, probes into an index too big for the
+// L2 cache morselize at a quarter of the usual row threshold — every probe
+// is a likely cache miss, so the per-row work is heavy enough to amortize
+// morsel setup much earlier. Without a cost-model policy this is exactly
+// PlanMorsels(rows).
+MorselPlan PlanMorsels(std::size_t rows, std::size_t build_groups);
 
 // Runs body(chunk, begin, end) for every morsel of `plan` over [0, rows).
 // Sequential plans run inline. Parallel plans submit runner tasks to the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algebra/exec_policy.h"
+#include "algebra/stats.h"
 
 namespace sharpcq {
 
@@ -81,7 +82,7 @@ Rel Join(const Rel& a, const Rel& b) {
 
   // Probe phase: per-morsel (a-row, b-row) id pair lists, via one packed
   // word per probe row. Morsels only append to their own chunk's vectors.
-  MorselPlan plan = PlanMorsels(n);
+  MorselPlan plan = PlanMorsels(n, index->num_groups());
   std::vector<std::vector<std::uint32_t>> a_ids(plan.chunks);
   std::vector<std::vector<std::uint32_t>> b_ids(plan.chunks);
   RunMorsels(plan, n, [&](std::size_t chunk, std::size_t begin,
@@ -134,7 +135,7 @@ Rel Semijoin(const Rel& a, const Rel& b, bool* changed) {
   // Per-morsel selection vectors, gathered once below. Each probe is one
   // packed-word lookup; a chunk that keeps every row is the common case in
   // fixpoint tails, so chunks stay cheap ascending id lists.
-  MorselPlan plan = PlanMorsels(n);
+  MorselPlan plan = PlanMorsels(n, index->num_groups());
   std::vector<std::vector<std::uint32_t>> kept(plan.chunks);
   RunMorsels(plan, n, [&](std::size_t chunk, std::size_t begin,
                           std::size_t end) {
@@ -228,6 +229,23 @@ std::size_t MaxGroupSize(const Rel& r, const IdSet& onto) {
   if (r.empty()) return 0;
   IdSet key_vars = Intersect(r.vars(), onto);
   return r.table()->IndexOn(ColumnsOf(r, key_vars))->max_group_size();
+}
+
+std::size_t EstimatedDistinctCount(const Rel& r, const IdSet& onto) {
+  const std::size_t rows = r.size();
+  IdSet key_vars = Intersect(r.vars(), onto);
+  if (key_vars.size() == 0) return rows == 0 ? 0 : 1;
+  std::shared_ptr<const TableStats> stats = r.table()->StatsIfPresent();
+  if (stats == nullptr) return rows;
+  std::uint64_t est = 1;
+  for (int c : ColumnsOf(r, key_vars)) {
+    const std::uint64_t distinct =
+        stats->columns[static_cast<std::size_t>(c)].distinct;
+    if (distinct == 0) return 0;
+    if (est >= rows / distinct + 1) return rows;  // product already >= rows
+    est *= distinct;
+  }
+  return est < rows ? static_cast<std::size_t>(est) : rows;
 }
 
 VarRelation ToVarRelation(const Rel& r) {

@@ -108,6 +108,13 @@ std::size_t DistinctCount(const Rel& r, const IdSet& onto);
 // index groups.
 std::size_t MaxGroupSize(const Rel& r, const IdSet& onto);
 
+// Cheap estimate of |pi_{onto ∩ vars(r)}(r)| for scheduling decisions:
+// the product of the per-column distinct counts from the table's cached
+// stats (capped at the row count), or simply the row count when no stats
+// are present. Never builds an index and never touches tuple data — unlike
+// DistinctCount, which is exact but pays a grouping pass.
+std::size_t EstimatedDistinctCount(const Rel& r, const IdSet& onto);
+
 // Bridge back to the legacy representation (copies tuple data).
 VarRelation ToVarRelation(const Rel& r);
 

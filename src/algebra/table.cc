@@ -6,6 +6,7 @@
 #include <memory>
 #include <numeric>
 
+#include "algebra/stats.h"
 #include "util/cpu.h"
 #include "util/hash.h"
 
@@ -512,6 +513,33 @@ bool Table::ContainsRow(std::span<const Value> row) const {
 std::size_t Table::CachedIndexCount() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return index_cache_.size();
+}
+
+std::shared_ptr<const TableStats> Table::Stats() const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (stats_ != nullptr) return stats_;
+  }
+  // Compute outside the lock (the streaming pass goes through IndexOn,
+  // which takes cache_mu_ itself). Concurrent first calls both compute
+  // equal stats; the first insert wins and the loser adopts it.
+  auto computed = std::make_shared<const TableStats>(ComputeTableStats(*this));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (stats_ == nullptr) stats_ = std::move(computed);
+  return stats_;
+}
+
+std::shared_ptr<const TableStats> Table::StatsIfPresent() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return stats_;
+}
+
+void Table::InstallStats(std::shared_ptr<const TableStats> stats) const {
+  if (stats == nullptr) return;
+  SHARPCQ_CHECK(stats->rows == rows_ &&
+                stats->columns.size() == cols_.size());
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (stats_ == nullptr) stats_ = std::move(stats);
 }
 
 std::shared_ptr<const Table> Table::Empty(int arity) {

@@ -20,6 +20,7 @@
 namespace sharpcq {
 
 class Table;
+struct TableStats;  // algebra/stats.h
 
 // How a TableIndex packs a multi-column key into one uint64 word. Every
 // probe compares one machine word per row instead of rebuilding and
@@ -449,6 +450,20 @@ class Table {
   // Membership of a full-width tuple, via the all-columns cached index.
   bool ContainsRow(std::span<const Value> row) const;
 
+  // Per-column statistics (algebra/stats.h), computed on first use —
+  // streamed off the single-column cached indexes — and cached for the
+  // lifetime of the table under the same mutex discipline as IndexOn: the
+  // lock is held only for lookup/insert, never during the computation, so
+  // concurrent first calls both compute and the first insert wins.
+  std::shared_ptr<const TableStats> Stats() const;
+  // The cached stats if present (computed or installed), else nullptr.
+  // Never computes — cheap enough for per-decision cost-model consults.
+  std::shared_ptr<const TableStats> StatsIfPresent() const;
+  // Primes the stats cache without a computation pass (the snapshot loader
+  // installs persisted stats; the atom bridge installs permuted ones).
+  // No-op when stats are already cached — first install wins.
+  void InstallStats(std::shared_ptr<const TableStats> stats) const;
+
   // Number of indexes currently cached (diagnostics and tests).
   std::size_t CachedIndexCount() const;
 
@@ -500,6 +515,7 @@ class Table {
   mutable std::mutex cache_mu_;
   mutable std::map<std::vector<int>, std::shared_ptr<const TableIndex>>
       index_cache_;
+  mutable std::shared_ptr<const TableStats> stats_;  // guarded by cache_mu_
 };
 
 namespace probe_internal {

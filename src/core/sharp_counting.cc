@@ -27,6 +27,10 @@ CountResult CountViaSharpDecomposition(const ConjunctiveQuery& q,
 
   JoinTreeInstance instance =
       MaterializeBags(d.core, q, db, d.tree, d.views);
+  // Cost-model rewrite (no-op without a cost_model policy); both branches
+  // below — the root-count-only DP and the FullReduce pipeline — are exact
+  // for any rooting and child order of the materialized tree.
+  OptimizeInstanceOrder(&instance);
   if (instance.AllVars().IsSubsetOf(q.free_vars())) {
     // No existential variables to project away: only the root count is
     // needed, and CountFullJoin's zero-weight rows already neutralize

@@ -47,6 +47,15 @@ struct CountResult {
   std::size_t cache_shard_hits = 0;
   std::size_t cache_shard_misses = 0;
 
+  // Cost-model provenance (engine layer): whether the executed plan or any
+  // runtime scheduling decision was steered by data statistics —
+  // `cost_model_steered` is true when the planner's strategy tie-break
+  // fired or `cost_reorders` (join-tree re-rootings, child reorderings,
+  // non-FIFO consistency scheduling) is nonzero. Both zero/false when
+  // EngineOptions::enable_cost_model is off. Counts never depend on it.
+  bool cost_model_steered = false;
+  std::uint64_t cost_reorders = 0;
+
   // Miss-filter provenance (engine layer): of the probes this execution
   // issued, how many the per-index miss filters resolved as definite misses
   // without touching a slot table (`filter_hits`) and how many went on to

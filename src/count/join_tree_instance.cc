@@ -1,9 +1,111 @@
 #include "count/join_tree_instance.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
 #include "algebra/exec_policy.h"
 #include "util/check.h"
 
 namespace sharpcq {
+
+namespace {
+
+// Summed child-side row counts of the tree rooted at `root`, writing the
+// orientation into *parent (-1 for the root). BFS over the undirected
+// adjacency; the instance's shape is always connected (TopoOrder asserts
+// it), so every vertex is reached.
+//
+// Why the child side: FullReduce charges an edge (p, c) roughly
+// size(p) upward probes + size(c) child index build + size(c) downward
+// probes.  Summed over all edges, the size(p) + size(c) part is the same
+// for every orientation, so rootings differ only in the extra size(child)
+// term — the best root keeps big relations on the parent (probe) side and
+// small ones on the child (build) side.
+std::uint64_t RootingCost(const std::vector<std::vector<int>>& adj,
+                          const std::vector<Rel>& nodes, int root,
+                          std::vector<int>* parent) {
+  parent->assign(nodes.size(), -2);
+  (*parent)[static_cast<std::size_t>(root)] = -1;
+  std::vector<int> queue{root};
+  std::uint64_t cost = 0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const int v = queue[i];
+    for (int u : adj[static_cast<std::size_t>(v)]) {
+      if ((*parent)[static_cast<std::size_t>(u)] != -2) continue;
+      (*parent)[static_cast<std::size_t>(u)] = v;
+      cost += nodes[static_cast<std::size_t>(u)].size();
+      queue.push_back(u);
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+void OptimizeInstanceOrder(JoinTreeInstance* instance) {
+  const ExecPolicy* policy = CurrentExecPolicy();
+  if (policy == nullptr || !policy->cost_model) return;
+  const std::size_t n = instance->nodes.size();
+  if (n < 2) return;
+
+  std::vector<std::vector<int>> adj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const int p = instance->shape.parent[v];
+    if (p < 0) continue;
+    adj[v].push_back(p);
+    adj[static_cast<std::size_t>(p)].push_back(static_cast<int>(v));
+  }
+
+  // Exact best rooting, seeded with the current root so ties never move
+  // anything (deterministic, and a uniform instance stays untouched).
+  const int old_root = instance->shape.root;
+  std::vector<int> parent;
+  std::vector<int> best_parent;
+  std::uint64_t best_cost =
+      RootingCost(adj, instance->nodes, old_root, &best_parent);
+  int best_root = old_root;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (static_cast<int>(r) == old_root) continue;
+    const std::uint64_t cost =
+        RootingCost(adj, instance->nodes, static_cast<int>(r), &parent);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_root = static_cast<int>(r);
+      best_parent = parent;
+    }
+  }
+
+  bool changed = best_root != old_root;
+  if (changed) instance->shape = TreeShape::FromParents(best_parent);
+
+  // Most-selective child first: ascending estimated shared-key distinct
+  // count, child index breaking ties (FromParents emits ascending index
+  // order, so the comparison below is stable across runs).
+  std::vector<std::pair<std::uint64_t, int>> keyed;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<int>& kids = instance->shape.children[v];
+    if (kids.size() < 2) continue;
+    keyed.clear();
+    for (int c : kids) {
+      const Rel& child = instance->nodes[static_cast<std::size_t>(c)];
+      const IdSet shared = Intersect(instance->nodes[v].vars(), child.vars());
+      keyed.emplace_back(EstimatedDistinctCount(child, shared), c);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t i = 0; i < kids.size(); ++i) {
+      if (kids[i] != keyed[i].second) changed = true;
+      kids[i] = keyed[i].second;
+    }
+  }
+
+  if (changed) {
+    if (ExecStats* stats = CurrentExecStats()) {
+      stats->cost_reorders.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
 
 bool FullReduce(JoinTreeInstance* instance) {
   std::vector<int> order = instance->shape.TopoOrder();
@@ -63,7 +165,7 @@ CountInt CountFullJoin(const JoinTreeInstance& instance) {
       const Table& parent_table = *rel.table();
       const std::vector<CountInt>& cw = weights[c];
 
-      MorselPlan plan = PlanMorsels(rel.size());
+      MorselPlan plan = PlanMorsels(rel.size(), index->num_groups());
       RunMorsels(plan, rel.size(), [&](std::size_t, std::size_t begin,
                                        std::size_t end) {
         ForEachProbeGroupUnless(

@@ -30,6 +30,26 @@ struct JoinTreeInstance {
   }
 };
 
+// Statistics-driven scheduling pass, run before FullReduce / CountFullJoin
+// when the current ExecPolicy carries cost_model (no-op otherwise, and on
+// instances of < 2 nodes). Two rewrites, both pure re-orderings of the
+// same undirected join tree, so every consumer's count is unchanged —
+// FullReduce, CountFullJoin, and Ps13Count are exact for ANY rooting and
+// child order of a valid join tree:
+//
+//   1. Re-root at the orientation minimizing the summed parent-side row
+//      counts over all tree edges (exact O(n^2) scan) — parent rows are
+//      what the per-edge semijoin/aggregation probes iterate, so a huge
+//      relation should hang below small ones, not above them.
+//   2. Sort every node's children by ascending estimated distinct count on
+//      the shared variables (EstimatedDistinctCount): the most selective
+//      child is semijoined/probed first, so later, more expensive children
+//      see an already-shrunken parent (CountFullJoin additionally skips
+//      zero-weight parent rows per child).
+//
+// Tallies one ExecStats::cost_reorders when anything actually changed.
+void OptimizeInstanceOrder(JoinTreeInstance* instance);
+
 // Yannakakis' full reducer: one upward and one downward semijoin pass.
 // Afterwards the relations are pairwise consistent along tree edges, which
 // on acyclic instances equals global consistency (Beeri–Fagin–Maier–

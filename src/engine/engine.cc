@@ -48,10 +48,21 @@ CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q) {
 
 CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q,
                                              const PlannerOptions& options) {
+  return Plan(q, options, /*profile=*/nullptr);
+}
+
+CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q,
+                                             const PlannerOptions& options,
+                                             const DataProfile* profile) {
   auto start = std::chrono::steady_clock::now();
   Planned out;
   out.canonical = CanonicalizeQuery(q);
-  const std::string key = out.canonical.key + "$" + options.CacheFingerprint();
+  // The key is (query shape, planner policy, data-profile class): a plan
+  // tie-broken by statistics must not serve a database in a different
+  // class, and a profile-free plan must not serve a profiled call.
+  const std::string key =
+      out.canonical.key + "$" + options.CacheFingerprint() + "#" +
+      (profile != nullptr ? profile->Fingerprint() : std::string("off"));
   PlanCache::Lookup lookup = cache_.FindWithStats(key);
   out.cache_shard = lookup.shard;
   out.cache_shard_hits = lookup.shard_hits;
@@ -66,7 +77,7 @@ CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q,
     // duplicate work is tolerated (plans for equal keys are equivalent and
     // the second insert just replaces the first) — see DESIGN.md.
     out.plan = std::make_shared<const CountingPlan>(
-        MakePlan(out.canonical.query, options));
+        MakePlan(out.canonical.query, options, profile));
     cache_.Insert(key, out.plan);
   }
   out.planner_ms = std::chrono::duration<double, std::milli>(
@@ -90,7 +101,20 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
                                   const Database& db,
                                   const PlannerOptions& options,
                                   const CancelToken* cancel) {
-  Planned planned = Plan(q, options);
+  // Profile the query's relations for the cost model. Stats are computed
+  // lazily once per table and cached (or preloaded from a v2 snapshot), so
+  // per-call cost is a few map lookups; the fingerprint keys the plan
+  // cache per data-profile class.
+  DataProfile profile;
+  const DataProfile* profile_ptr = nullptr;
+  if (options_.enable_cost_model) {
+    std::vector<std::string> names;
+    names.reserve(q.NumAtoms());
+    for (const Atom& atom : q.atoms()) names.push_back(atom.relation);
+    profile = BuildDataProfile(db, names);
+    profile_ptr = &profile;
+  }
+  Planned planned = Plan(q, options, profile_ptr);
   // Install this engine's execution policy for the duration of the
   // execution: kernel probe loops above the row threshold morselize onto
   // the engine pool (created lazily on the first such probe), the cancel
@@ -104,6 +128,7 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
   policy.morsel_rows = options_.morsel_rows;
   policy.row_threshold = options_.morsel_row_threshold;
   policy.cancel = cancel;
+  policy.cost_model = options_.enable_cost_model;
   ExecStats stats;
   policy.stats = &stats;
   ExecScope scope(std::move(policy));
@@ -124,6 +149,9 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
   }
   result.filter_hits = stats.filter_hits.load(std::memory_order_relaxed);
   result.filter_passes = stats.filter_passes.load(std::memory_order_relaxed);
+  result.cost_reorders = stats.cost_reorders.load(std::memory_order_relaxed);
+  result.cost_model_steered =
+      planned.plan->cost_model_steered || result.cost_reorders > 0;
   result.planner_ms = planned.planner_ms;
   result.cache_hit = planned.cache_hit;
   result.cache_shard = planned.cache_shard;

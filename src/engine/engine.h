@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "algebra/exec_policy.h"
+#include "algebra/stats.h"
 #include "core/sharp_counting.h"
 #include "data/database.h"
 #include "engine/executor.h"
@@ -52,6 +53,17 @@ struct EngineOptions {
   // hit-heavy workloads. Filter outcomes are reported per query in
   // CountResult::filter_hits / filter_passes.
   bool enable_probe_filters = true;
+  // Statistics-driven cost model (algebra/stats.h). When on, each Count
+  // profiles the query's relations (lazily computed and cached per table —
+  // free for tables loaded from v2 snapshots), hands the profile to the
+  // planner for strategy tie-breaks, appends its coarse fingerprint to the
+  // plan-cache key ("same shape + same data class => same plan"; an ingest
+  // that changes a relation's class re-plans, one that does not keeps the
+  // cache warm), and enables the runtime scheduling heuristics: join-tree
+  // rooting/child ordering, consistency-worklist priority, and the
+  // build-size-aware morsel threshold. Scheduling only — counts are
+  // identical with it off (the differential suite checks exactly that).
+  bool enable_cost_model = true;
 };
 
 // Named planner policies, for tools that take a strategy by name (the
@@ -144,6 +156,12 @@ class CountingEngine {
   };
   Planned Plan(const ConjunctiveQuery& q);
   Planned Plan(const ConjunctiveQuery& q, const PlannerOptions& options);
+  // With a data profile: the profile joins the planner's strategy choice
+  // AND the cache key (via DataProfile::Fingerprint, so a cached plan is
+  // only reused for databases in the same profile class). Null behaves
+  // like the two-argument overload — cached under the "off" class.
+  Planned Plan(const ConjunctiveQuery& q, const PlannerOptions& options,
+               const DataProfile* profile);
 
   const EngineOptions& options() const { return options_; }
   PlanCache::Stats cache_stats() const { return cache_.stats(); }

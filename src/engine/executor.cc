@@ -60,6 +60,10 @@ CountResult CountByAcyclicPs13(const ConjunctiveQuery& q, const Database& db) {
   for (const Atom& atom : q.atoms()) {
     instance.nodes.push_back(AtomToRel(atom, db));
   }
+  // Cost-model rewrite (no-op without a cost_model policy): root below the
+  // big relations, most-selective children first. PS13 is exact for any
+  // rooting of the join tree.
+  OptimizeInstanceOrder(&instance);
   if (!FullReduce(&instance)) {
     result.count = 0;
     return result;

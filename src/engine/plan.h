@@ -88,6 +88,11 @@ struct CountingPlan {
   CostEstimate cost;
   double planning_ms = 0.0;  // wall time MakePlan spent building this plan
 
+  // True when the data profile handed to MakePlan moved the strategy away
+  // from the structural default (currently: PS13 -> #b on heavy-degree
+  // instances). Purely provenance — every strategy is exact.
+  bool cost_model_steered = false;
+
   std::string DebugString() const;
 };
 

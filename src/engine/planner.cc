@@ -1,12 +1,37 @@
 #include "engine/planner.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "algebra/stats.h"
 #include "hypergraph/acyclic.h"
 
 namespace sharpcq {
 
 namespace {
+
+// Degree above which PS13's 4^h blowup is judged worse than the hybrid #b
+// route's per-database decomposition search. 256 = 4 histogram doublings
+// past the "uniformly small groups" regime; well clear of the key-like
+// degrees (1..8) that dominate benign instances.
+constexpr std::uint64_t kDegreeSteerThreshold = 256;
+
+// The largest per-column group size the profile reports across the query's
+// relations — the profile's upper bound on the instance degree h that
+// drives PS13's cost. Relations without stats (row-major, unknown) report
+// 0 and never steer.
+std::uint64_t MaxQueryDegree(const ConjunctiveQuery& q,
+                             const DataProfile& profile) {
+  std::uint64_t degree = 0;
+  for (const Atom& atom : q.atoms()) {
+    const RelationProfile* rel = profile.Find(atom.relation);
+    if (rel == nullptr || rel->stats == nullptr) continue;
+    for (const ColumnStats& col : rel->stats->columns) {
+      degree = std::max(degree, col.max_group);
+    }
+  }
+  return degree;
+}
 
 // Eligibility for counting over the query's own join tree: every atom must
 // contribute a non-empty hyperedge and every free variable must occur in
@@ -48,8 +73,8 @@ CostEstimate EstimateCost(const CountingPlan& plan) {
 
 }  // namespace
 
-CountingPlan MakePlan(const ConjunctiveQuery& q,
-                      const PlannerOptions& options) {
+CountingPlan MakePlan(const ConjunctiveQuery& q, const PlannerOptions& options,
+                      const DataProfile* profile) {
   auto start = std::chrono::steady_clock::now();
 
   CountingPlan plan;
@@ -82,6 +107,16 @@ CountingPlan MakePlan(const ConjunctiveQuery& q,
   } else if (options.enable_acyclic_ps13 &&
              AcyclicPs13Eligible(q, plan.analysis)) {
     plan.strategy = PlanStrategy::kAcyclicPs13;
+    // Data-aware tie-break: when the profile shows a relation with groups
+    // past the degree threshold and the hybrid gate is open, route to #b —
+    // its cost grows with the achieved degree b of a fresh decomposition,
+    // not with the instance's raw degree bound h.
+    if (profile != nullptr && options.enable_hybrid &&
+        options.max_width >= 2 &&
+        MaxQueryDegree(q, *profile) > kDegreeSteerThreshold) {
+      plan.strategy = PlanStrategy::kSharpB;
+      plan.cost_model_steered = true;
+    }
   } else if (options.enable_hybrid && options.max_width >= 2) {
     plan.strategy = PlanStrategy::kSharpB;
   } else {

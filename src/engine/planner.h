@@ -25,8 +25,18 @@ namespace sharpcq {
 // PlanCache stores. MakePlan touches no shared state (concurrent calls are
 // safe, even on the same query); a finished plan is immutable — published
 // as shared_ptr<const CountingPlan> and safe to execute from any thread.
+//
+// `profile` (optional) is the current generation's data statistics
+// (algebra/stats.h). It only breaks ties the structural policy leaves open
+// — today: an acyclic query over a heavy-degree instance routes to kSharpB
+// instead of kAcyclicPs13, since PS13's 4^h factor is exponential in the
+// degree bound while #b re-decomposes around it. A plan built with a
+// profile is only valid for databases in the same profile class, which is
+// why the engine folds the profile fingerprint into its cache key.
+struct DataProfile;
 CountingPlan MakePlan(const ConjunctiveQuery& q,
-                      const PlannerOptions& options = {});
+                      const PlannerOptions& options = {},
+                      const DataProfile* profile = nullptr);
 
 }  // namespace sharpcq
 

@@ -1,5 +1,6 @@
 #include "query/atom_relation.h"
 
+#include "algebra/stats.h"
 #include "algebra/table.h"
 #include "util/check.h"
 
@@ -109,6 +110,22 @@ Rel AtomToRel(const Atom& atom, const Database& db) {
                       atom.relation.c_str());
     AtomLayout layout = LayoutOf(atom, vars);
     if (layout.plain) {
+      bool identity = true;
+      for (std::size_t c = 0; c < layout.first_pos.size(); ++c) {
+        if (layout.first_pos[c] != static_cast<int>(c)) {
+          identity = false;
+          break;
+        }
+      }
+      if (identity) {
+        // The variable order already matches the stored column order:
+        // share the stored table itself rather than an alias. The stored
+        // table outlives any single count, so indexes built while probing
+        // it stay cached across queries — on catalog-served snapshots this
+        // turns the per-count index build (the dominant cost of semijoins
+        // against large relations) into a one-time cost.
+        return Rel(std::move(vars), std::move(stored));
+      }
       // Every tuple satisfies a plain atom and the projection onto vars is
       // a column permutation, so alias the stored columns directly: the
       // returned relation shares the snapshot's pages (zero copy), and the
@@ -118,6 +135,12 @@ Rel AtomToRel(const Atom& atom, const Database& db) {
       for (int p : layout.first_pos) cols.push_back(stored->Column(p));
       std::shared_ptr<const Table> aliased =
           Table::FromExternal(std::move(cols), stored->rows(), stored);
+      // The alias is a column permutation, so the stored table's cached
+      // stats carry over verbatim (permuted) — the cost model sees base
+      // relation statistics without ever recomputing them per query.
+      if (std::shared_ptr<const TableStats> stats = stored->StatsIfPresent()) {
+        aliased->InstallStats(PermuteStats(*stats, layout.first_pos));
+      }
       return Rel(std::move(vars), std::move(aliased));
     }
   }

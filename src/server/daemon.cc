@@ -410,6 +410,8 @@ Response Daemon::HandleCount(const Request& request, int fd) {
   response.Add("filter_passes", std::to_string(result.filter_passes));
   response.Add("planner_ms", FormatMs(result.planner_ms));
   response.Add("execute_ms", FormatMs(result.execute_ms));
+  response.Add("cost_model", result.cost_model_steered ? "steered" : "off-path");
+  response.Add("cost_reorders", std::to_string(result.cost_reorders));
   return response;
 }
 
@@ -479,6 +481,8 @@ Response Daemon::HandleStatus() {
                std::to_string(snapshot.cancelled_disconnect));
   response.Add("inflight", std::to_string(inflight));
   response.Add("queued", std::to_string(queued));
+  response.Add("cost_model",
+               options_.catalog.engine.enable_cost_model ? "on" : "off");
   std::vector<std::string> names = catalog_.ListDatabases();
   response.Add("databases", JoinStrings(names, ","));
   return response;
@@ -497,10 +501,23 @@ Response Daemon::HandleInspect(const Request& request) {
   response.Add("generation", std::to_string(entry->generation));
   response.Add("relations", std::to_string(entry->info.relations.size()));
   response.Add("tuples", std::to_string(entry->info.TotalTuples()));
-  // Body: one "name arity rows" line per relation.
+  response.Add("profile", entry->profile.Fingerprint());
+  // Body: one "name arity rows [colN=distinct/max-group...]" line per
+  // relation; the per-column profile is present for v2 snapshots (and for
+  // v1 generations, whose stats were computed lazily at open).
   for (const SnapshotRelationInfo& rel : entry->info.relations) {
     response.body += rel.name + " " + std::to_string(rel.arity) + " " +
-                     std::to_string(rel.rows) + "\n";
+                     std::to_string(rel.rows);
+    if (const RelationProfile* profile = entry->profile.Find(rel.name);
+        profile != nullptr && profile->stats != nullptr) {
+      for (std::size_t c = 0; c < profile->stats->columns.size(); ++c) {
+        const ColumnStats& stats = profile->stats->columns[c];
+        response.body += " col" + std::to_string(c) + "=" +
+                         std::to_string(stats.distinct) + "/" +
+                         std::to_string(stats.max_group);
+      }
+    }
+    response.body += "\n";
   }
   return response;
 }

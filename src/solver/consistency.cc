@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <optional>
+#include <queue>
 #include <utility>
 
 #include "algebra/exec_policy.h"
@@ -53,12 +54,74 @@ bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
       }
     }
   }
-  // Seed the worklist by ascending right-side size: small build sides go
-  // first, so by the time the big semijoins run, their left sides have
-  // already been trimmed by every cheap filter — fewer rows probed where a
-  // probe is most expensive. Pure scheduling: the fixpoint is confluent, so
-  // the result is order-independent (and the stable sort keeps runs
-  // deterministic).
+  std::vector<char> queued(pairs.size(), 1);
+  // Runs pair p once; false when the left view emptied (global failure).
+  // Newly dirty pairs — right side p.first shrank — go through `enqueue`.
+  auto relax = [&](std::size_t p, auto&& enqueue) -> bool {
+    auto [i, j] = pairs[p];
+    bool shrank = false;
+    (*views)[i] = Semijoin((*views)[i], (*views)[j], &shrank);
+    if (!shrank) return true;
+    if ((*views)[i].empty()) return false;
+    for (std::size_t q : pairs_with_right[i]) {
+      if (!queued[q]) {
+        queued[q] = 1;
+        enqueue(q);
+      }
+    }
+    return true;
+  };
+
+  // The fixpoint is confluent — semijoins only remove rows and the greatest
+  // pairwise-consistent subinstance is unique — so scheduling order is pure
+  // performance. Both regimes below compute the same views.
+  const ExecPolicy* exec_policy = CurrentExecPolicy();
+  if (exec_policy != nullptr && exec_policy->cost_model) {
+    // Cost-model regime: a priority queue ordered by each pair's estimated
+    // shrink, size(left) / est-distinct(right on shared vars) — the pairs
+    // expected to delete the most rows run first, so later, bigger
+    // semijoins probe already-trimmed left sides. Scores are computed at
+    // enqueue time (cheap: cached stats or row counts, never an index
+    // build); staleness only costs priority accuracy, never correctness.
+    auto score = [&](std::size_t p) -> std::uint64_t {
+      const auto& [i, j] = pairs[p];
+      const Rel& right = (*views)[j];
+      const IdSet shared = Intersect((*views)[i].vars(), right.vars());
+      std::size_t keys = EstimatedDistinctCount(right, shared);
+      if (keys == 0) keys = 1;
+      return static_cast<std::uint64_t>((*views)[i].size()) / keys;
+    };
+    using Entry = std::pair<std::uint64_t, std::size_t>;  // (score, pair)
+    auto later = [](const Entry& a, const Entry& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;  // ties: lowest pair index first
+    };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(later)> worklist(
+        later);
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      worklist.emplace(score(p), p);
+    }
+    if (!pairs.empty()) {
+      if (ExecStats* stats = CurrentExecStats()) {
+        stats->cost_reorders.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    while (!worklist.empty()) {
+      CheckExecInterrupt();
+      const std::size_t p = worklist.top().second;
+      worklist.pop();
+      queued[p] = 0;
+      if (!relax(p, [&](std::size_t q) { worklist.emplace(score(q), q); })) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Default regime: FIFO, seeded by ascending right-side size — small build
+  // sides go first, so by the time the big semijoins run, their left sides
+  // have already been trimmed by every cheap filter (and the stable sort
+  // keeps runs deterministic).
   std::vector<std::size_t> seed(pairs.size());
   for (std::size_t p = 0; p < pairs.size(); ++p) seed[p] = p;
   std::stable_sort(seed.begin(), seed.end(),
@@ -67,7 +130,6 @@ bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
                             (*views)[pairs[b].second].size();
                    });
   std::deque<std::size_t> worklist;
-  std::vector<char> queued(pairs.size(), 1);
   for (std::size_t p : seed) worklist.push_back(p);
 
   while (!worklist.empty()) {
@@ -78,16 +140,8 @@ bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
     const std::size_t p = worklist.front();
     worklist.pop_front();
     queued[p] = 0;
-    auto [i, j] = pairs[p];
-    bool shrank = false;
-    (*views)[i] = Semijoin((*views)[i], (*views)[j], &shrank);
-    if (!shrank) continue;
-    if ((*views)[i].empty()) return false;
-    for (std::size_t q : pairs_with_right[i]) {
-      if (!queued[q]) {
-        queued[q] = 1;
-        worklist.push_back(q);
-      }
+    if (!relax(p, [&](std::size_t q) { worklist.push_back(q); })) {
+      return false;
     }
   }
   return true;

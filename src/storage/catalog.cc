@@ -245,6 +245,7 @@ std::shared_ptr<const Catalog::Entry> Catalog::Open(const std::string& name,
   entry->dict = std::make_shared<const ValueDict>(std::move(loaded->dict));
   entry->info = std::move(loaded->info);
   entry->mode = options_.load_mode;
+  entry->profile = BuildDataProfile(*entry->db);
 
   std::lock_guard<std::mutex> lock(mu_);
   // The engine outlives generations on purpose: plans depend only on the

@@ -26,10 +26,13 @@ namespace sharpcq {
 // until they finish (ingest-while-serving).
 //
 // Open() hands out the current generation as an immutable Entry: the
-// database (columnar, mapped by default), its dictionary, and the
-// per-database CountingEngine. The engine is shared across generations of
-// the same name, so the plan cache stays warm over data swaps — plans are
-// query-only and survive any database content (see engine/planner.h).
+// database (columnar, mapped by default), its dictionary, its data profile
+// (per-relation statistics, from the snapshot's persisted stats section),
+// and the per-database CountingEngine. The engine is shared across
+// generations of the same name, so the plan cache stays warm over data
+// swaps that keep the same statistical shape; a swap that changes a
+// relation's size class or distinct-count class changes the profile
+// fingerprint and re-plans on first use (see engine/planner.h).
 class Catalog {
  public:
   struct Options {
@@ -48,6 +51,12 @@ class Catalog {
     std::shared_ptr<CountingEngine> engine;
     SnapshotInfo info;
     SnapshotLoadMode mode = SnapshotLoadMode::kMapped;
+    // This generation's data profile over all relations. Free for v2
+    // snapshots (stats ride in the file); v1 generations pay one lazy
+    // stats pass on open. The engine keys cached plans on the profile's
+    // fingerprint, so a swap to a different data class re-plans while an
+    // equivalent re-ingest keeps the cache warm.
+    DataProfile profile;
   };
 
   // Writes `db` as the next generation of `name` and swaps the manifest.

@@ -5,10 +5,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cerrno>
 #include <cstring>
 #include <numeric>
+#include <unordered_map>
 
 #include "algebra/table.h"
 #include "storage/mem_map.h"
@@ -19,7 +21,11 @@ namespace sharpcq {
 
 namespace {
 
-constexpr std::size_t kHeaderChecksumOffset = 0x60;
+// The header checksum sits in the last 8 header bytes, so its offset moved
+// when v2 appended the stats-section triple (offset/bytes/checksum) to the
+// header.
+constexpr std::size_t kHeaderChecksumOffsetV1 = 0x60;
+constexpr std::size_t kHeaderChecksumOffsetV2 = 0x78;
 
 std::size_t Align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
 
@@ -284,6 +290,11 @@ void SnapshotWriter::AddDatabase(const Database& db) {
   }
 }
 
+void SnapshotWriter::set_format_version(std::uint32_t version) {
+  SHARPCQ_CHECK(version == kSnapshotVersion || version == kSnapshotVersionV1);
+  format_version_ = version;
+}
+
 std::optional<int> SnapshotWriter::RelationArity(
     const std::string& relation) const {
   auto it = relations_.find(relation);
@@ -335,10 +346,13 @@ std::optional<SnapshotWriteStats> SnapshotWriter::Finish(
     pending.rows = order.size();
   }
 
-  // Serialize: header placeholder, dict arena, toc, column data. Offsets
-  // are poked into the header and toc once known.
+  // Serialize: header placeholder, dict arena, toc, stats (v2), column
+  // data. Offsets are poked into the header and toc once known.
+  const bool with_stats = format_version_ == kSnapshotVersion;
+  const std::size_t header_bytes =
+      with_stats ? kSnapshotHeaderBytes : kSnapshotHeaderBytesV1;
   std::vector<std::uint8_t> out;
-  out.resize(kSnapshotHeaderBytes, 0);
+  out.resize(header_bytes, 0);
 
   const std::size_t dict_offset = out.size();
   const std::size_t dict_count = dict != nullptr ? dict->size() : 0;
@@ -360,7 +374,18 @@ std::optional<SnapshotWriteStats> SnapshotWriter::Finish(
     toc_bytes += 4 + 4 + 8 +
                  static_cast<std::size_t>(pending.arity) * 16 + name.size();
   }
-  const std::size_t data_offset = Align8(toc_offset + toc_bytes);
+  const std::size_t stats_offset = Align8(toc_offset + toc_bytes);
+  std::size_t stats_bytes = 0;
+  if (with_stats) {
+    for (const auto& [name, pending] : relations_) {
+      stats_bytes += static_cast<std::size_t>(pending.arity) *
+                     kSnapshotStatsBytesPerColumn;
+    }
+  }
+  // kSnapshotStatsBytesPerColumn is a multiple of 8, so the data region
+  // stays aligned; for v1 this degenerates to the historical
+  // Align8(toc end) and the layout is byte-identical to old writers.
+  const std::size_t data_offset = stats_offset + stats_bytes;
   std::size_t cursor = data_offset;
   std::map<std::string, std::vector<std::uint64_t>> col_offsets;
   for (const auto& [name, pending] : relations_) {
@@ -387,6 +412,36 @@ std::optional<SnapshotWriteStats> SnapshotWriter::Finish(
   const std::uint64_t toc_checksum =
       ChecksumBytes({out.data() + toc_offset, toc_bytes});
   PadTo8(&out);
+  SHARPCQ_CHECK(out.size() == stats_offset);
+
+  // Stats section: per relation (toc order), per column, the TableStats
+  // fields. The value-count map iterates in hash order, but every emitted
+  // quantity (distinct count, max group, histogram tallies) is an
+  // order-independent aggregate, so the section — like the rest of the
+  // file — is a pure function of the logical database.
+  std::uint64_t stats_checksum = 0;
+  if (with_stats) {
+    std::unordered_map<Value, std::uint64_t> counts;
+    for (const auto& [name, pending] : relations_) {
+      for (int c = 0; c < pending.arity; ++c) {
+        counts.clear();
+        for (Value v : pending.cols[static_cast<std::size_t>(c)]) {
+          ++counts[v];
+        }
+        std::uint64_t max_group = 0;
+        std::array<std::uint32_t, kDegreeHistogramBuckets> histogram{};
+        for (const auto& [value, group] : counts) {
+          max_group = std::max(max_group, group);
+          ++histogram[DegreeBucket(group)];
+        }
+        AppendU64(&out, counts.size());
+        AppendU64(&out, max_group);
+        for (std::uint32_t bucket : histogram) AppendU32(&out, bucket);
+      }
+    }
+    SHARPCQ_CHECK(out.size() - stats_offset == stats_bytes);
+    stats_checksum = ChecksumBytes({out.data() + stats_offset, stats_bytes});
+  }
   SHARPCQ_CHECK(out.size() == data_offset);
 
   SnapshotWriteStats stats;
@@ -395,7 +450,7 @@ std::optional<SnapshotWriteStats> SnapshotWriter::Finish(
   stats.bytes = file_bytes;
 
   PokeU64(&out, 0x00, kSnapshotMagic);
-  PokeU32(&out, 0x08, kSnapshotVersion);
+  PokeU32(&out, 0x08, format_version_);
   PokeU32(&out, 0x0c, kSnapshotFlagLittleEndian);
   PokeU64(&out, 0x10, relations_.size());
   PokeU64(&out, 0x18, dict_count);
@@ -407,8 +462,16 @@ std::optional<SnapshotWriteStats> SnapshotWriter::Finish(
   PokeU64(&out, 0x48, toc_checksum);
   PokeU64(&out, 0x50, data_offset);
   PokeU64(&out, 0x58, file_bytes);
-  PokeU64(&out, kHeaderChecksumOffset,
-          ChecksumBytes({out.data(), kHeaderChecksumOffset}));
+  if (with_stats) {
+    PokeU64(&out, 0x60, stats_offset);
+    PokeU64(&out, 0x68, stats_bytes);
+    PokeU64(&out, 0x70, stats_checksum);
+    PokeU64(&out, kHeaderChecksumOffsetV2,
+            ChecksumBytes({out.data(), kHeaderChecksumOffsetV2}));
+  } else {
+    PokeU64(&out, kHeaderChecksumOffsetV1,
+            ChecksumBytes({out.data(), kHeaderChecksumOffsetV1}));
+  }
 
   // Stream: front matter first, then each column, releasing its staging
   // buffer as it lands — peak memory stays at the staging columns alone,
@@ -450,7 +513,7 @@ namespace {
 std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
                                              std::size_t size,
                                              std::string* error) {
-  if (size < kSnapshotHeaderBytes) {
+  if (size < kSnapshotHeaderBytesV1) {
     SetError(error, "not a sharpcq snapshot (file shorter than the header)");
     return std::nullopt;
   }
@@ -463,9 +526,17 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
   SnapshotInfo info;
   info.version = header.ReadU32();
   info.flags = header.ReadU32();
-  if (info.version != kSnapshotVersion) {
+  if (info.version != kSnapshotVersion &&
+      info.version != kSnapshotVersionV1) {
     SetError(error, "unsupported snapshot version " +
                         std::to_string(info.version));
+    return std::nullopt;
+  }
+  const bool with_stats = info.version >= 2;
+  const std::size_t header_bytes =
+      with_stats ? kSnapshotHeaderBytes : kSnapshotHeaderBytesV1;
+  if (size < header_bytes) {
+    SetError(error, "not a sharpcq snapshot (file shorter than the header)");
     return std::nullopt;
   }
   if ((info.flags & kSnapshotFlagLittleEndian) == 0 ||
@@ -483,9 +554,19 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
   const std::uint64_t toc_checksum = header.ReadU64();
   const std::uint64_t data_offset = header.ReadU64();
   info.file_bytes = header.ReadU64();
+  std::uint64_t stats_offset = 0;
+  std::uint64_t stats_bytes = 0;
+  std::uint64_t stats_checksum = 0;
+  if (with_stats) {
+    stats_offset = header.ReadU64();
+    stats_bytes = header.ReadU64();
+    stats_checksum = header.ReadU64();
+  }
   const std::uint64_t header_checksum = header.ReadU64();
-  SHARPCQ_CHECK(header.ok() && header.offset() == kSnapshotHeaderBytes);
-  if (ChecksumBytes({data, kHeaderChecksumOffset}) != header_checksum) {
+  const std::size_t checksum_offset =
+      with_stats ? kHeaderChecksumOffsetV2 : kHeaderChecksumOffsetV1;
+  SHARPCQ_CHECK(header.ok() && header.offset() == header_bytes);
+  if (ChecksumBytes({data, checksum_offset}) != header_checksum) {
     SetError(error, "header checksum mismatch (corrupt snapshot)");
     return std::nullopt;
   }
@@ -499,7 +580,8 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
     return offset <= size && bytes <= size - offset;
   };
   if (!section_ok(dict_offset, dict_bytes) ||
-      !section_ok(toc_offset, toc_bytes) || data_offset > size) {
+      !section_ok(toc_offset, toc_bytes) || data_offset > size ||
+      (with_stats && !section_ok(stats_offset, stats_bytes))) {
     SetError(error, "section bounds exceed the file (corrupt snapshot)");
     return std::nullopt;
   }
@@ -509,6 +591,11 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
   }
   if (ChecksumBytes({data + toc_offset, toc_bytes}) != toc_checksum) {
     SetError(error, "toc checksum mismatch (corrupt snapshot)");
+    return std::nullopt;
+  }
+  if (with_stats &&
+      ChecksumBytes({data + stats_offset, stats_bytes}) != stats_checksum) {
+    SetError(error, "stats section checksum mismatch (corrupt snapshot)");
     return std::nullopt;
   }
 
@@ -553,6 +640,39 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
   if (toc.offset() != toc_offset + toc_bytes) {
     SetError(error, "toc size mismatch (corrupt snapshot)");
     return std::nullopt;
+  }
+
+  // Stats section (v2): exactly one fixed-size record per column, in toc
+  // order. The extent must match the toc-derived column count, and every
+  // persisted quantity must be consistent with the relation's row count —
+  // a stale or foreign section fails the load, it never mis-steers the
+  // cost model silently.
+  if (with_stats) {
+    std::uint64_t expected_bytes = 0;
+    for (const SnapshotRelationInfo& rel : info.relations) {
+      expected_bytes += static_cast<std::uint64_t>(rel.arity) *
+                        kSnapshotStatsBytesPerColumn;
+    }
+    if (stats_bytes != expected_bytes) {
+      SetError(error, "stats section size mismatch (corrupt snapshot)");
+      return std::nullopt;
+    }
+    ByteReader stats(data,
+                     static_cast<std::size_t>(stats_offset + stats_bytes));
+    stats.SeekTo(stats_offset);
+    for (SnapshotRelationInfo& rel : info.relations) {
+      rel.stats.resize(static_cast<std::size_t>(rel.arity));
+      for (ColumnStats& col : rel.stats) {
+        col.distinct = stats.ReadU64();
+        col.max_group = stats.ReadU64();
+        for (std::uint32_t& bucket : col.histogram) bucket = stats.ReadU32();
+        if (!stats.ok() || col.distinct > rel.rows ||
+            col.max_group > rel.rows) {
+          SetError(error, "stats entry out of range (corrupt snapshot)");
+          return std::nullopt;
+        }
+      }
+    }
   }
 
   // Dictionary entries must cover exactly the recorded arena.
@@ -605,6 +725,19 @@ std::optional<ValueDict> ParseDict(const std::uint8_t* data,
   return dict;
 }
 
+// Hands a relation's persisted stats (v2 snapshots) to its freshly built
+// table, so the first BuildDataProfile over a loaded generation computes
+// nothing. First-install-wins semantics make this a no-op if someone
+// already forced lazy computation.
+void InstallPersistedStats(const SnapshotRelationInfo& rel,
+                           const Table& table) {
+  if (rel.stats.size() != static_cast<std::size_t>(rel.arity)) return;
+  auto stats = std::make_shared<TableStats>();
+  stats->rows = rel.rows;
+  stats->columns = rel.stats;
+  table.InstallStats(std::move(stats));
+}
+
 }  // namespace
 
 std::optional<SnapshotInfo> ReadSnapshotInfo(const std::string& path,
@@ -646,10 +779,10 @@ std::optional<LoadedSnapshot> LoadSnapshot(const std::string& path,
             reinterpret_cast<const Value*>(map->data() + col.offset),
             rel.rows);
       }
-      loaded.db.AdoptColumnar(
-          rel.name, Table::FromExternal(std::move(cols),
-                                        static_cast<std::size_t>(rel.rows),
-                                        map));
+      std::shared_ptr<const Table> table = Table::FromExternal(
+          std::move(cols), static_cast<std::size_t>(rel.rows), map);
+      InstallPersistedStats(rel, *table);
+      loaded.db.AdoptColumnar(rel.name, std::move(table));
       continue;
     }
     // Owned: verify each column checksum and copy into a TableBuilder. The
@@ -672,8 +805,10 @@ std::optional<LoadedSnapshot> LoadSnapshot(const std::string& path,
       }
       builder.AddRow(row);
     }
-    loaded.db.AdoptColumnar(rel.name,
-                            std::move(builder).Build(/*known_distinct=*/true));
+    std::shared_ptr<const Table> table =
+        std::move(builder).Build(/*known_distinct=*/true);
+    InstallPersistedStats(rel, *table);
+    loaded.db.AdoptColumnar(rel.name, std::move(table));
   }
   loaded.info = std::move(*info);
   return loaded;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "algebra/stats.h"
 #include "data/csv.h"
 #include "data/database.h"
 #include "data/relation.h"
@@ -16,9 +17,9 @@
 namespace sharpcq {
 
 // ---------------------------------------------------------------------------
-// The sharpcq snapshot format, version 1. One file per database generation:
+// The sharpcq snapshot format, version 2. One file per database generation:
 //
-//   header          fixed 104 bytes: magic "SHARPCQ1", version, flags,
+//   header          fixed 128 bytes: magic "SHARPCQ1", version, flags,
 //                   section offsets/sizes, section checksums, total file
 //                   size, and a checksum over the header bytes themselves
 //   dict arena      the ValueDict in value-id order (id order IS the
@@ -26,8 +27,17 @@ namespace sharpcq {
 //                   length + raw bytes
 //   toc             one entry per relation, sorted by name: name, arity,
 //                   row count, and per-column {absolute offset, checksum}
+//   stats           per relation (toc order), per column: u64 distinct
+//                   count, u64 max group size, 16 x u32 log2 degree
+//                   histogram — the TableStats of algebra/stats.h, so a
+//                   loaded generation's data profile costs zero index
+//                   builds in both owned and mapped modes
 //   column data     per relation, per column: rows * 8 bytes of int64
 //                   values, every segment 8-byte aligned
+//
+// Version 1 files (104-byte header, no stats section) still load: the
+// reader branches on the version field and leaves stats to be recomputed
+// lazily on first use. Version 2 readers reject versions above their own.
 //
 // All integers are little-endian; a flags bit records the byte order and
 // loading refuses a mismatch. Section checksums use the same splitmix64
@@ -43,9 +53,15 @@ namespace sharpcq {
 
 inline constexpr std::uint64_t kSnapshotMagic =
     0x3151435052414853ULL;  // "SHARPCQ1" read as little-endian u64
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
 inline constexpr std::uint32_t kSnapshotFlagLittleEndian = 1u << 0;
-inline constexpr std::size_t kSnapshotHeaderBytes = 104;
+inline constexpr std::size_t kSnapshotHeaderBytes = 128;    // current (v2)
+inline constexpr std::size_t kSnapshotHeaderBytesV1 = 104;
+// Serialized bytes per column in the stats section: distinct (u64),
+// max_group (u64), and the log2 degree histogram (16 x u32).
+inline constexpr std::size_t kSnapshotStatsBytesPerColumn =
+    8 + 8 + kDegreeHistogramBuckets * 4;
 
 struct SnapshotWriteStats {
   std::size_t relations = 0;
@@ -79,6 +95,11 @@ class SnapshotWriter {
   // tripping DeclareRelation's invariant check).
   std::optional<int> RelationArity(const std::string& relation) const;
 
+  // Target format version: kSnapshotVersion (default) or kSnapshotVersionV1
+  // for the pre-stats layout (round-trip tests, downgrade escapes). Any
+  // other value aborts.
+  void set_format_version(std::uint32_t version);
+
   // Canonicalizes (rows sorted + deduplicated per relation), serializes,
   // and installs the snapshot at `path` atomically. The writer is spent
   // afterwards. Returns nullopt with a reason in *error on I/O failure.
@@ -94,6 +115,7 @@ class SnapshotWriter {
   };
   // std::map: relations serialize in sorted name order by construction.
   std::map<std::string, Pending> relations_;
+  std::uint32_t format_version_ = kSnapshotVersion;
 };
 
 // Parsed header + table of contents (no tuple data touched beyond the
@@ -108,6 +130,9 @@ struct SnapshotRelationInfo {
   int arity = 0;
   std::uint64_t rows = 0;
   std::vector<SnapshotColumnInfo> columns;
+  // Persisted per-column statistics (v2 snapshots; empty for v1). Size is
+  // either 0 or exactly `arity`.
+  std::vector<ColumnStats> stats;
 };
 
 struct SnapshotInfo {

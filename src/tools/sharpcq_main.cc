@@ -180,6 +180,15 @@ int CmdInspect(const std::string& path, bool verify) {
                 static_cast<unsigned long long>(rel.rows),
                 static_cast<unsigned long long>(
                     rel.columns.empty() ? 0 : rel.columns[0].offset));
+    // v2 snapshots carry a per-column data profile; v1 files have none
+    // (stats are recomputed lazily at load time instead).
+    for (std::size_t c = 0; c < rel.stats.size(); ++c) {
+      const ColumnStats& stats = rel.stats[c];
+      std::printf("      col %zu: distinct %llu max-group %llu avg-group %.2f\n",
+                  c, static_cast<unsigned long long>(stats.distinct),
+                  static_cast<unsigned long long>(stats.max_group),
+                  stats.AvgGroup(rel.rows));
+    }
   }
   if (verify) {
     if (!VerifySnapshot(path, &error)) {
@@ -213,6 +222,9 @@ int RunCount(const Database& db, const ValueDict& dict,
   std::printf("planner_ms: %.3f execute_ms: %.3f cache: %s\n",
               result.planner_ms, result.execute_ms,
               result.cache_hit ? "hit" : "miss");
+  std::printf("cost_model: %s reorders: %llu\n",
+              result.cost_model_steered ? "steered" : "off-path",
+              static_cast<unsigned long long>(result.cost_reorders));
   return kExitOk;
 }
 

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "algebra/stats.h"
 #include "algebra/table.h"
 #include "count/enumeration.h"
 #include "data/csv.h"
@@ -134,6 +135,27 @@ TEST(SnapshotWriterTest, ByteStableAcrossInsertionOrders) {
       << error;
   EXPECT_EQ(ReadFileBytes(dir + "/a.sharpcq"),
             ReadFileBytes(dir + "/b.sharpcq"));
+}
+
+TEST(SnapshotWriterTest, V2FilesAreByteDeterministic) {
+  // The stats section aggregates through a hash map; the bytes must still
+  // be independent of iteration order (aggregates, not sequences).
+  const std::string dir = MakeScratchDir();
+  std::string error;
+  for (int trial = 0; trial < 2; ++trial) {
+    Database db;
+    for (int i = 0; i < 64; ++i) {
+      db.AddTuple("e", {(i * 7) % 16, i});
+      db.AddTuple("f", {i % 4});
+    }
+    ASSERT_TRUE(WriteSnapshot(db, nullptr,
+                              dir + "/t" + std::to_string(trial) + ".sharpcq",
+                              &error)
+                    .has_value())
+        << error;
+  }
+  EXPECT_EQ(ReadFileBytes(dir + "/t0.sharpcq"),
+            ReadFileBytes(dir + "/t1.sharpcq"));
 }
 
 TEST(SnapshotWriterTest, SortedRelationNamesIsSortedAndComplete) {
@@ -386,6 +408,116 @@ TEST_F(SnapshotCorruptionTest, EmptyAndGarbageFiles) {
   ExpectRejected("big garbage");
 }
 
+TEST_F(SnapshotCorruptionTest, FlippedStatsSectionByte) {
+  // stats_offset lives at header offset 0x60 in v2 files; flipping a byte
+  // inside the stats section must be caught by the stats checksum, not
+  // silently mis-steer the cost model.
+  std::uint64_t stats_offset = 0;
+  for (int i = 0; i < 8; ++i) {
+    stats_offset |= static_cast<std::uint64_t>(pristine_[0x60 + i]) << (8 * i);
+  }
+  ASSERT_GT(stats_offset, 0u);
+  ASSERT_LT(stats_offset, pristine_.size());
+  auto bytes = pristine_;
+  bytes[stats_offset] ^= 0x04;  // first column's distinct count
+  WriteFileBytes(path_, bytes);
+  std::string error;
+  EXPECT_FALSE(ReadSnapshotInfo(path_, &error).has_value());
+  EXPECT_NE(error.find("stats"), std::string::npos) << error;
+  ExpectRejected("flipped stats byte");
+}
+
+TEST_F(SnapshotCorruptionTest, UnsupportedFutureVersionIsRejected) {
+  auto bytes = pristine_;
+  bytes[0x08] = 3;  // version field: a format this reader does not know
+  WriteFileBytes(path_, bytes);
+  std::string error;
+  EXPECT_FALSE(ReadSnapshotInfo(path_, &error).has_value());
+  EXPECT_NE(error.find("unsupported snapshot version"), std::string::npos)
+      << error;
+  ExpectRejected("future version");
+}
+
+// --- v1 backward compatibility ---------------------------------------------
+
+TEST(SnapshotV1CompatTest, V1FilesLoadWithLazyStatsInBothModes) {
+  // Old-format snapshots (no stats section) must keep loading; their
+  // tables simply have no persisted stats, and the cost model computes
+  // them lazily on first use.
+  const std::string dir = MakeScratchDir();
+  const std::string path = dir + "/v1.sharpcq";
+  Database db;
+  for (int i = 0; i < 24; ++i) db.AddTuple("e", {i % 6, i});
+  SnapshotWriter writer;
+  writer.AddDatabase(db);
+  writer.set_format_version(kSnapshotVersionV1);
+  std::string error;
+  ASSERT_TRUE(writer.Finish(path, nullptr, &error).has_value()) << error;
+
+  auto info = ReadSnapshotInfo(path, &error);
+  ASSERT_TRUE(info.has_value()) << error;
+  EXPECT_EQ(info->version, kSnapshotVersionV1);
+  ASSERT_EQ(info->relations.size(), 1u);
+  EXPECT_TRUE(info->relations[0].stats.empty());
+  EXPECT_TRUE(VerifySnapshot(path, &error)) << error;
+
+  auto q = ParseQuery("Q(X) <- e(X,Y), e(X,Z)");
+  ASSERT_TRUE(q.has_value());
+  CountingEngine engine;
+  const CountInt expected = engine.Count(*q, db).count;
+  for (SnapshotLoadMode mode :
+       {SnapshotLoadMode::kOwned, SnapshotLoadMode::kMapped}) {
+    auto loaded = LoadSnapshot(path, mode, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    auto backing = loaded->db.ColumnarBacking("e");
+    ASSERT_NE(backing, nullptr);
+    // Nothing installed at load time; Stats() computes on demand and the
+    // result matches a v2 writer's persisted section.
+    EXPECT_EQ(backing->StatsIfPresent(), nullptr);
+    // The engine (cost model on by default) still counts correctly.
+    EXPECT_EQ(engine.Count(*q, loaded->db).count, expected);
+    auto lazy = backing->Stats();
+    ASSERT_NE(lazy, nullptr);
+    EXPECT_EQ(*lazy, ComputeTableStats(*backing));
+    EXPECT_EQ(lazy->columns[0].distinct, 6u);
+  }
+}
+
+TEST(SnapshotV1CompatTest, V1AndV2CarryIdenticalDataSections) {
+  // The stats section is purely additive: the dict, toc layout, and tuple
+  // data of a v2 file are the same bytes a v1 writer emits, just shifted
+  // by the stats extent — so both versions load identical databases.
+  const std::string dir = MakeScratchDir();
+  Database db;
+  ValueDict dict;
+  db.AddTuple("works", {dict.Intern("ann"), dict.Intern("rome")});
+  db.AddTuple("works", {dict.Intern("bo"), dict.Intern("oslo")});
+  std::string error;
+  SnapshotWriter v1;
+  v1.AddDatabase(db);
+  v1.set_format_version(kSnapshotVersionV1);
+  ASSERT_TRUE(v1.Finish(dir + "/v1.sharpcq", &dict, &error).has_value())
+      << error;
+  SnapshotWriter v2;
+  v2.AddDatabase(db);
+  ASSERT_TRUE(v2.Finish(dir + "/v2.sharpcq", &dict, &error).has_value())
+      << error;
+
+  auto a = LoadSnapshot(dir + "/v1.sharpcq", SnapshotLoadMode::kOwned, &error);
+  ASSERT_TRUE(a.has_value()) << error;
+  auto b = LoadSnapshot(dir + "/v2.sharpcq", SnapshotLoadMode::kMapped, &error);
+  ASSERT_TRUE(b.has_value()) << error;
+  EXPECT_EQ(a->db.TotalTuples(), b->db.TotalTuples());
+  EXPECT_EQ(a->dict.size(), b->dict.size());
+  auto q = ParseQuery("Q(W) <- works(W, 'rome')", &a->dict);
+  ASSERT_TRUE(q.has_value());
+  CountingEngine engine;
+  EXPECT_EQ(engine.Count(*q, a->db).count, engine.Count(*q, b->db).count);
+  // And the profiles agree — one persisted, one computed lazily.
+  EXPECT_EQ(BuildDataProfile(a->db).Fingerprint(),
+            BuildDataProfile(b->db).Fingerprint());
+}
+
 // --- CSV -> writer streaming -----------------------------------------------
 
 TEST(SnapshotWriterTest, CsvStreamsStraightIntoSnapshot) {
@@ -441,6 +573,7 @@ TEST(CatalogTest, GenerationSwapKeepsOldEntryServableAndPlanCacheWarm) {
   EXPECT_FALSE(first.cache_hit);
 
   // Ingest generation 2 while entry1 is still held (ingest-while-serving).
+  // Doubling the relation moves its row-count size class (2 rows -> 4).
   Database gen2;
   gen2.AddTuple("e", {1, 2});
   gen2.AddTuple("e", {2, 1});
@@ -452,21 +585,40 @@ TEST(CatalogTest, GenerationSwapKeepsOldEntryServableAndPlanCacheWarm) {
   ASSERT_NE(entry2, nullptr) << error;
   EXPECT_EQ(entry2->generation, 2u);
   EXPECT_NE(entry1->db.get(), entry2->db.get());
-  // Same engine across generations: the second count of the same shape is
-  // answered from the warm plan cache even though the data changed.
+  // Same engine across generations, but the plan cache keys on the data
+  // profile fingerprint: the ingest changed the relation's size class, so
+  // the first count against generation 2 re-plans for the new data.
   EXPECT_EQ(entry1->engine.get(), entry2->engine.get());
+  EXPECT_NE(entry1->profile.Fingerprint(), entry2->profile.Fingerprint());
   CountResult second = entry2->engine->Count(*q, *entry2->db);
   EXPECT_EQ(second.count, CountInt{4});
-  EXPECT_TRUE(second.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  // Once planned for this profile class, repeats hit the warm cache.
+  CountResult third = entry2->engine->Count(*q, *entry2->db);
+  EXPECT_EQ(third.count, CountInt{4});
+  EXPECT_TRUE(third.cache_hit);
 
-  // The superseded generation still serves exact answers.
-  EXPECT_EQ(entry1->engine->Count(*q, *entry1->db).count, CountInt{2});
+  // The superseded generation still serves exact answers, from its own
+  // still-cached plan (its profile class never left the cache).
+  CountResult old_gen = entry1->engine->Count(*q, *entry1->db);
+  EXPECT_EQ(old_gen.count, CountInt{2});
+  EXPECT_TRUE(old_gen.cache_hit);
+
+  // An ingest that leaves the profile class unchanged keeps the cache
+  // warm: generation 3 re-adds the same tuples.
+  ASSERT_TRUE(catalog.Ingest("g", gen2, nullptr, &error).has_value()) << error;
+  auto entry3 = catalog.Open("g", &error);
+  ASSERT_NE(entry3, nullptr) << error;
+  EXPECT_EQ(entry3->profile.Fingerprint(), entry2->profile.Fingerprint());
+  CountResult fourth = entry3->engine->Count(*q, *entry3->db);
+  EXPECT_EQ(fourth.count, CountInt{4});
+  EXPECT_TRUE(fourth.cache_hit);
 
   // Re-opening the current generation is cached (same Entry object).
-  EXPECT_EQ(catalog.Open("g", &error).get(), entry2.get());
+  EXPECT_EQ(catalog.Open("g", &error).get(), entry3.get());
 
   EXPECT_EQ(catalog.ListDatabases(), std::vector<std::string>{"g"});
-  EXPECT_EQ(catalog.CurrentGeneration("g", &error), 2u);
+  EXPECT_EQ(catalog.CurrentGeneration("g", &error), 3u);
 }
 
 TEST(CatalogTest, MalformedManifestFailsIngestInsteadOfResetting) {
