@@ -28,6 +28,18 @@
 //     the whole table, the radix build partitions rows so each partition's
 //     slot span stays cache-resident.
 //
+// The ISSUE-9 observability additions rerun two of the above with
+// process-wide metrics disabled, isolating the cost of the block-flushed
+// counter increments on the kernel hot path:
+//
+//   - BM_SemijoinProbe_MissHeavy_FilteredMetricsOff  the miss-heavy probe
+//     loop (per-block filter-tally flush) without metrics;
+//   - BM_FullReducerChain_PackedMetricsOff           the full consistency
+//     chain (filter tallies + index-build counter) without metrics.
+//
+// CI gates the metrics-ON siblings at <= 1.03x these OFF times — the
+// "metrics cost under 3%" guarantee of DESIGN.md's Observability section.
+//
 // Baseline snapshot: BENCH_kernel_hotpath.json at the repository root
 // (regenerate with --benchmark_format=json).
 
@@ -50,6 +62,7 @@
 #include "solver/consistency.h"
 #include "util/count_int.h"
 #include "util/hash.h"
+#include "util/metrics.h"
 
 namespace sharpcq {
 namespace {
@@ -501,6 +514,37 @@ void BM_SemijoinProbe_MissHeavy_Filtered(benchmark::State& state) {
 }
 BENCHMARK(BM_SemijoinProbe_MissHeavy_Filtered);
 
+// The same filtered probe loop with metrics disabled: every increment on
+// the path (the per-block probe-filter tally flush) becomes a relaxed load
+// and an untaken branch. CI gates Filtered <= 1.03x this.
+void BM_SemijoinProbe_MissHeavy_FilteredMetricsOff(benchmark::State& state) {
+  SetMetricsEnabled(false);
+  auto [a, b] = MakeMissHeavyPair();
+  IdSet shared = Intersect(a.vars(), b.vars());
+  std::shared_ptr<const TableIndex> index =
+      b.table()->IndexOn(ColumnsOf(b, shared));
+  std::vector<int> a_cols = ColumnsOf(a, shared);
+  const Table& ta = *a.table();
+  const std::size_t n = ta.rows();
+  std::vector<std::uint32_t> kept;
+  kept.reserve(n);
+  for (auto _ : state) {
+    kept.clear();
+    ForEachProbeGroup(*index, ta,
+                      std::span<const int>(a_cols.data(), a_cols.size()), 0, n,
+                      [&](std::size_t i, std::uint32_t group) {
+                        if (group != TableIndex::kNoGroup) {
+                          kept.push_back(static_cast<std::uint32_t>(i));
+                        }
+                      });
+    benchmark::DoNotOptimize(kept.size());
+  }
+  state.counters["rows"] = static_cast<double>(n);
+  state.counters["kept"] = static_cast<double>(kept.size());
+  SetMetricsEnabled(true);
+}
+BENCHMARK(BM_SemijoinProbe_MissHeavy_FilteredMetricsOff);
+
 // Out-of-cache build side: ~330k distinct 2-column keys put the slot
 // arrays (1M slots x 13 bytes) far past L2. Each iteration constructs the
 // index directly — the table itself is built once — so the measurement is
@@ -582,6 +626,24 @@ void BM_FullReducerChain_Packed(benchmark::State& state) {
   state.counters["surviving_rows"] = static_cast<double>(surviving);
 }
 BENCHMARK(BM_FullReducerChain_Packed);
+
+// The full consistency chain with metrics disabled — filter-tally flushes
+// and the index-build counter all become untaken branches. CI gates Packed
+// <= 1.03x this.
+void BM_FullReducerChain_PackedMetricsOff(benchmark::State& state) {
+  SetMetricsEnabled(false);
+  const std::vector<Rel> chain = BuildViews(MakeChainRows());
+  std::size_t surviving = 0;
+  for (auto _ : state) {
+    std::vector<Rel> views = chain;
+    bool ok = EnforcePairwiseConsistency(&views);
+    benchmark::DoNotOptimize(ok);
+    surviving = views[0].size();
+  }
+  state.counters["surviving_rows"] = static_cast<double>(surviving);
+  SetMetricsEnabled(true);
+}
+BENCHMARK(BM_FullReducerChain_PackedMetricsOff);
 
 // The chain as a path-shaped join-tree instance (vertex i's parent is
 // i - 1), for the weight-aggregation sweep.

@@ -6,7 +6,10 @@
 //   - BM_Server_Socket/threads:C   C persistent-connection clients, each
 //                                  issuing count requests round-robin over
 //                                  the query mix; requests/sec is the
-//                                  figure of merit.
+//                                  figure of merit, with p50/p95/p99
+//                                  round-trip latency (log-histogram bucket
+//                                  bounds, averaged across client threads)
+//                                  reported alongside.
 //   - BM_InProcess_CountBatch/C    the same mix as CountJobs on a C-thread
 //                                  batch pool — the no-network ceiling.
 //   - BM_InProcess_Sequential      plain Count loop, single thread.
@@ -34,6 +37,8 @@
 #include "server/client.h"
 #include "server/daemon.h"
 #include "util/check.h"
+#include "util/clock.h"
+#include "util/metrics.h"
 
 namespace sharpcq {
 namespace {
@@ -120,13 +125,28 @@ void BM_Server_Socket(benchmark::State& state) {
     SHARPCQ_CHECK(response.has_value() && response->ok);
   }
   std::size_t sent = static_cast<std::size_t>(state.thread_index());
+  // Per-thread round-trip latency tail, recorded into a private log
+  // histogram (util/metrics.h) so the timed loop adds one clock read and
+  // one relaxed increment per request.
+  Histogram latency;
   for (auto _ : state) {
+    const MonotonicClock::time_point start = MonotonicNow();
     auto response = client.Call(CountRequest(sent++), &error);
+    latency.Record(ElapsedMs(start));
     SHARPCQ_CHECK(response.has_value());
     SHARPCQ_CHECK(response->ok);
     benchmark::DoNotOptimize(response->fields);
   }
   state.SetItemsProcessed(state.iterations());
+  const Histogram::Snapshot snap = latency.snapshot();
+  // Bucket upper bounds (within 2x of the true value), averaged across the
+  // client threads of the run.
+  state.counters["p50_ms"] =
+      benchmark::Counter(snap.PercentileMs(50), benchmark::Counter::kAvgThreads);
+  state.counters["p95_ms"] =
+      benchmark::Counter(snap.PercentileMs(95), benchmark::Counter::kAvgThreads);
+  state.counters["p99_ms"] =
+      benchmark::Counter(snap.PercentileMs(99), benchmark::Counter::kAvgThreads);
 }
 BENCHMARK(BM_Server_Socket)
     ->Threads(1)

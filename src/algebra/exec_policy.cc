@@ -117,6 +117,9 @@ void RunMorsels(const MorselPlan& plan, std::size_t rows,
                                          std::size_t)>& body) {
   const ExecPolicy* policy = current_policy;
   const CancelToken* cancel = policy != nullptr ? policy->cancel : nullptr;
+  if (plan.chunks > 1 && policy != nullptr && policy->stats != nullptr) {
+    policy->stats->morsels.fetch_add(plan.chunks, std::memory_order_relaxed);
+  }
   if (!plan.parallel) {
     for (std::size_t c = 0; c < plan.chunks; ++c) {
       if (cancel != nullptr && c != 0) CheckExecInterrupt();

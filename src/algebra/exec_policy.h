@@ -35,6 +35,12 @@ struct ExecStats {
   // child reorderings (OptimizeInstanceOrder) and priority-ordered
   // consistency worklists that deviated from FIFO. Provenance only.
   std::atomic<std::uint64_t> cost_reorders{0};
+  // Morsel chunks dispatched by RunMorsels for this execution (counted only
+  // when a loop actually chunked, so small sequential probes stay free).
+  std::atomic<std::uint64_t> morsels{0};
+  // Semijoin relaxations run by the pairwise-consistency worklist (cyclic
+  // schemas only; the acyclic downgrade's two-pass reducer reports 0).
+  std::atomic<std::uint64_t> worklist_iterations{0};
 };
 
 struct ExecPolicy {

@@ -4,6 +4,7 @@
 
 #include "algebra/exec_policy.h"
 #include "algebra/simd.h"
+#include "util/metrics.h"
 
 namespace sharpcq {
 
@@ -136,6 +137,16 @@ void AddProbeFilterTallies(std::uint64_t hits, std::uint64_t passes) {
   if (passes != 0) {
     filter_passes_total.fetch_add(passes, std::memory_order_relaxed);
   }
+  // Registry mirror for the Prometheus exposition. This call is already the
+  // probe drivers' per-block flush point (they tally block-locally and land
+  // here once per kProbeBlockRows rows), so the extra striped-counter adds
+  // are off the per-row path — the cost the metrics-overhead bench gates.
+  static Counter& hits_metric = MetricsRegistry::Instance().GetCounter(
+      "sharpcq_probe_filter_hits_total");
+  static Counter& passes_metric = MetricsRegistry::Instance().GetCounter(
+      "sharpcq_probe_filter_passes_total");
+  if (hits != 0) hits_metric.Add(hits);
+  if (passes != 0) passes_metric.Add(passes);
 }
 
 }  // namespace sharpcq

@@ -9,6 +9,7 @@
 #include "algebra/stats.h"
 #include "util/cpu.h"
 #include "util/hash.h"
+#include "util/metrics.h"
 
 namespace sharpcq {
 
@@ -495,6 +496,9 @@ std::shared_ptr<const TableIndex> Table::IndexOn(
   // Build outside the lock so an O(n) build never blocks cache hits on
   // other key sets. Two threads missing on the same key both build; the
   // double-checked insert keeps the first and the loser adopts it.
+  static Counter& builds_metric =
+      MetricsRegistry::Instance().GetCounter("sharpcq_index_builds_total");
+  builds_metric.Add(1);
   auto index = std::make_shared<const TableIndex>(*this, key_columns);
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto [it, inserted] =

@@ -3,6 +3,7 @@
 #include "core/materialize.h"
 #include "count/enumeration.h"
 #include "count/join_tree_instance.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 
@@ -25,8 +26,12 @@ CountResult CountViaSharpDecomposition(const ConjunctiveQuery& q,
   result.method = "#-decomposition";
   result.width = d.width;
 
-  JoinTreeInstance instance =
-      MaterializeBags(d.core, q, db, d.tree, d.views);
+  JoinTreeInstance instance;
+  {
+    TraceSpan span("materialize_bags");
+    instance = MaterializeBags(d.core, q, db, d.tree, d.views);
+    span.NoteCount("bags", instance.nodes.size());
+  }
   // Cost-model rewrite (no-op without a cost_model policy); both branches
   // below — the root-count-only DP and the FullReduce pipeline — are exact
   // for any rooting and child order of the materialized tree.
@@ -47,7 +52,11 @@ CountResult CountViaSharpDecomposition(const ConjunctiveQuery& q,
     result.count = 0;
     return result;
   }
-  JoinTreeInstance restricted = RestrictToVars(instance, q.free_vars());
+  JoinTreeInstance restricted;
+  {
+    TraceSpan span("restrict_to_free_vars");
+    restricted = RestrictToVars(instance, q.free_vars());
+  }
   result.count = CountFullJoin(restricted);
   return result;
 }

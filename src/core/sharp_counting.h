@@ -65,6 +65,12 @@ struct CountResult {
   // EngineOptions::enable_probe_filters is false.
   std::uint64_t filter_hits = 0;
   std::uint64_t filter_passes = 0;
+
+  // Scheduling provenance (engine layer): morsel chunks the kernel's probe
+  // loops dispatched, and semijoin relaxations the pairwise-consistency
+  // worklist ran (0 on acyclic schemas, which take the two-pass reducer).
+  std::uint64_t morsels = 0;
+  std::uint64_t worklist_iterations = 0;
 };
 
 // The Theorem 3.7 algorithm, given a #-decomposition: materializes the

@@ -7,6 +7,7 @@
 
 #include "algebra/exec_policy.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 
@@ -108,6 +109,8 @@ void OptimizeInstanceOrder(JoinTreeInstance* instance) {
 }
 
 bool FullReduce(JoinTreeInstance* instance) {
+  TraceSpan span("full_reduce");
+  span.NoteCount("nodes", instance->nodes.size());
   std::vector<int> order = instance->shape.TopoOrder();
   // Upward pass: parents semijoined with children, leaves first. The
   // per-node checkpoint covers deadline expiry on trees whose individual
@@ -135,6 +138,8 @@ bool FullReduce(JoinTreeInstance* instance) {
 }
 
 CountInt CountFullJoin(const JoinTreeInstance& instance) {
+  TraceSpan span("count_full_join");
+  span.NoteCount("nodes", instance.nodes.size());
   if (instance.nodes.empty()) return 1;  // the empty join has one solution
 
   std::vector<int> order = instance.shape.TopoOrder();

@@ -7,6 +7,7 @@
 #include "algebra/exec_policy.h"
 #include "util/check.h"
 #include "util/hash.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 
@@ -42,6 +43,9 @@ SharpRelation InitialSharpRelation(const Rel& rel, const IdSet& free_vars) {
 
 CountInt Ps13Count(const JoinTreeInstance& instance, const IdSet& free_vars,
                    Ps13Stats* stats) {
+  TraceSpan span("ps13_count");
+  span.NoteCount("nodes", instance.nodes.size());
+  span.NoteCount("free_vars", free_vars.size());
   if (instance.nodes.empty()) return 1;
   Ps13Stats local;
   Ps13Stats* st = stats != nullptr ? stats : &local;

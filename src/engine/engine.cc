@@ -1,13 +1,29 @@
 #include "engine/engine.h"
 
-#include <chrono>
 #include <utility>
 
 #include "algebra/exec_policy.h"
 #include "algebra/miss_filter.h"
 #include "util/check.h"
+#include "util/clock.h"
+#include "util/metrics.h"
 
 namespace sharpcq {
+
+namespace {
+
+SlowQueryLog::Options SlowLogOptions(const EngineOptions& options) {
+  SlowQueryLog::Options o;
+  o.capacity = options.slow_query_log_capacity;
+  o.threshold_ms = options.slow_query_threshold_ms;
+  o.sample_every = options.slow_query_sample_every == 0
+                       ? 1u
+                       : static_cast<std::uint32_t>(
+                             options.slow_query_sample_every);
+  return o;
+}
+
+}  // namespace
 
 std::optional<PlannerOptions> PlannerOptionsForStrategy(
     std::string_view name, const PlannerOptions& base) {
@@ -40,7 +56,8 @@ std::optional<PlannerOptions> PlannerOptionsForStrategy(
 
 CountingEngine::CountingEngine(EngineOptions options)
     : options_(options),
-      cache_(options.plan_cache_capacity, options.plan_cache_shards) {}
+      cache_(options.plan_cache_capacity, options.plan_cache_shards),
+      slow_log_(SlowLogOptions(options)) {}
 
 CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q) {
   return Plan(q, options_.planner);
@@ -54,7 +71,7 @@ CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q,
 CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q,
                                              const PlannerOptions& options,
                                              const DataProfile* profile) {
-  auto start = std::chrono::steady_clock::now();
+  const MonotonicClock::time_point start = MonotonicNow();
   Planned out;
   out.canonical = CanonicalizeQuery(q);
   // The key is (query shape, planner policy, data-profile class): a plan
@@ -80,9 +97,7 @@ CountingEngine::Planned CountingEngine::Plan(const ConjunctiveQuery& q,
         MakePlan(out.canonical.query, options, profile));
     cache_.Insert(key, out.plan);
   }
-  out.planner_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  out.planner_ms = ElapsedMs(start);
   return out;
 }
 
@@ -101,6 +116,19 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
                                   const Database& db,
                                   const PlannerOptions& options,
                                   const CancelToken* cancel) {
+  return Count(q, db, options, cancel, /*trace=*/nullptr);
+}
+
+CountResult CountingEngine::Count(const ConjunctiveQuery& q,
+                                  const Database& db,
+                                  const PlannerOptions& options,
+                                  const CancelToken* cancel, Trace* trace) {
+  const MonotonicClock::time_point start = MonotonicNow();
+  // Install the caller's trace for the duration of the call; with no trace
+  // every TraceSpan below (and in the strategies) is the null sink.
+  std::optional<TraceScope> trace_scope;
+  if (trace != nullptr) trace_scope.emplace(trace);
+
   // Profile the query's relations for the cost model. Stats are computed
   // lazily once per table and cached (or preloaded from a v2 snapshot), so
   // per-call cost is a few map lookups; the fingerprint keys the plan
@@ -108,13 +136,25 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
   DataProfile profile;
   const DataProfile* profile_ptr = nullptr;
   if (options_.enable_cost_model) {
+    TraceSpan span("profile");
     std::vector<std::string> names;
     names.reserve(q.NumAtoms());
     for (const Atom& atom : q.atoms()) names.push_back(atom.relation);
+    span.NoteCount("relations", names.size());
     profile = BuildDataProfile(db, names);
     profile_ptr = &profile;
   }
-  Planned planned = Plan(q, options, profile_ptr);
+  Planned planned;
+  {
+    TraceSpan span("plan");
+    planned = Plan(q, options, profile_ptr);
+    span.Note("strategy", PlanStrategyName(planned.plan->strategy));
+    span.Note("cache", planned.cache_hit ? "hit" : "miss");
+    span.NoteCount("cache_shard", planned.cache_shard);
+    if (planned.plan->cost_model_steered) {
+      span.Note("cost_model", "steered");
+    }
+  }
   // Install this engine's execution policy for the duration of the
   // execution: kernel probe loops above the row threshold morselize onto
   // the engine pool (created lazily on the first such probe), the cancel
@@ -137,19 +177,41 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
   std::optional<MissFilterDisableScope> no_filters;
   if (!options_.enable_probe_filters) no_filters.emplace();
   CountResult result;
-  try {
-    CheckExecInterrupt();  // expired before execution: fail without a probe
-    result = ExecutePlan(*planned.plan, db);
-  } catch (const ExecInterrupted& interrupted) {
-    result = CountResult{};
-    result.status = interrupted.reason == CancelToken::StopReason::kDeadline
-                        ? CountStatus::kDeadlineExceeded
-                        : CountStatus::kCancelled;
-    result.method = "interrupted";
+  {
+    TraceSpan span("execute");
+    try {
+      CheckExecInterrupt();  // expired before execution: fail without a probe
+      result = ExecutePlan(*planned.plan, db);
+    } catch (const ExecInterrupted& interrupted) {
+      result = CountResult{};
+      result.status = interrupted.reason == CancelToken::StopReason::kDeadline
+                          ? CountStatus::kDeadlineExceeded
+                          : CountStatus::kCancelled;
+      result.method = "interrupted";
+    }
+    // Pool workers contribute through the ExecStats atomics, never the
+    // trace; their totals are annotated here, when the span closes.
+    span.Note("method", result.method);
+    span.Note("status", CountStatusName(result.status));
+    if (result.width > 0) {
+      span.NoteCount("width", static_cast<std::uint64_t>(result.width));
+    }
+    span.NoteCount("morsels", stats.morsels.load(std::memory_order_relaxed));
+    span.NoteCount("worklist_iterations",
+                   stats.worklist_iterations.load(std::memory_order_relaxed));
+    span.NoteCount("filter_hits",
+                   stats.filter_hits.load(std::memory_order_relaxed));
+    span.NoteCount("filter_passes",
+                   stats.filter_passes.load(std::memory_order_relaxed));
+    span.NoteCount("cost_reorders",
+                   stats.cost_reorders.load(std::memory_order_relaxed));
   }
   result.filter_hits = stats.filter_hits.load(std::memory_order_relaxed);
   result.filter_passes = stats.filter_passes.load(std::memory_order_relaxed);
   result.cost_reorders = stats.cost_reorders.load(std::memory_order_relaxed);
+  result.morsels = stats.morsels.load(std::memory_order_relaxed);
+  result.worklist_iterations =
+      stats.worklist_iterations.load(std::memory_order_relaxed);
   result.cost_model_steered =
       planned.plan->cost_model_steered || result.cost_reorders > 0;
   result.planner_ms = planned.planner_ms;
@@ -157,6 +219,52 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
   result.cache_shard = planned.cache_shard;
   result.cache_shard_hits = planned.cache_shard_hits;
   result.cache_shard_misses = planned.cache_shard_misses;
+  if (trace != nullptr) trace->Finish();
+
+  const double total_ms = ElapsedMs(start);
+  {
+    MetricsRegistry& registry = MetricsRegistry::Instance();
+    static Counter& ok_total =
+        registry.GetCounter("sharpcq_counts_total", "{status=\"ok\"}");
+    static Counter& deadline_total = registry.GetCounter(
+        "sharpcq_counts_total", "{status=\"deadline_exceeded\"}");
+    static Counter& cancelled_total =
+        registry.GetCounter("sharpcq_counts_total", "{status=\"cancelled\"}");
+    static Histogram& latency =
+        registry.GetHistogram("sharpcq_count_latency_ms");
+    switch (result.status) {
+      case CountStatus::kOk:
+        ok_total.Add(1);
+        break;
+      case CountStatus::kDeadlineExceeded:
+        deadline_total.Add(1);
+        break;
+      case CountStatus::kCancelled:
+        cancelled_total.Add(1);
+        break;
+    }
+    latency.Record(total_ms);
+    // Per-strategy counter: one locked map lookup per Count — off the
+    // kernel hot path, so simplicity beats caching the four refs.
+    registry
+        .GetCounter("sharpcq_counts_by_strategy_total",
+                    std::string("{strategy=\"") +
+                        PlanStrategyName(planned.plan->strategy) + "\"}")
+        .Add(1);
+  }
+  if (slow_log_.enabled() && slow_log_.ShouldRecord(total_ms)) {
+    SlowQueryEntry entry;
+    entry.wall_time = WallTimestamp();
+    entry.query = planned.canonical.key;
+    entry.method = result.method;
+    entry.planner_ms = result.planner_ms;
+    entry.execute_ms = result.execute_ms;
+    if (trace != nullptr) entry.trace = SerializeTraceNode(trace->root());
+    slow_log_.Record(std::move(entry));
+    MetricsRegistry::Instance()
+        .GetCounter("sharpcq_slow_queries_total")
+        .Add(1);
+  }
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "engine/planner.h"
 #include "query/canonical.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 
@@ -64,6 +65,15 @@ struct EngineOptions {
   // build-size-aware morsel threshold. Scheduling only — counts are
   // identical with it off (the differential suite checks exactly that).
   bool enable_cost_model = true;
+  // Slow-query ring buffer (util/trace.h): every Count whose planner +
+  // execute time crosses the threshold is a candidate, every
+  // `slow_query_sample_every`-th candidate is retained (deterministically),
+  // and the ring keeps the most recent `slow_query_log_capacity` entries —
+  // with the full span tree when the call was traced. Capacity 0 or a
+  // negative threshold disables recording entirely.
+  std::size_t slow_query_log_capacity = 32;
+  double slow_query_threshold_ms = 100.0;
+  std::size_t slow_query_sample_every = 1;
 };
 
 // Named planner policies, for tools that take a strategy by name (the
@@ -125,6 +135,16 @@ class CountingEngine {
   CountResult Count(const ConjunctiveQuery& q, const Database& db,
                     const PlannerOptions& options,
                     const CancelToken* cancel);
+  // Same with a trace sink: when `trace` is non-null it is installed as the
+  // calling thread's current trace for the duration of the call, the engine
+  // records profile/plan/execute phase spans (strategy chosen, cache and
+  // cost-model provenance, per-phase steady-clock timings, kernel tallies),
+  // and the strategies add their own nested spans. trace->Finish() is
+  // called before returning. Null behaves exactly like the overload above —
+  // the spans' null-sink fast path keeps untraced calls free.
+  CountResult Count(const ConjunctiveQuery& q, const Database& db,
+                    const PlannerOptions& options, const CancelToken* cancel,
+                    Trace* trace);
 
   // Counts every job on the batch pool and blocks until all are done;
   // results are positionally aligned with `jobs`. Jobs sharing a canonical
@@ -167,6 +187,10 @@ class CountingEngine {
   PlanCache::Stats cache_stats() const { return cache_.stats(); }
   void ClearCache() { cache_.Clear(); }
 
+  // The engine's slow-query ring (internally locked); see the
+  // slow_query_* options above. The daemon's `inspect slowlog=1` reads it.
+  SlowQueryLog& slow_query_log() { return slow_log_; }
+
   // The process-wide engine used by the legacy facades and the enumeration
   // path; all of them share one plan cache.
   static CountingEngine& Shared();
@@ -176,6 +200,7 @@ class CountingEngine {
 
   EngineOptions options_;
   PlanCache cache_;
+  SlowQueryLog slow_log_;
 
   std::mutex pool_mu_;                // guards lazy pool construction
   std::unique_ptr<ThreadPool> pool_;  // created on first batch/async call

@@ -1,7 +1,5 @@
 #include "engine/executor.h"
 
-#include <chrono>
-
 #include "algebra/exec_policy.h"
 #include "count/enumeration.h"
 #include "count/join_tree_instance.h"
@@ -10,6 +8,8 @@
 #include "hypergraph/acyclic.h"
 #include "query/atom_relation.h"
 #include "util/check.h"
+#include "util/clock.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 
@@ -30,10 +30,14 @@ CountResult ExecuteSharpB(const CountingPlan& plan, const Database& db) {
   options.max_subsets = plan.options.hybrid_max_subsets;
   for (int k = 2; k <= plan.options.max_width; ++k) {
     CheckExecInterrupt();
+    TraceSpan span("sharp_b_width");
+    span.NoteCount("k", static_cast<std::uint64_t>(k));
     std::optional<CountResult> result =
         CountBySharpBDecomposition(plan.query, db, k, options);
+    span.Note("decomposed", result.has_value() ? "yes" : "no");
     if (result.has_value()) return *result;
   }
+  TraceSpan span("backtracking");
   CountResult result;
   result.method = "backtracking";
   result.count = CountByBacktracking(plan.query, db);
@@ -57,8 +61,12 @@ CountResult CountByAcyclicPs13(const ConjunctiveQuery& q, const Database& db) {
   JoinTreeInstance instance;
   instance.shape = std::move(*shape);
   instance.nodes.reserve(q.NumAtoms());
-  for (const Atom& atom : q.atoms()) {
-    instance.nodes.push_back(AtomToRel(atom, db));
+  {
+    TraceSpan span("materialize_atoms");
+    span.NoteCount("atoms", q.NumAtoms());
+    for (const Atom& atom : q.atoms()) {
+      instance.nodes.push_back(AtomToRel(atom, db));
+    }
   }
   // Cost-model rewrite (no-op without a cost_model policy): root below the
   // big relations, most-selective children first. PS13 is exact for any
@@ -73,7 +81,7 @@ CountResult CountByAcyclicPs13(const ConjunctiveQuery& q, const Database& db) {
 }
 
 CountResult ExecutePlan(const CountingPlan& plan, const Database& db) {
-  auto start = std::chrono::steady_clock::now();
+  const MonotonicClock::time_point start = MonotonicNow();
   CountResult result;
   switch (plan.strategy) {
     case PlanStrategy::kSharpHypertree:
@@ -85,14 +93,14 @@ CountResult ExecutePlan(const CountingPlan& plan, const Database& db) {
     case PlanStrategy::kSharpB:
       result = ExecuteSharpB(plan, db);
       break;
-    case PlanStrategy::kBacktracking:
+    case PlanStrategy::kBacktracking: {
+      TraceSpan span("backtracking");
       result.method = "backtracking";
       result.count = CountByBacktracking(plan.query, db);
       break;
+    }
   }
-  result.execute_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
+  result.execute_ms = ElapsedMs(start);
   return result;
 }
 

@@ -4,8 +4,37 @@
 
 #include "util/check.h"
 #include "util/hash.h"
+#include "util/metrics.h"
 
 namespace sharpcq {
+
+namespace {
+
+// Process-wide mirrors of the per-shard counters, for the daemon's
+// Prometheus exposition: scrapes see every PlanCache in the process without
+// holding any shard lock.
+Counter& CacheHits() {
+  static Counter& c =
+      MetricsRegistry::Instance().GetCounter("sharpcq_plan_cache_hits_total");
+  return c;
+}
+Counter& CacheMisses() {
+  static Counter& c = MetricsRegistry::Instance().GetCounter(
+      "sharpcq_plan_cache_misses_total");
+  return c;
+}
+Counter& CacheInsertions() {
+  static Counter& c = MetricsRegistry::Instance().GetCounter(
+      "sharpcq_plan_cache_insertions_total");
+  return c;
+}
+Counter& CacheEvictions() {
+  static Counter& c = MetricsRegistry::Instance().GetCounter(
+      "sharpcq_plan_cache_evictions_total");
+  return c;
+}
+
+}  // namespace
 
 std::size_t PlanCache::EffectiveShards(std::size_t capacity,
                                        std::size_t requested) {
@@ -43,9 +72,11 @@ PlanCache::Lookup PlanCache::FindWithStats(const std::string& key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
+    CacheMisses().Add(1);
   } else {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     ++shard.stats.hits;
+    CacheHits().Add(1);
     out.plan = it->second->second;
   }
   out.shard_hits = shard.stats.hits;
@@ -66,10 +97,12 @@ void PlanCache::Insert(const std::string& key,
   shard.lru.emplace_front(key, std::move(plan));
   shard.index[key] = shard.lru.begin();
   ++shard.stats.insertions;
+  CacheInsertions().Add(1);
   if (shard.lru.size() > shard.capacity) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     ++shard.stats.evictions;
+    CacheEvictions().Add(1);
   }
 }
 

@@ -1,10 +1,10 @@
 #include "engine/planner.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "algebra/stats.h"
 #include "hypergraph/acyclic.h"
+#include "util/clock.h"
 
 namespace sharpcq {
 
@@ -75,7 +75,7 @@ CostEstimate EstimateCost(const CountingPlan& plan) {
 
 CountingPlan MakePlan(const ConjunctiveQuery& q, const PlannerOptions& options,
                       const DataProfile* profile) {
-  auto start = std::chrono::steady_clock::now();
+  const MonotonicClock::time_point start = MonotonicNow();
 
   CountingPlan plan;
   plan.query = q;
@@ -124,9 +124,7 @@ CountingPlan MakePlan(const ConjunctiveQuery& q, const PlannerOptions& options,
   }
   plan.cost = EstimateCost(plan);
 
-  plan.planning_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+  plan.planning_ms = ElapsedMs(start);
   return plan;
 }
 

@@ -3,6 +3,7 @@
 #include "core/materialize.h"
 #include "count/enumeration.h"
 #include "count/join_tree_instance.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 
@@ -13,15 +14,23 @@ CountResult CountViaSharpB(const ConjunctiveQuery& q, const Database& db,
   result.method = "#b-hypertree(k=" + std::to_string(result.width) +
                   ",b=" + std::to_string(d.bound) + ")";
 
-  JoinTreeInstance instance = MaterializeBags(d.decomposition.core, q, db,
-                                              d.decomposition.tree,
-                                              d.decomposition.views);
+  JoinTreeInstance instance;
+  {
+    TraceSpan span("materialize_bags");
+    instance = MaterializeBags(d.decomposition.core, q, db,
+                               d.decomposition.tree, d.decomposition.views);
+    span.NoteCount("bags", instance.nodes.size());
+  }
   if (!FullReduce(&instance)) {
     result.count = 0;
     return result;
   }
   // chi_{S-bar} labels: drop the structurally-handled existential variables.
-  JoinTreeInstance restricted = RestrictToVars(instance, d.s_bar);
+  JoinTreeInstance restricted;
+  {
+    TraceSpan span("restrict_to_s_bar");
+    restricted = RestrictToVars(instance, d.s_bar);
+  }
   result.count = Ps13Count(restricted, q.free_vars(), stats);
   return result;
 }

@@ -6,6 +6,7 @@
 #include "hybrid/min_degree_search.h"
 #include "solver/core.h"
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 
@@ -46,6 +47,10 @@ std::optional<SharpBDecomposition> FindSharpBDecomposition(
     const SharpBOptions& options) {
   ViewSet views = BuildVk(q, k);
   IdSet existential = q.ExistentialVars();
+
+  TraceSpan span("sharp_b_search");
+  span.NoteCount("k", static_cast<std::uint64_t>(k));
+  span.NoteCount("existential", existential.size());
 
   std::optional<SharpBDecomposition> best;
 
@@ -88,6 +93,11 @@ std::optional<SharpBDecomposition> FindSharpBDecomposition(
   };
 
   ForEachSubsetBySize(existential, options.max_subsets, try_s_bar);
+  if (best.has_value()) {
+    span.NoteCount("b", best->bound);
+  } else {
+    span.Note("found", "no");
+  }
   return best;
 }
 

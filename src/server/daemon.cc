@@ -19,6 +19,7 @@
 #include "query/parser.h"
 #include "util/count_int.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 
@@ -103,6 +104,8 @@ bool Daemon::Start(std::string* error) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
   port_ = static_cast<int>(ntohs(bound.sin_port));
 
+  start_time_ = MonotonicNow();
+  started_at_ = WallTimestamp();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   watch_thread_ = std::thread([this] { WatchLoop(); });
   return true;
@@ -269,8 +272,20 @@ void Daemon::ServeConnection(int fd) {
 }
 
 Response Daemon::Dispatch(const Request& request, int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (request.command == "count") ++stats_.cmd_count;
+    else if (request.command == "ingest") ++stats_.cmd_ingest;
+    else if (request.command == "status") ++stats_.cmd_status;
+    else if (request.command == "inspect") ++stats_.cmd_inspect;
+    else if (request.command == "metrics") ++stats_.cmd_metrics;
+    else if (request.command == "shutdown") ++stats_.cmd_shutdown;
+  }
+  // status/inspect/metrics/shutdown bypass admission: health checks and
+  // scrapes must answer even when every count slot is busy.
   if (request.command == "status") return HandleStatus();
   if (request.command == "inspect") return HandleInspect(request);
+  if (request.command == "metrics") return HandleMetrics();
   if (request.command == "shutdown") return OkResponse();
   if (request.command == "count" || request.command == "ingest") {
     if (!EnterAdmission()) {
@@ -285,9 +300,12 @@ Response Daemon::Dispatch(const Request& request, int fd) {
               " inflight, " + std::to_string(options_.max_queued) +
               " queued)");
     }
+    const MonotonicClock::time_point start = MonotonicNow();
     Response response = request.command == "count" ? HandleCount(request, fd)
                                                    : HandleIngest(request);
     LeaveAdmission();
+    (request.command == "count" ? count_latency_ : ingest_latency_)
+        .Record(ElapsedMs(start));
     return response;
   }
   return ErrorResponse(wire::kUnknownCommand,
@@ -368,11 +386,19 @@ Response Daemon::HandleCount(const Request& request, int fd) {
   }
   if (deadline.count() > 0) token.SetDeadlineAfter(deadline);
 
+  // trace=1: record the span tree and return it as the response body.
+  std::optional<Trace> trace;
+  if (const std::string* arg = request.Arg("trace");
+      arg != nullptr && *arg == "1") {
+    trace.emplace();
+  }
+
   CountResult result;
   {
     DisconnectWatch watch(this, &Daemon::WatchDisconnect,
                           &Daemon::UnwatchDisconnect, fd, &token);
-    result = entry->engine->Count(*query, *entry->db, *planner, &token);
+    result = entry->engine->Count(*query, *entry->db, *planner, &token,
+                                  trace.has_value() ? &*trace : nullptr);
   }
 
   Response response;
@@ -412,6 +438,12 @@ Response Daemon::HandleCount(const Request& request, int fd) {
   response.Add("execute_ms", FormatMs(result.execute_ms));
   response.Add("cost_model", result.cost_model_steered ? "steered" : "off-path");
   response.Add("cost_reorders", std::to_string(result.cost_reorders));
+  response.Add("morsels", std::to_string(result.morsels));
+  response.Add("worklist_iterations",
+               std::to_string(result.worklist_iterations));
+  if (trace.has_value()) {
+    response.body = SerializeTraceNode(trace->root());
+  }
   return response;
 }
 
@@ -479,12 +511,96 @@ Response Daemon::HandleStatus() {
                std::to_string(snapshot.deadline_exceeded));
   response.Add("cancelled_disconnect",
                std::to_string(snapshot.cancelled_disconnect));
+  response.Add("frames_too_large", std::to_string(snapshot.frames_too_large));
+  response.Add("malformed_requests",
+               std::to_string(snapshot.malformed_requests));
+  response.Add("cmd_count", std::to_string(snapshot.cmd_count));
+  response.Add("cmd_ingest", std::to_string(snapshot.cmd_ingest));
+  response.Add("cmd_status", std::to_string(snapshot.cmd_status));
+  response.Add("cmd_inspect", std::to_string(snapshot.cmd_inspect));
+  response.Add("cmd_metrics", std::to_string(snapshot.cmd_metrics));
+  response.Add("cmd_shutdown", std::to_string(snapshot.cmd_shutdown));
   response.Add("inflight", std::to_string(inflight));
   response.Add("queued", std::to_string(queued));
+  response.Add("uptime_s",
+               FormatMs(ElapsedMs(start_time_) / 1000.0));
+  response.Add("started_at", started_at_);
+#ifdef NDEBUG
+  response.Add("build_type", "optimized");
+#else
+  response.Add("build_type", "debug");
+#endif
   response.Add("cost_model",
                options_.catalog.engine.enable_cost_model ? "on" : "off");
   std::vector<std::string> names = catalog_.ListDatabases();
   response.Add("databases", JoinStrings(names, ","));
+  return response;
+}
+
+Response Daemon::HandleMetrics() {
+  Response response = OkResponse();
+  // Process-wide families first (engine counts, plan cache, probe filters,
+  // index builds), then this daemon instance's own sharpcqd_* section.
+  std::string body = MetricsRegistry::Instance().RenderPrometheus();
+  DaemonStats s = stats();
+  std::size_t inflight;
+  std::size_t queued;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    inflight = inflight_;
+    queued = queued_;
+  }
+  body += "# TYPE sharpcqd_uptime_seconds gauge\n";
+  AppendPrometheusLine(&body, "sharpcqd_uptime_seconds", "",
+                       ElapsedMs(start_time_) / 1000.0);
+  body += "# TYPE sharpcqd_connections_total counter\n";
+  AppendPrometheusLine(&body, "sharpcqd_connections_total", "",
+                       s.connections_accepted);
+  body += "# TYPE sharpcqd_requests_total counter\n";
+  AppendPrometheusLine(&body, "sharpcqd_requests_total",
+                       "{command=\"count\"}", s.cmd_count);
+  AppendPrometheusLine(&body, "sharpcqd_requests_total",
+                       "{command=\"ingest\"}", s.cmd_ingest);
+  AppendPrometheusLine(&body, "sharpcqd_requests_total",
+                       "{command=\"inspect\"}", s.cmd_inspect);
+  AppendPrometheusLine(&body, "sharpcqd_requests_total",
+                       "{command=\"metrics\"}", s.cmd_metrics);
+  AppendPrometheusLine(&body, "sharpcqd_requests_total",
+                       "{command=\"status\"}", s.cmd_status);
+  AppendPrometheusLine(&body, "sharpcqd_requests_total",
+                       "{command=\"shutdown\"}", s.cmd_shutdown);
+  body += "# TYPE sharpcqd_responses_total counter\n";
+  AppendPrometheusLine(&body, "sharpcqd_responses_total",
+                       "{result=\"ok\"}", s.responses_ok);
+  AppendPrometheusLine(&body, "sharpcqd_responses_total",
+                       "{result=\"error\"}", s.responses_error);
+  body += "# TYPE sharpcqd_rejected_overload_total counter\n";
+  AppendPrometheusLine(&body, "sharpcqd_rejected_overload_total", "",
+                       s.rejected_overload);
+  body += "# TYPE sharpcqd_deadline_exceeded_total counter\n";
+  AppendPrometheusLine(&body, "sharpcqd_deadline_exceeded_total", "",
+                       s.deadline_exceeded);
+  body += "# TYPE sharpcqd_cancelled_disconnect_total counter\n";
+  AppendPrometheusLine(&body, "sharpcqd_cancelled_disconnect_total", "",
+                       s.cancelled_disconnect);
+  body += "# TYPE sharpcqd_frames_too_large_total counter\n";
+  AppendPrometheusLine(&body, "sharpcqd_frames_too_large_total", "",
+                       s.frames_too_large);
+  body += "# TYPE sharpcqd_malformed_requests_total counter\n";
+  AppendPrometheusLine(&body, "sharpcqd_malformed_requests_total", "",
+                       s.malformed_requests);
+  body += "# TYPE sharpcqd_inflight_requests gauge\n";
+  AppendPrometheusLine(&body, "sharpcqd_inflight_requests", "",
+                       static_cast<std::uint64_t>(inflight));
+  body += "# TYPE sharpcqd_queued_requests gauge\n";
+  AppendPrometheusLine(&body, "sharpcqd_queued_requests", "",
+                       static_cast<std::uint64_t>(queued));
+  body += "# TYPE sharpcqd_request_latency_ms histogram\n";
+  count_latency_.snapshot().AppendPrometheus(
+      &body, "sharpcqd_request_latency_ms", "{command=\"count\"}");
+  ingest_latency_.snapshot().AppendPrometheus(
+      &body, "sharpcqd_request_latency_ms", "{command=\"ingest\"}");
+  response.body = std::move(body);
   return response;
 }
 
@@ -518,6 +634,31 @@ Response Daemon::HandleInspect(const Request& request) {
       }
     }
     response.body += "\n";
+  }
+  // slowlog=1: append the engine's slow-query ring, oldest first. Each
+  // entry is one "slow ..." header line; a traced entry's span tree
+  // follows, indented by two spaces per depth starting at one level deep
+  // (so headers remain greppable at column zero).
+  if (const std::string* arg = request.Arg("slowlog");
+      arg != nullptr && *arg == "1") {
+    SlowQueryLog& log = entry->engine->slow_query_log();
+    std::vector<SlowQueryEntry> entries = log.Entries();
+    response.Add("slow_total", std::to_string(log.total_slow()));
+    response.Add("slow_threshold_ms", FormatMs(log.threshold_ms()));
+    response.Add("slow_entries", std::to_string(entries.size()));
+    for (const SlowQueryEntry& e : entries) {
+      response.body += "slow " + std::to_string(e.sequence) + " [" +
+                       e.wall_time + "] planner_ms=" + FormatMs(e.planner_ms) +
+                       " execute_ms=" + FormatMs(e.execute_ms) +
+                       " method=" + e.method + " query=" + e.query + "\n";
+      if (!e.trace.empty()) {
+        std::istringstream lines(e.trace);
+        std::string line;
+        while (std::getline(lines, line)) {
+          response.body += "  " + line + "\n";
+        }
+      }
+    }
   }
   return response;
 }

@@ -14,6 +14,8 @@
 #include "server/protocol.h"
 #include "storage/catalog.h"
 #include "util/cancel.h"
+#include "util/clock.h"
+#include "util/metrics.h"
 
 namespace sharpcq {
 
@@ -29,6 +31,13 @@ struct DaemonStats {
   std::uint64_t cancelled_disconnect = 0;
   std::uint64_t frames_too_large = 0;
   std::uint64_t malformed_requests = 0;
+  // Per-command request totals (unknown commands count toward none).
+  std::uint64_t cmd_count = 0;
+  std::uint64_t cmd_ingest = 0;
+  std::uint64_t cmd_status = 0;
+  std::uint64_t cmd_inspect = 0;
+  std::uint64_t cmd_metrics = 0;
+  std::uint64_t cmd_shutdown = 0;
 };
 
 struct DaemonOptions {
@@ -54,10 +63,17 @@ struct DaemonOptions {
 // The sharpcqd network daemon: serves a Catalog of durable databases over
 // TCP with the length-framed protocol of server/protocol.h.
 //
-//   count   db=<name> [strategy=<s>] [deadline_ms=<n>]   body: query text
+//   count   db=<name> [strategy=<s>] [deadline_ms=<n>] [trace=1]
+//                                                        body: query text
+//                                                        (trace=1: response
+//                                                        body carries the
+//                                                        serialized span
+//                                                        tree)
 //   ingest  db=<name> relation=<rel>                     body: CSV rows
 //   status                                               counters + db list
-//   inspect db=<name>                                    schema + sizes
+//   inspect db=<name> [slowlog=1]                        schema + sizes
+//                                                        (+ slow-query ring)
+//   metrics                                              Prometheus text
 //   shutdown                                             ack, then Wait() returns
 //
 // Request lifecycle: the connection thread parses the frame, passes the
@@ -107,6 +123,7 @@ class Daemon {
   Response HandleIngest(const Request& request);
   Response HandleStatus();
   Response HandleInspect(const Request& request);
+  Response HandleMetrics();
 
   // Admission gate for count/ingest. False = reject with OVERLOADED.
   bool EnterAdmission();
@@ -121,6 +138,17 @@ class Daemon {
   Catalog catalog_;
   int listen_fd_ = -1;
   int port_ = 0;
+
+  // Uptime anchor (steady) and human start time (wall, log/status only),
+  // both stamped in Start().
+  MonotonicClock::time_point start_time_{};
+  std::string started_at_;
+
+  // Per-instance request latency histograms: tests run several daemons in
+  // one process, and each must see exactly its own requests (the
+  // process-wide registry would conflate them).
+  Histogram count_latency_;
+  Histogram ingest_latency_;
 
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;

@@ -9,11 +9,14 @@
 #include "algebra/exec_policy.h"
 #include "count/join_tree_instance.h"
 #include "hypergraph/acyclic.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 
 bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
+  TraceSpan span("pairwise_consistency");
   const std::size_t n = views->size();
+  span.NoteCount("views", n);
   for (const Rel& v : *views) {
     if (v.empty()) return false;
   }
@@ -29,6 +32,7 @@ bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
     for (const Rel& v : *views) edges.push_back(v.vars());
     if (std::optional<TreeShape> shape = BuildJoinTree(edges);
         shape.has_value()) {
+      span.Note("regime", "join_tree");
       JoinTreeInstance instance;
       instance.shape = std::move(*shape);
       instance.nodes = std::move(*views);
@@ -72,6 +76,21 @@ bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
     return true;
   };
 
+  // Relaxations run by either regime below, flushed on every exit path
+  // (including an ExecInterrupted unwind) into the execution's stats sink
+  // and the span — the trace's "consistency-worklist iterations" figure.
+  struct RelaxTally {
+    std::uint64_t count = 0;
+    TraceSpan* span;
+    ~RelaxTally() {
+      if (ExecStats* stats = CurrentExecStats()) {
+        stats->worklist_iterations.fetch_add(count,
+                                             std::memory_order_relaxed);
+      }
+      span->NoteCount("relaxations", count);
+    }
+  } tally{0, &span};
+
   // The fixpoint is confluent — semijoins only remove rows and the greatest
   // pairwise-consistent subinstance is unique — so scheduling order is pure
   // performance. Both regimes below compute the same views.
@@ -106,17 +125,20 @@ bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
         stats->cost_reorders.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    span.Note("regime", "priority");
     while (!worklist.empty()) {
       CheckExecInterrupt();
       const std::size_t p = worklist.top().second;
       worklist.pop();
       queued[p] = 0;
+      ++tally.count;
       if (!relax(p, [&](std::size_t q) { worklist.emplace(score(q), q); })) {
         return false;
       }
     }
     return true;
   }
+  span.Note("regime", "fifo");
 
   // Default regime: FIFO, seeded by ascending right-side size — small build
   // sides go first, so by the time the big semijoins run, their left sides
@@ -140,6 +162,7 @@ bool EnforcePairwiseConsistency(std::vector<Rel>* views) {
     const std::size_t p = worklist.front();
     worklist.pop_front();
     queued[p] = 0;
+    ++tally.count;
     if (!relax(p, [&](std::size_t q) { worklist.push_back(q); })) {
       return false;
     }

@@ -12,7 +12,6 @@
 // between 3 and 4 exists because an operator typo and bad data need
 // different fixes (the CsvStatus satellite of ISSUE 4).
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -25,7 +24,10 @@
 #include "query/parser.h"
 #include "storage/catalog.h"
 #include "storage/snapshot.h"
+#include "util/clock.h"
 #include "util/count_int.h"
+#include "util/string_util.h"
+#include "util/trace.h"
 
 namespace sharpcq {
 namespace {
@@ -43,6 +45,7 @@ int Usage() {
   sharpcq inspect FILE [--verify]
   sharpcq count   (--snapshot FILE | --catalog DIR --name DB)
                   [--mode owned|mmap] [--strategy auto|sharp|ps13|hybrid|backtracking]
+                  [--trace] [--json]
                   'Q(X,Y) <- r(X,Z), s(Z,Y)'
   sharpcq bench-load --snapshot FILE [--iters N] [rel=data.csv...]
 )");
@@ -79,12 +82,6 @@ std::optional<std::vector<RelationCsvArg>> ParseRelationArgs(
     out.push_back({arg.substr(0, eq), arg.substr(eq + 1)});
   }
   return out;
-}
-
-double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
 }
 
 // Streams every CSV into `writer`; returns an exit code (kExitOk on
@@ -202,7 +199,7 @@ int CmdInspect(const std::string& path, bool verify) {
 
 int RunCount(const Database& db, const ValueDict& dict,
              CountingEngine* engine, const std::string& strategy,
-             const std::string& query_text) {
+             const std::string& query_text, bool with_trace, bool as_json) {
   auto options =
       PlannerOptionsForStrategy(strategy, engine->options().planner);
   if (!options.has_value()) {
@@ -216,7 +213,38 @@ int RunCount(const Database& db, const ValueDict& dict,
     std::fprintf(stderr, "sharpcq: bad query: %s\n", error.c_str());
     return kExitUsage;
   }
-  CountResult result = engine->Count(*query, db, *options);
+  std::optional<Trace> trace;
+  if (with_trace) trace.emplace();
+  CountResult result = engine->Count(*query, db, *options, /*cancel=*/nullptr,
+                                     trace.has_value() ? &*trace : nullptr);
+  if (as_json) {
+    std::string out = "{\"count\":\"" + CountToString(result.count) + "\"";
+    out += ",\"status\":\"";
+    AppendJsonEscaped(&out, CountStatusName(result.status));
+    out += "\",\"method\":\"";
+    AppendJsonEscaped(&out, result.method);
+    out += "\",\"width\":" + std::to_string(result.width);
+    char ms[64];
+    std::snprintf(ms, sizeof(ms), ",\"planner_ms\":%.3f,\"execute_ms\":%.3f",
+                  result.planner_ms, result.execute_ms);
+    out += ms;
+    out += ",\"cache\":\"";
+    out += result.cache_hit ? "hit" : "miss";
+    out += "\",\"cost_model\":\"";
+    out += result.cost_model_steered ? "steered" : "off-path";
+    out += "\",\"cost_reorders\":" + std::to_string(result.cost_reorders);
+    out += ",\"filter_hits\":" + std::to_string(result.filter_hits);
+    out += ",\"filter_passes\":" + std::to_string(result.filter_passes);
+    out += ",\"morsels\":" + std::to_string(result.morsels);
+    out += ",\"worklist_iterations\":" +
+           std::to_string(result.worklist_iterations);
+    if (trace.has_value()) {
+      out += ",\"trace\":" + RenderTraceJson(trace->root());
+    }
+    out += "}";
+    std::printf("%s\n", out.c_str());
+    return kExitOk;
+  }
   std::printf("count: %s\n", CountToString(result.count).c_str());
   std::printf("method: %s\n", result.method.c_str());
   std::printf("planner_ms: %.3f execute_ms: %.3f cache: %s\n",
@@ -225,12 +253,16 @@ int RunCount(const Database& db, const ValueDict& dict,
   std::printf("cost_model: %s reorders: %llu\n",
               result.cost_model_steered ? "steered" : "off-path",
               static_cast<unsigned long long>(result.cost_reorders));
+  if (trace.has_value()) {
+    std::printf("trace:\n%s", SerializeTraceNode(trace->root()).c_str());
+  }
   return kExitOk;
 }
 
 int CmdCount(const std::string& snapshot_path, const std::string& catalog_root,
              const std::string& db_name, const std::string& mode_name,
-             const std::string& strategy, const std::string& query_text) {
+             const std::string& strategy, const std::string& query_text,
+             bool with_trace, bool as_json) {
   SnapshotLoadMode mode = SnapshotLoadMode::kMapped;
   if (mode_name == "owned") {
     mode = SnapshotLoadMode::kOwned;
@@ -246,7 +278,8 @@ int CmdCount(const std::string& snapshot_path, const std::string& catalog_root,
       return kExitRuntime;
     }
     CountingEngine engine;
-    return RunCount(loaded->db, loaded->dict, &engine, strategy, query_text);
+    return RunCount(loaded->db, loaded->dict, &engine, strategy, query_text,
+                    with_trace, as_json);
   }
   Catalog::Options catalog_options;
   catalog_options.load_mode = mode;
@@ -256,10 +289,12 @@ int CmdCount(const std::string& snapshot_path, const std::string& catalog_root,
     std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
     return kExitRuntime;
   }
-  std::printf("database: %s generation: %llu\n", entry->name.c_str(),
-              static_cast<unsigned long long>(entry->generation));
+  if (!as_json) {
+    std::printf("database: %s generation: %llu\n", entry->name.c_str(),
+                static_cast<unsigned long long>(entry->generation));
+  }
   return RunCount(*entry->db, *entry->dict, entry->engine.get(), strategy,
-                  query_text);
+                  query_text, with_trace, as_json);
 }
 
 int CmdBenchLoad(const std::string& snapshot_path, int iters,
@@ -272,23 +307,23 @@ int CmdBenchLoad(const std::string& snapshot_path, int iters,
   double mapped_ms = 0.0;
   std::uint64_t tuples = 0;
   for (int i = 0; i < iters; ++i) {
-    auto start = std::chrono::steady_clock::now();
+    MonotonicClock::time_point start = MonotonicNow();
     auto owned = LoadSnapshot(snapshot_path, SnapshotLoadMode::kOwned, &error);
     if (!owned.has_value()) {
       std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
       return kExitRuntime;
     }
-    owned_ms += MsSince(start);
+    owned_ms += ElapsedMs(start);
     tuples = owned->info.TotalTuples();
 
-    start = std::chrono::steady_clock::now();
+    start = MonotonicNow();
     auto mapped =
         LoadSnapshot(snapshot_path, SnapshotLoadMode::kMapped, &error);
     if (!mapped.has_value()) {
       std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
       return kExitRuntime;
     }
-    mapped_ms += MsSince(start);
+    mapped_ms += ElapsedMs(start);
   }
   std::printf("snapshot %s: %llu tuples, %d iterations\n",
               snapshot_path.c_str(), static_cast<unsigned long long>(tuples),
@@ -299,7 +334,7 @@ int CmdBenchLoad(const std::string& snapshot_path, int iters,
   if (!csvs->empty()) {
     double csv_ms = 0.0;
     for (int i = 0; i < iters; ++i) {
-      auto start = std::chrono::steady_clock::now();
+      MonotonicClock::time_point start = MonotonicNow();
       Database db;
       ValueDict dict;
       for (const RelationCsvArg& csv : *csvs) {
@@ -312,7 +347,7 @@ int CmdBenchLoad(const std::string& snapshot_path, int iters,
         }
       }
       db.DedupAll();
-      csv_ms += MsSince(start);
+      csv_ms += ElapsedMs(start);
     }
     std::printf("csv_ingest_ms:  %.3f\n", csv_ms / iters);
     if (mapped_ms > 0.0) {
@@ -330,6 +365,8 @@ int Main(int argc, char** argv) {
   // everything else is positional.
   std::string out_path, catalog_root, db_name, snapshot_path, mode, strategy;
   bool verify = false;
+  bool with_trace = false;
+  bool as_json = false;
   int iters = 5;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
@@ -369,6 +406,10 @@ int Main(int argc, char** argv) {
       if (iters <= 0) return Usage();
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--trace") {
+      with_trace = true;
+    } else if (arg == "--json") {
+      as_json = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "sharpcq: unknown flag '%s'\n",
                    std::string(arg).c_str());
@@ -395,7 +436,7 @@ int Main(int argc, char** argv) {
     bool from_catalog = !catalog_root.empty() && !db_name.empty();
     if (from_snapshot == from_catalog) return Usage();
     return CmdCount(snapshot_path, catalog_root, db_name, mode, strategy,
-                    positional[0]);
+                    positional[0], with_trace, as_json);
   }
   if (command == "bench-load") {
     if (snapshot_path.empty()) return Usage();

@@ -3,6 +3,8 @@
 //
 //   sharpcqd serve --root DIR [--host H] [--port N] [--max-inflight N]
 //                  [--max-queued N] [--default-deadline-ms N]
+//                  [--slow-query-ms MS] [--slow-query-capacity N]
+//                  [--slow-query-sample N]
 //   sharpcqd send  --port N [--host H] [--body TEXT] 'HEADER'
 //
 // `serve` prints "sharpcqd listening on HOST:PORT" once ready (with
@@ -40,6 +42,8 @@ int Usage() {
   std::fprintf(stderr, R"(usage:
   sharpcqd serve --root DIR [--host H] [--port N] [--max-inflight N]
                  [--max-queued N] [--default-deadline-ms N]
+                 [--slow-query-ms MS] [--slow-query-capacity N]
+                 [--slow-query-sample N]
   sharpcqd send  --port N [--host H] [--body TEXT] 'HEADER LINE'
 )");
   return kExitUsage;
@@ -117,6 +121,12 @@ int Main(int argc, char** argv) {
   std::size_t max_inflight = 4;
   std::size_t max_queued = 16;
   long long default_deadline_ms = 0;
+  // Slow-query ring defaults mirror EngineOptions; the flags below thread
+  // through Catalog::Options into every database's engine.
+  EngineOptions engine_defaults;
+  double slow_query_ms = engine_defaults.slow_query_threshold_ms;
+  std::size_t slow_query_capacity = engine_defaults.slow_query_log_capacity;
+  std::size_t slow_query_sample = engine_defaults.slow_query_sample_every;
   std::optional<std::string> body;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
@@ -150,6 +160,19 @@ int Main(int argc, char** argv) {
       auto v = next();
       if (!v) return Usage();
       default_deadline_ms = std::atoll(v->c_str());
+    } else if (arg == "--slow-query-ms") {
+      auto v = next();
+      if (!v) return Usage();
+      slow_query_ms = std::atof(v->c_str());
+    } else if (arg == "--slow-query-capacity") {
+      auto v = next();
+      if (!v) return Usage();
+      slow_query_capacity = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (arg == "--slow-query-sample") {
+      auto v = next();
+      if (!v) return Usage();
+      slow_query_sample = static_cast<std::size_t>(std::atoll(v->c_str()));
+      if (slow_query_sample == 0) return Usage();
     } else if (arg == "--body") {
       auto v = next();
       if (!v) return Usage();
@@ -172,6 +195,9 @@ int Main(int argc, char** argv) {
     options.max_inflight = max_inflight;
     options.max_queued = max_queued;
     options.default_deadline = std::chrono::milliseconds(default_deadline_ms);
+    options.catalog.engine.slow_query_threshold_ms = slow_query_ms;
+    options.catalog.engine.slow_query_log_capacity = slow_query_capacity;
+    options.catalog.engine.slow_query_sample_every = slow_query_sample;
     return CmdServe(options);
   }
   if (command == "send") {

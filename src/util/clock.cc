@@ -1,0 +1,21 @@
+#include "util/clock.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace sharpcq {
+
+std::string WallTimestamp() {
+  // The one permitted system_clock use (see clock.h).
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm utc{};
+  ::gmtime_r(&now, &utc);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d %02d:%02d:%02d",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec);
+  return buffer;
+}
+
+}  // namespace sharpcq

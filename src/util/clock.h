@@ -1,0 +1,39 @@
+#ifndef SHARPCQ_UTIL_CLOCK_H_
+#define SHARPCQ_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <string>
+
+namespace sharpcq {
+
+// The clock discipline, in one place:
+//
+//   - Every duration the system measures — planner/execute timings, request
+//     latencies, deadlines, benchmark intervals — uses MonotonicClock
+//     (steady_clock): it never jumps on NTP slew or a manual date change,
+//     so a latency can never come out negative or absurdly large.
+//   - Wall-clock time exists ONLY for log/record timestamps a human reads
+//     next to other systems' logs, via WallTimestamp() below. Nothing is
+//     ever subtracted from it.
+//
+// CI enforces the split with a grep guard: `system_clock` may appear in the
+// tree only inside this pair of files (.github/workflows/ci.yml).
+using MonotonicClock = std::chrono::steady_clock;
+
+inline MonotonicClock::time_point MonotonicNow() {
+  return MonotonicClock::now();
+}
+
+// Milliseconds elapsed since `start` (fractional).
+inline double ElapsedMs(MonotonicClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(MonotonicClock::now() -
+                                                   start)
+      .count();
+}
+
+// "YYYY-MM-DD HH:MM:SS" in UTC — a log timestamp, never a measurement.
+std::string WallTimestamp();
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_UTIL_CLOCK_H_

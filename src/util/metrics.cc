@@ -1,0 +1,227 @@
+#include "util/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace sharpcq {
+
+namespace metrics_internal {
+
+std::atomic<bool> g_enabled{true};
+
+std::size_t ThreadStripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace metrics_internal
+
+void SetMetricsEnabled(bool enabled) {
+  metrics_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::BucketIndex(std::uint64_t micros) {
+  if (micros == 0) return 0;
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(micros));
+  return width < kBuckets - 1 ? width : kBuckets - 1;
+}
+
+double Histogram::BucketUpperMs(std::size_t bucket) {
+  if (bucket + 1 >= kBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Bucket 0: samples below 1us, upper bound 1us. Bucket i >= 1 holds
+  // [2^(i-1), 2^i) us, upper bound 2^i us.
+  const std::uint64_t upper_micros = std::uint64_t{1} << bucket;
+  return static_cast<double>(upper_micros) / 1000.0;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count += out.buckets[i];
+  }
+  out.sum_ms =
+      static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+      1000.0;
+  return out;
+}
+
+double Histogram::Snapshot::PercentileMs(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // The rank-th sample in cumulative order (1-based, ceil).
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      if (i + 1 >= kBuckets) {
+        // Unbounded last bucket: report twice the previous upper bound
+        // rather than infinity, so dashboards stay plottable.
+        return BucketUpperMs(kBuckets - 2) * 2.0;
+      }
+      return BucketUpperMs(i);
+    }
+  }
+  return BucketUpperMs(kBuckets - 2) * 2.0;
+}
+
+namespace {
+
+std::string FormatValue(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+// Merges an extra label into a "" / `{k="v"}` label group.
+std::string MergeLabel(std::string_view labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  std::string out(labels.substr(0, labels.size() - 1));  // drop '}'
+  out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void AppendPrometheusLine(std::string* out, std::string_view name,
+                          std::string_view labels, std::uint64_t value) {
+  out->append(name);
+  out->append(labels);
+  out->append(" ");
+  out->append(std::to_string(value));
+  out->append("\n");
+}
+
+void AppendPrometheusLine(std::string* out, std::string_view name,
+                          std::string_view labels, double value) {
+  out->append(name);
+  out->append(labels);
+  out->append(" ");
+  out->append(FormatValue(value));
+  out->append("\n");
+}
+
+void Histogram::Snapshot::AppendPrometheus(std::string* out,
+                                           std::string_view name,
+                                           std::string_view labels) const {
+  // Cumulative bucket series, truncated after the bucket that reaches the
+  // total (the all-zero tail adds nothing a quantile query can use), always
+  // closed with the mandatory +Inf bucket.
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i + 1 < kBuckets; ++i) {
+    cumulative += buckets[i];
+    AppendPrometheusLine(
+        out, std::string(name) + "_bucket",
+        MergeLabel(labels, "le=\"" + FormatValue(BucketUpperMs(i)) + "\""),
+        cumulative);
+    if (cumulative == count) break;
+  }
+  AppendPrometheusLine(out, std::string(name) + "_bucket",
+                       MergeLabel(labels, "le=\"+Inf\""), count);
+  AppendPrometheusLine(out, std::string(name) + "_sum", labels, sum_ms);
+  AppendPrometheusLine(out, std::string(name) + "_count", labels, count);
+}
+
+// --- registry ----------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+  std::mutex mu;
+  // std::map: iteration order == exposition order, and node stability
+  // keeps returned references valid across later registrations.
+  std::map<Key, std::unique_ptr<Counter>> counters;
+  std::map<Key, std::unique_ptr<Gauge>> gauges;
+  std::map<Key, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();  // leaked: metrics outlive static dtors
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto& slot = i.counters[{std::string(name), std::string(labels)}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto& slot = i.gauges[{std::string(name), std::string(labels)}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view labels) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto& slot = i.histograms[{std::string(name), std::string(labels)}];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::string out;
+  const std::string* last_family = nullptr;
+  for (const auto& [key, counter] : i.counters) {
+    if (last_family == nullptr || *last_family != key.first) {
+      out += "# TYPE " + key.first + " counter\n";
+      last_family = &key.first;
+    }
+    AppendPrometheusLine(&out, key.first, key.second, counter->Value());
+  }
+  last_family = nullptr;
+  for (const auto& [key, gauge] : i.gauges) {
+    if (last_family == nullptr || *last_family != key.first) {
+      out += "# TYPE " + key.first + " gauge\n";
+      last_family = &key.first;
+    }
+    const std::int64_t v = gauge->Value();
+    if (v >= 0) {
+      AppendPrometheusLine(&out, key.first, key.second,
+                           static_cast<std::uint64_t>(v));
+    } else {
+      AppendPrometheusLine(&out, key.first, key.second,
+                           static_cast<double>(v));
+    }
+  }
+  last_family = nullptr;
+  for (const auto& [key, histogram] : i.histograms) {
+    if (last_family == nullptr || *last_family != key.first) {
+      out += "# TYPE " + key.first + " histogram\n";
+      last_family = &key.first;
+    }
+    histogram->snapshot().AppendPrometheus(&out, key.first, key.second);
+  }
+  return out;
+}
+
+}  // namespace sharpcq

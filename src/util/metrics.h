@@ -1,0 +1,183 @@
+#ifndef SHARPCQ_UTIL_METRICS_H_
+#define SHARPCQ_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sharpcq {
+
+// Process-wide metrics: named counters, gauges, and log-bucketed latency
+// histograms, registered once and incremented from any thread without
+// locks. The design splits the cost three ways:
+//
+//   - Registration (GetCounter/GetGauge/GetHistogram) takes the registry
+//     mutex and returns a stable reference; call sites cache it in a
+//     function-local static, so a steady-state increment never sees the
+//     registry at all.
+//   - Increments are striped relaxed atomics: each thread hashes to one of
+//     a few cache-line-padded cells, so concurrent counts never bounce a
+//     shared line. Hot loops flush in blocks on top of that — the probe
+//     drivers tally into locals and Add() once per block (the "periodic
+//     flush" protocol; see algebra/miss_filter.h), keeping even the atomic
+//     off the per-row path.
+//   - Reads (Value()/Snapshot()/RenderPrometheus) sum the stripes; they are
+//     monotone and race-free but not a consistent cut across metrics,
+//     which is all a scrape needs.
+//
+// SetMetricsEnabled(false) turns every increment into a relaxed load + no
+// write — the benchmarked metrics-off configuration. Enabled by default.
+
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace metrics_internal {
+extern std::atomic<bool> g_enabled;
+// Stable small integer per thread, assigned on first use; stripes cells.
+std::size_t ThreadStripe();
+}  // namespace metrics_internal
+
+inline bool MetricsEnabled() {
+  return metrics_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Monotone counter. ~1KiB per instance (16 padded stripes) — register few,
+// increment often.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    cells_[metrics_internal::ThreadStripe() & (kStripes - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  std::uint64_t Value() const {
+    std::uint64_t sum = 0;
+    for (const Cell& cell : cells_) {
+      sum += cell.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kStripes];
+};
+
+// Last-write-wins instantaneous value (queue depths, pool sizes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Log-bucketed latency histogram. Bucket 0 holds sub-microsecond samples;
+// bucket i >= 1 holds [2^(i-1), 2^i) microseconds, so 40 buckets span one
+// microsecond to ~6.4 days — every latency this system can produce — with
+// one bit-scan per record and no per-bucket configuration to get wrong.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void RecordMicros(std::uint64_t micros) {
+    if (!MetricsEnabled()) return;
+    buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void Record(double ms) {
+    if (ms < 0.0) ms = 0.0;
+    RecordMicros(static_cast<std::uint64_t>(ms * 1000.0));
+  }
+
+  // Which bucket a sample lands in, and that bucket's inclusive upper
+  // bound in milliseconds (the Prometheus `le` value; the last bucket is
+  // +Inf). Exposed for the bucket-math unit tests.
+  static std::size_t BucketIndex(std::uint64_t micros);
+  static double BucketUpperMs(std::size_t bucket);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum_ms = 0.0;
+    std::uint64_t buckets[kBuckets] = {};
+
+    // Upper bound (ms) of the bucket containing the p-th percentile sample
+    // (p in [0, 100]); 0 when empty. A bucket estimate — within 2x of the
+    // true value by construction, which is what a log histogram trades for
+    // its fixed footprint.
+    double PercentileMs(double p) const;
+
+    // Prometheus text exposition for this histogram (cumulative _bucket
+    // series with le labels, then _sum and _count). `labels` is either
+    // empty or a `{k="v",...}` group; the le label is merged in. The
+    // caller emits the # TYPE line.
+    void AppendPrometheus(std::string* out, std::string_view name,
+                          std::string_view labels) const;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> sum_micros_{0};
+};
+
+// The process-wide registry. Get* registers on first use and returns a
+// reference valid for the process lifetime; repeated calls with the same
+// (name, labels) return the same instance. Names follow Prometheus
+// conventions (snake_case, unit-suffixed); `labels` is "" or a literal
+// `{key="value",...}` group, which keys the instance and is emitted
+// verbatim.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter& GetCounter(std::string_view name, std::string_view labels = "");
+  Gauge& GetGauge(std::string_view name, std::string_view labels = "");
+  Histogram& GetHistogram(std::string_view name,
+                          std::string_view labels = "");
+
+  // Prometheus text exposition of every registered metric, one # TYPE line
+  // per family, families and label sets in lexicographic order (stable
+  // output for tests and diffable scrapes).
+  std::string RenderPrometheus() const;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Append one `name{labels} value` exposition line; shared with call sites
+// (the daemon's per-instance section) that render outside the registry.
+void AppendPrometheusLine(std::string* out, std::string_view name,
+                          std::string_view labels, std::uint64_t value);
+void AppendPrometheusLine(std::string* out, std::string_view name,
+                          std::string_view labels, double value);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_UTIL_METRICS_H_

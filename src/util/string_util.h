@@ -27,6 +27,11 @@ std::string_view StripWhitespace(std::string_view text);
 std::string JoinStrings(const std::vector<std::string>& parts,
                         std::string_view sep);
 
+// Appends `text` JSON-escaped (quotes, backslash, control characters as
+// \uOOXX) WITHOUT surrounding quotes; callers supply those. Shared by the
+// trace JSON renderer and the CLI's --json output.
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
 }  // namespace sharpcq
 
 #endif  // SHARPCQ_UTIL_STRING_UTIL_H_

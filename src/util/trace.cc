@@ -1,0 +1,308 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace sharpcq {
+
+namespace {
+
+thread_local Trace* current_trace = nullptr;
+
+}  // namespace
+
+Trace::Trace() : origin_(MonotonicNow()) {
+  root_.name = "query";
+  current_ = &root_;
+}
+
+TraceNode* Trace::OpenSpan(std::string_view name) {
+  auto node = std::make_unique<TraceNode>();
+  node->name = std::string(name);
+  node->start_ms = ElapsedMsSinceOrigin();
+  node->parent = current_;
+  TraceNode* raw = node.get();
+  current_->children.push_back(std::move(node));
+  current_ = raw;
+  return raw;
+}
+
+void Trace::CloseSpan(TraceNode* node) {
+  node->duration_ms = ElapsedMsSinceOrigin() - node->start_ms;
+  // Unwind to the span's parent even if inner spans were left open (an
+  // exception unwinding through nested spans closes them outer-first only
+  // when every level is RAII — this keeps a missed level from corrupting
+  // the parent chain).
+  current_ = node->parent != nullptr ? node->parent : &root_;
+}
+
+void Trace::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  root_.duration_ms = ElapsedMsSinceOrigin();
+  current_ = &root_;
+}
+
+Trace* CurrentTrace() { return current_trace; }
+
+TraceScope::TraceScope(Trace* trace) : previous_(current_trace) {
+  current_trace = trace;
+}
+
+TraceScope::~TraceScope() { current_trace = previous_; }
+
+void TraceSpan::NoteMs(std::string_view key, double ms) {
+  if (trace_ == nullptr) return;
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  node_->notes.emplace_back(std::string(key), buffer);
+}
+
+// --- serialization -----------------------------------------------------------
+
+namespace {
+
+// Space is the token separator, so it (plus the escape character and line
+// structure) must be escaped in names, keys, and values.
+void AppendEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case ' ':
+        *out += "\\s";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+std::string Unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    switch (text[++i]) {
+      case 's':
+        out += ' ';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        out += text[i];
+    }
+  }
+  return out;
+}
+
+std::string FormatMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+void SerializeInto(const TraceNode& node, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  AppendEscaped(out, node.name);
+  *out += " +" + FormatMs(node.start_ms) + "ms " +
+          FormatMs(node.duration_ms) + "ms";
+  for (const auto& [key, value] : node.notes) {
+    *out += " ";
+    AppendEscaped(out, key);
+    *out += "=";
+    AppendEscaped(out, value);
+  }
+  *out += "\n";
+  for (const auto& child : node.children) {
+    SerializeInto(*child, depth + 1, out);
+  }
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t begin = 0;
+  while (begin < line.size()) {
+    std::size_t end = line.find(' ', begin);
+    if (end == std::string_view::npos) end = line.size();
+    if (end > begin) tokens.push_back(line.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return tokens;
+}
+
+bool ParseMsToken(std::string_view token, bool leading_plus, double* out) {
+  if (leading_plus) {
+    if (token.empty() || token[0] != '+') return false;
+    token.remove_prefix(1);
+  }
+  if (token.size() < 3 || token.substr(token.size() - 2) != "ms") {
+    return false;
+  }
+  const std::string digits(token.substr(0, token.size() - 2));
+  char* end = nullptr;
+  *out = std::strtod(digits.c_str(), &end);
+  return end == digits.c_str() + digits.size();
+}
+
+}  // namespace
+
+std::string SerializeTraceNode(const TraceNode& node) {
+  std::string out;
+  SerializeInto(node, 0, &out);
+  return out;
+}
+
+std::unique_ptr<TraceNode> ParseTraceNode(std::string_view text,
+                                          std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  std::unique_ptr<TraceNode> root;
+  std::vector<TraceNode*> stack;  // stack[d] = last node at depth d
+  std::size_t line_no = 0;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::size_t indent = 0;
+    while (indent < line.size() && line[indent] == ' ') ++indent;
+    if (indent % 2 != 0) {
+      return fail("line " + std::to_string(line_no) + ": odd indentation");
+    }
+    const std::size_t depth = indent / 2;
+
+    std::vector<std::string_view> tokens = SplitTokens(line.substr(indent));
+    if (tokens.size() < 3) {
+      return fail("line " + std::to_string(line_no) +
+                  ": expected 'name +START.ms DURATION.ms'");
+    }
+    auto node = std::make_unique<TraceNode>();
+    node->name = Unescape(tokens[0]);
+    if (!ParseMsToken(tokens[1], /*leading_plus=*/true, &node->start_ms) ||
+        !ParseMsToken(tokens[2], /*leading_plus=*/false,
+                      &node->duration_ms)) {
+      return fail("line " + std::to_string(line_no) + ": bad timing fields");
+    }
+    for (std::size_t t = 3; t < tokens.size(); ++t) {
+      const std::size_t eq = tokens[t].find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        return fail("line " + std::to_string(line_no) +
+                    ": annotation without key=value form");
+      }
+      node->notes.emplace_back(Unescape(tokens[t].substr(0, eq)),
+                               Unescape(tokens[t].substr(eq + 1)));
+    }
+
+    TraceNode* raw = node.get();
+    if (depth == 0) {
+      if (root != nullptr) {
+        return fail("line " + std::to_string(line_no) +
+                    ": multiple roots at depth 0");
+      }
+      root = std::move(node);
+    } else {
+      if (depth > stack.size()) {
+        return fail("line " + std::to_string(line_no) +
+                    ": depth jumps past its parent");
+      }
+      TraceNode* parent = stack[depth - 1];
+      node->parent = parent;
+      parent->children.push_back(std::move(node));
+    }
+    stack.resize(depth);
+    stack.push_back(raw);
+  }
+  if (root == nullptr) return fail("empty trace");
+  return root;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  *out += '"';
+  AppendJsonEscaped(out, text);
+  *out += '"';
+}
+
+void RenderJsonInto(const TraceNode& node, std::string* out) {
+  *out += "{\"name\":";
+  AppendJsonString(out, node.name);
+  *out += ",\"start_ms\":" + FormatMs(node.start_ms);
+  *out += ",\"duration_ms\":" + FormatMs(node.duration_ms);
+  *out += ",\"notes\":{";
+  for (std::size_t i = 0; i < node.notes.size(); ++i) {
+    if (i != 0) *out += ",";
+    AppendJsonString(out, node.notes[i].first);
+    *out += ":";
+    AppendJsonString(out, node.notes[i].second);
+  }
+  *out += "},\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i != 0) *out += ",";
+    RenderJsonInto(*node.children[i], out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string RenderTraceJson(const TraceNode& node) {
+  std::string out;
+  RenderJsonInto(node, &out);
+  return out;
+}
+
+// --- slow-query log ----------------------------------------------------------
+
+SlowQueryLog::SlowQueryLog(Options options) : options_(options) {
+  if (options_.sample_every == 0) options_.sample_every = 1;
+}
+
+bool SlowQueryLog::ShouldRecord(double total_ms) {
+  if (!enabled() || total_ms < options_.threshold_ms) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t ordinal = slow_seen_++;
+  return ordinal % options_.sample_every == 0;
+}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.sequence = recorded_++;
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t SlowQueryLog::total_slow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_seen_;
+}
+
+}  // namespace sharpcq

@@ -1,0 +1,194 @@
+#ifndef SHARPCQ_UTIL_TRACE_H_
+#define SHARPCQ_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace sharpcq {
+
+// Per-query span trees: where one execution's time went, as a tree of
+// named, steady-clock-timed spans with key/value annotations — planner
+// phases, the strategy that ran, cost-model steering, consistency-worklist
+// iterations, morsel and filter tallies.
+//
+// Cost discipline (the "null sink"): tracing is OFF unless the caller
+// hands CountingEngine::Count a Trace*. Instrumentation sites construct a
+// TraceSpan unconditionally; when no trace is installed on the thread its
+// constructor is one thread-local load and a null check — no allocation,
+// no clock read, no branch in the destructor beyond the same check. The
+// observability test suite asserts the zero-allocation property with a
+// counting operator new.
+//
+// Threading: a Trace is single-threaded by design. Only the thread driving
+// an execution opens spans (strategy phases, operators); morsel pool
+// workers never see the trace — their numeric contributions flow through
+// the ExecStats atomics and are annotated onto the enclosing span when it
+// closes. This keeps span recording free of locks entirely.
+
+struct TraceNode {
+  std::string name;
+  double start_ms = 0.0;     // offset from the trace origin
+  double duration_ms = 0.0;  // filled when the span closes
+  std::vector<std::pair<std::string, std::string>> notes;
+  std::vector<std::unique_ptr<TraceNode>> children;
+  TraceNode* parent = nullptr;  // null for the root
+};
+
+class Trace {
+ public:
+  // Opens the root span ("query") at the trace origin.
+  Trace();
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  const TraceNode& root() const { return root_; }
+  TraceNode* current() { return current_; }
+
+  TraceNode* OpenSpan(std::string_view name);
+  void CloseSpan(TraceNode* node);
+  double ElapsedMsSinceOrigin() const { return ElapsedMs(origin_); }
+
+  // Closes the root span (idempotent). Call before serializing.
+  void Finish();
+
+ private:
+  MonotonicClock::time_point origin_;
+  TraceNode root_;
+  TraceNode* current_;
+  bool finished_ = false;
+};
+
+// The trace installed on this thread, or nullptr (tracing off — the null
+// sink). Installed by TraceScope for the duration of an engine Count.
+Trace* CurrentTrace();
+
+class TraceScope {
+ public:
+  explicit TraceScope(Trace* trace);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* previous_;
+};
+
+// RAII span: opens a child of the current span on construction, closes it
+// (stamping the duration) on destruction. Inactive — and allocation-free —
+// when no trace is installed.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) : trace_(CurrentTrace()) {
+    if (trace_ != nullptr) node_ = trace_->OpenSpan(name);
+  }
+  ~TraceSpan() {
+    if (trace_ != nullptr) trace_->CloseSpan(node_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return trace_ != nullptr; }
+
+  void Note(std::string_view key, std::string_view value) {
+    if (trace_ != nullptr) {
+      node_->notes.emplace_back(std::string(key), std::string(value));
+    }
+  }
+  void NoteCount(std::string_view key, std::uint64_t value) {
+    if (trace_ != nullptr) {
+      node_->notes.emplace_back(std::string(key), std::to_string(value));
+    }
+  }
+  void NoteMs(std::string_view key, double ms);
+
+ private:
+  Trace* trace_;
+  TraceNode* node_ = nullptr;
+};
+
+// --- serialization -----------------------------------------------------------
+
+// Indented text form, one span per line:
+//
+//   <2*depth spaces><name> +<start>ms <duration>ms [key=value ...]
+//
+// Names, keys, and values are escaped (backslash, space -> "\s", tab,
+// newline) so the format round-trips through ParseTraceNode; it doubles as
+// the human tree `sharpcq count --trace` prints and the wire body the
+// daemon returns for `count ... trace=1`.
+std::string SerializeTraceNode(const TraceNode& node);
+
+// Inverse of SerializeTraceNode; nullptr with *error set on malformed
+// input (bad indentation, missing timing fields, orphan depths).
+std::unique_ptr<TraceNode> ParseTraceNode(std::string_view text,
+                                          std::string* error);
+
+// One-way JSON rendering, for `sharpcq count --json`:
+//   {"name":...,"start_ms":...,"duration_ms":...,
+//    "notes":{...},"children":[...]}
+std::string RenderTraceJson(const TraceNode& node);
+
+// --- slow-query log ----------------------------------------------------------
+
+struct SlowQueryEntry {
+  std::uint64_t sequence = 0;  // ordinal among recorded entries
+  std::string wall_time;       // WallTimestamp() at record time (log only)
+  std::string query;           // canonical query key
+  std::string method;
+  double planner_ms = 0.0;
+  double execute_ms = 0.0;
+  std::string trace;  // serialized span tree; "" when tracing was off
+};
+
+// Ring buffer of the slowest recent queries: every Count whose total time
+// crosses the threshold is counted, every sample_every-th such query is
+// recorded (deterministic sampling — no RNG, so tests and replays agree),
+// and the ring retains the last `capacity` records. The engine owns one
+// (EngineOptions knobs); the daemon surfaces it via `inspect ... slowlog=1`.
+class SlowQueryLog {
+ public:
+  struct Options {
+    std::size_t capacity = 32;
+    double threshold_ms = 100.0;  // < 0 disables the log entirely
+    std::uint32_t sample_every = 1;
+  };
+
+  explicit SlowQueryLog(Options options);
+
+  bool enabled() const {
+    return options_.capacity > 0 && options_.threshold_ms >= 0.0;
+  }
+  double threshold_ms() const { return options_.threshold_ms; }
+
+  // Threshold + sampling decision for a query that took `total_ms`. True
+  // means the caller should build and Record an entry.
+  bool ShouldRecord(double total_ms);
+
+  // Stamps entry.sequence and appends, evicting the oldest past capacity.
+  void Record(SlowQueryEntry entry);
+
+  std::vector<SlowQueryEntry> Entries() const;  // oldest first
+  std::uint64_t total_slow() const;             // threshold crossings
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::uint64_t slow_seen_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::deque<SlowQueryEntry> ring_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_UTIL_TRACE_H_
