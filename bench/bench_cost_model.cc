@@ -46,11 +46,11 @@ constexpr int kSelective = 10;    // rows in the filter atom
 Database SnapshotRoundTrip(const Database& db, const char* tag) {
   std::string path = "/tmp/sharpcq_bench_cost_" + std::string(tag) + "_" +
                      std::to_string(::getpid()) + ".sharpcq";
-  std::string error;
+  Status error;
   auto stats = WriteSnapshot(db, nullptr, path, &error);
-  SHARPCQ_CHECK_MSG(stats.has_value(), error.c_str());
+  SHARPCQ_CHECK_MSG(stats.has_value(), error.message().c_str());
   auto loaded = LoadSnapshot(path, SnapshotLoadMode::kMapped, &error);
-  SHARPCQ_CHECK_MSG(loaded.has_value(), error.c_str());
+  SHARPCQ_CHECK_MSG(loaded.has_value(), error.message().c_str());
   ::unlink(path.c_str());  // the mapping keeps the pages alive
   return std::move(loaded->db);
 }

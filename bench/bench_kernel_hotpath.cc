@@ -56,12 +56,15 @@
 #include <utility>
 #include <vector>
 
+#include "algebra/exec_policy.h"
 #include "algebra/rel.h"
 #include "algebra/table.h"
 #include "count/join_tree_instance.h"
 #include "solver/consistency.h"
 #include "util/count_int.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
+#include "util/mem_budget.h"
 #include "util/metrics.h"
 
 namespace sharpcq {
@@ -644,6 +647,38 @@ void BM_FullReducerChain_PackedMetricsOff(benchmark::State& state) {
   SetMetricsEnabled(true);
 }
 BENCHMARK(BM_FullReducerChain_PackedMetricsOff);
+
+// The chain under the robustness machinery at its most expensive
+// never-firing configuration: a generous memory budget bound in an
+// ExecScope (every allocation site calls ChargeExecMemory) and a failpoint
+// armed on the index-build site at a hit count it never reaches, so
+// AnyArmed() is true and every SHARPCQ_FAILPOINT takes the registry slow
+// path without firing. CI gates this <= 1.03x BM_FullReducerChain_Packed:
+// fault injection and budget accounting stay off the probe hot path.
+void BM_FullReducerChain_Budgeted(benchmark::State& state) {
+  failpoint::Trigger trigger;
+  trigger.action = FailpointAction::kError;
+  trigger.after_hits = std::numeric_limits<std::uint64_t>::max() / 2;
+  failpoint::Arm("index.build", trigger);
+  MemoryBudget query_budget(1ull << 40);
+  MemoryBudget process_budget(1ull << 40);
+  ExecPolicy policy;
+  policy.query_memory = &query_budget;
+  policy.process_memory = &process_budget;
+  ExecScope scope(policy);
+  const std::vector<Rel> chain = BuildViews(MakeChainRows());
+  std::size_t surviving = 0;
+  for (auto _ : state) {
+    std::vector<Rel> views = chain;
+    bool ok = EnforcePairwiseConsistency(&views);
+    benchmark::DoNotOptimize(ok);
+    surviving = views[0].size();
+  }
+  state.counters["surviving_rows"] = static_cast<double>(surviving);
+  state.counters["charged_bytes"] = static_cast<double>(query_budget.used());
+  failpoint::DisarmAll();
+}
+BENCHMARK(BM_FullReducerChain_Budgeted);
 
 // The chain as a path-shaped join-tree instance (vertex i's parent is
 // i - 1), for the weight-aggregation sweep.

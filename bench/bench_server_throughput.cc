@@ -74,7 +74,7 @@ class DaemonHarness {
     SHARPCQ_CHECK(::mkdtemp(root_.data()) != nullptr);
     {
       Catalog catalog(root_);
-      std::string error;
+      Status error;
       SHARPCQ_CHECK(
           catalog.Ingest("bench", MakeBenchDatabase(), nullptr, &error)
               .has_value());

@@ -66,9 +66,9 @@ struct Scratch {
     }
     snapshot_path = "/tmp/sharpcq_bench_snapshot_" +
                     std::to_string(::getpid()) + ".sharpcq";
-    std::string error;
+    Status error;
     auto stats = WriteSnapshot(db, nullptr, snapshot_path, &error);
-    SHARPCQ_CHECK_MSG(stats.has_value(), error.c_str());
+    SHARPCQ_CHECK_MSG(stats.has_value(), error.message().c_str());
   }
   ~Scratch() { std::remove(snapshot_path.c_str()); }
 };
@@ -97,22 +97,22 @@ void BM_ColdStart_CsvIngest(benchmark::State& state) {
 
 void BM_ColdStart_OwnedSnapshot(benchmark::State& state) {
   Scratch& scratch = GetScratch();
-  std::string error;
+  Status error;
   for (auto _ : state) {
     auto loaded =
         LoadSnapshot(scratch.snapshot_path, SnapshotLoadMode::kOwned, &error);
-    SHARPCQ_CHECK_MSG(loaded.has_value(), error.c_str());
+    SHARPCQ_CHECK_MSG(loaded.has_value(), error.message().c_str());
     benchmark::DoNotOptimize(loaded);
   }
 }
 
 void BM_ColdStart_MmapSnapshot(benchmark::State& state) {
   Scratch& scratch = GetScratch();
-  std::string error;
+  Status error;
   for (auto _ : state) {
     auto loaded =
         LoadSnapshot(scratch.snapshot_path, SnapshotLoadMode::kMapped, &error);
-    SHARPCQ_CHECK_MSG(loaded.has_value(), error.c_str());
+    SHARPCQ_CHECK_MSG(loaded.has_value(), error.message().c_str());
     benchmark::DoNotOptimize(loaded);
   }
 }
@@ -125,9 +125,9 @@ void BM_ColdStart_MmapSnapshot(benchmark::State& state) {
 // the load cost).
 void FirstCount(SnapshotLoadMode mode) {
   Scratch& scratch = GetScratch();
-  std::string error;
+  Status error;
   auto loaded = LoadSnapshot(scratch.snapshot_path, mode, &error);
-  SHARPCQ_CHECK_MSG(loaded.has_value(), error.c_str());
+  SHARPCQ_CHECK_MSG(loaded.has_value(), error.message().c_str());
   CountingEngine engine;
   auto path = ParseQuery("Q(A,C) <- s1(A,B), s2(B,C)");
   SHARPCQ_CHECK(path.has_value());

@@ -59,6 +59,22 @@ void CheckExecInterrupt() {
   }
 }
 
+void ChargeExecMemory(std::uint64_t bytes) {
+  const ExecPolicy* policy = current_policy;
+  if (policy == nullptr || bytes == 0) return;
+  if (policy->query_memory != nullptr &&
+      !policy->query_memory->TryCharge(bytes)) {
+    throw ExecResourceExhausted{bytes};
+  }
+  if (policy->process_memory != nullptr &&
+      !policy->process_memory->TryCharge(bytes)) {
+    // Back out the query-side charge so the tracker matches what the
+    // engine will release from the process budget at execution end.
+    if (policy->query_memory != nullptr) policy->query_memory->Release(bytes);
+    throw ExecResourceExhausted{bytes};
+  }
+}
+
 namespace {
 
 MorselPlan PlanMorselsWithThreshold(std::size_t rows, std::size_t threshold) {

@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "util/cancel.h"
+#include "util/mem_budget.h"
 
 namespace sharpcq {
 
@@ -71,6 +72,14 @@ struct ExecPolicy {
   // threshold consult data stats when set. Scheduling only — counts are
   // identical either way (the differential suite runs both settings).
   bool cost_model = false;
+  // Memory budgets for this execution, or null (unlimited). The same
+  // thread-local channel the CancelToken uses: allocation sites on the
+  // driving thread call ChargeExecMemory, which charges `query_memory`
+  // (bytes allocated by this execution) and `process_memory` (bytes held
+  // by all in-flight executions, shared daemon-wide). Pool workers run
+  // scope-free and charge nothing — their buffers are morsel-bounded.
+  MemoryBudget* query_memory = nullptr;
+  MemoryBudget* process_memory = nullptr;
 };
 
 // Installs `policy` as the current thread's execution policy for the
@@ -115,6 +124,21 @@ struct ExecInterrupted {
 // consistency worklist, the backtracking counter, the width searches —
 // call this so deadline expiry surfaces even on small-table executions.
 void CheckExecInterrupt();
+
+// Raised by ChargeExecMemory when an execution's budget refuses a charge:
+// unwinds like ExecInterrupted, and the engine maps it to
+// CountResult::status == kResourceExhausted. Thrown only on the driving
+// thread (workers never charge).
+struct ExecResourceExhausted {
+  std::uint64_t requested_bytes = 0;
+};
+
+// Charges `bytes` of table/index memory against the current thread's
+// budgets (see ExecPolicy::query_memory). A no-op without an installed
+// policy or budgets; throws ExecResourceExhausted when a budget refuses.
+// Call at allocation granularity — one call per table/index/hash buffer,
+// never per row.
+void ChargeExecMemory(std::uint64_t bytes);
 
 // Chunking decision for a probe loop over `rows` rows under the current
 // thread's policy.

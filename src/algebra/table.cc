@@ -8,6 +8,7 @@
 
 #include "algebra/stats.h"
 #include "util/cpu.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/metrics.h"
 
@@ -163,6 +164,17 @@ TableIndex::TableIndex(const Table& table, std::vector<int> key_columns)
   packing_ = ChoosePacking(table, key_columns_);
   const std::size_t n = table.rows();
   const std::size_t capacity = SlotCapacityFor(n);
+  // One budget charge covering the slot arrays (13 bytes/slot), the CSR,
+  // and the group buffers, made before anything is allocated so an
+  // over-budget build fails empty-handed. The failpoint doubles as the
+  // allocation-failure path for tests.
+  const std::uint64_t index_bytes =
+      static_cast<std::uint64_t>(capacity) * 13 +
+      static_cast<std::uint64_t>(n) * (8 * width_ + 24);
+  if (SHARPCQ_FAILPOINT("index.build") != FailpointAction::kNone) {
+    throw ExecResourceExhausted{index_bytes};
+  }
+  ChargeExecMemory(index_bytes);
   tags_.assign(capacity, 0);
   slot_words_ = std::make_unique_for_overwrite<std::uint64_t[]>(capacity);
   slots_ = std::make_unique_for_overwrite<std::uint32_t[]>(capacity);
@@ -568,6 +580,8 @@ std::shared_ptr<const Table> Table::FromColumns(
 
 std::shared_ptr<const Table> Table::Gather(
     const Table& src, std::span<const std::uint32_t> row_ids) {
+  ChargeExecMemory(static_cast<std::uint64_t>(row_ids.size()) *
+                   static_cast<std::uint64_t>(src.arity()) * sizeof(Value));
   std::vector<std::vector<Value>> cols(
       static_cast<std::size_t>(src.arity()));
   for (std::size_t c = 0; c < cols.size(); ++c) {
@@ -614,6 +628,8 @@ std::shared_ptr<const Table> TableBuilder::Build(bool known_distinct) && {
   const std::size_t capacity =
       SlotCapacityFor(std::max(rows_, reserved_rows_));
   const std::size_t mask = capacity - 1;
+  ChargeExecMemory(static_cast<std::uint64_t>(capacity) * 5 +
+                   static_cast<std::uint64_t>(rows_) * 4);
   std::vector<std::uint8_t> tags(capacity, 0);
   std::vector<std::uint32_t> slots(capacity, 0);
   std::vector<std::uint32_t> keep;

@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "algebra/exec_policy.h"
 #include "algebra/miss_filter.h"
 #include "algebra/simd.h"
 #include "data/value.h"
@@ -660,8 +661,14 @@ class TableBuilder {
   // many rows actually arrived. One allocation each, no regrow/rehash
   // churn on ingest.
   void ReserveRows(std::size_t n) {
+    if (n > reserved_rows_) {
+      // Budget charge at reservation granularity: the column buffers this
+      // hint commits to, net of any earlier reservation.
+      ChargeExecMemory(static_cast<std::uint64_t>(n - reserved_rows_) *
+                       cols_.size() * sizeof(Value));
+      reserved_rows_ = n;
+    }
     for (auto& col : cols_) col.reserve(n);
-    if (n > reserved_rows_) reserved_rows_ = n;
   }
 
   void AddRow(std::span<const Value> row) {

@@ -15,6 +15,8 @@ const char* CountStatusName(CountStatus status) {
       return "DEADLINE_EXCEEDED";
     case CountStatus::kCancelled:
       return "CANCELLED";
+    case CountStatus::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

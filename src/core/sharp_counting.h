@@ -15,11 +15,13 @@ namespace sharpcq {
 // How a counting call ended. Only the engine layer produces non-kOk
 // values: a Count given a CancelToken whose deadline expired (or that was
 // cancelled outright) stops at the next morsel boundary or strategy
-// checkpoint and reports it here — `count` is then meaningless.
+// checkpoint, and a Count whose memory budget refused an allocation stops
+// at the allocation site — either way `count` is then meaningless.
 enum class CountStatus : std::uint8_t {
   kOk,
   kDeadlineExceeded,
   kCancelled,
+  kResourceExhausted,
 };
 
 const char* CountStatusName(CountStatus status);
@@ -71,6 +73,12 @@ struct CountResult {
   // worklist ran (0 on acyclic schemas, which take the two-pass reducer).
   std::uint64_t morsels = 0;
   std::uint64_t worklist_iterations = 0;
+
+  // Memory-budget provenance (engine layer): bytes the execution charged
+  // against its budget (0 when no budget was configured). On
+  // kResourceExhausted, the size of the refused allocation.
+  std::uint64_t mem_charged_bytes = 0;
+  std::uint64_t mem_refused_bytes = 0;
 };
 
 // The Theorem 3.7 algorithm, given a #-decomposition: materializes the

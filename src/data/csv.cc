@@ -6,6 +6,7 @@
 #include <fstream>
 #include <string_view>
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace sharpcq {
@@ -53,6 +54,10 @@ CsvResult ParseCsv(std::istream& in, ValueDict* dict,
   std::vector<Value> row;
   while (std::getline(in, line)) {
     ++line_number;
+    if (SHARPCQ_FAILPOINT("csv.row") != FailpointAction::kNone) {
+      return Fail(CsvStatus::kIoError,
+                  "line " + std::to_string(line_number) + ": injected fault");
+    }
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') continue;
     std::vector<std::string_view> fields = SplitAndTrimViews(stripped, ',');
@@ -91,6 +96,9 @@ CsvResult ParseCsv(std::istream& in, ValueDict* dict,
 
 // Open with the file-missing / unreadable distinction surfaced.
 CsvResult OpenCsvFile(const std::string& path, std::ifstream* in) {
+  if (SHARPCQ_FAILPOINT("csv.open") != FailpointAction::kNone) {
+    return Fail(CsvStatus::kIoError, "open " + path + ": injected fault");
+  }
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {
     return Fail(CsvStatus::kFileMissing, "no such file: " + path);

@@ -171,6 +171,18 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
   policy.cost_model = options_.enable_cost_model;
   ExecStats stats;
   policy.stats = &stats;
+  // Memory budgets: a fresh per-execution budget tracks the bytes this
+  // Count allocates (and enforces max_query_bytes when set); the shared
+  // process budget accumulates in-flight totals across engines. The tracker
+  // exists whenever either budget is configured — its used() is what gets
+  // released from the process budget when this execution ends.
+  std::optional<MemoryBudget> query_budget;
+  MemoryBudget* process_budget = options_.total_budget.get();
+  if (options_.max_query_bytes > 0 || process_budget != nullptr) {
+    query_budget.emplace(options_.max_query_bytes);
+    policy.query_memory = &*query_budget;
+    policy.process_memory = process_budget;
+  }
   ExecScope scope(std::move(policy));
   // Disable probe-filter consults when the engine is configured without
   // them (results never change; only the consult is gated).
@@ -188,6 +200,11 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
                           ? CountStatus::kDeadlineExceeded
                           : CountStatus::kCancelled;
       result.method = "interrupted";
+    } catch (const ExecResourceExhausted& exhausted) {
+      result = CountResult{};
+      result.status = CountStatus::kResourceExhausted;
+      result.method = "interrupted";
+      result.mem_refused_bytes = exhausted.requested_bytes;
     }
     // Pool workers contribute through the ExecStats atomics, never the
     // trace; their totals are annotated here, when the span closes.
@@ -214,6 +231,16 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
       stats.worklist_iterations.load(std::memory_order_relaxed);
   result.cost_model_steered =
       planned.plan->cost_model_steered || result.cost_reorders > 0;
+  if (query_budget.has_value()) {
+    result.mem_charged_bytes = query_budget->used();
+    // The execution is over: whatever it charged into the shared process
+    // budget is no longer held (tables scoped to the execution are freed as
+    // the strategies unwind; index builds cached past it are a documented
+    // approximation).
+    if (process_budget != nullptr) {
+      process_budget->Release(query_budget->used());
+    }
+  }
   result.planner_ms = planned.planner_ms;
   result.cache_hit = planned.cache_hit;
   result.cache_shard = planned.cache_shard;
@@ -230,6 +257,8 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
         "sharpcq_counts_total", "{status=\"deadline_exceeded\"}");
     static Counter& cancelled_total =
         registry.GetCounter("sharpcq_counts_total", "{status=\"cancelled\"}");
+    static Counter& exhausted_total = registry.GetCounter(
+        "sharpcq_counts_total", "{status=\"resource_exhausted\"}");
     static Histogram& latency =
         registry.GetHistogram("sharpcq_count_latency_ms");
     switch (result.status) {
@@ -241,6 +270,9 @@ CountResult CountingEngine::Count(const ConjunctiveQuery& q,
         break;
       case CountStatus::kCancelled:
         cancelled_total.Add(1);
+        break;
+      case CountStatus::kResourceExhausted:
+        exhausted_total.Add(1);
         break;
     }
     latency.Record(total_ms);

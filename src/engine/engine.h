@@ -74,6 +74,20 @@ struct EngineOptions {
   std::size_t slow_query_log_capacity = 32;
   double slow_query_threshold_ms = 100.0;
   std::size_t slow_query_sample_every = 1;
+  // Memory budgets (graceful degradation, not precise accounting: charges
+  // are allocation-granularity estimates of table/index memory).
+  //
+  // max_query_bytes caps the bytes one Count may allocate during its
+  // execution; an over-budget Count unwinds at the refusing allocation and
+  // returns status kResourceExhausted — the engine stays fully usable for
+  // subsequent calls. 0 = unlimited.
+  std::uint64_t max_query_bytes = 0;
+  // A process-wide budget shared across engines (the daemon installs one
+  // over every database's engine): tracks bytes held by all in-flight
+  // executions; each execution's total is released when it ends. Null =
+  // unlimited. Shared because several engines (one per database) must
+  // drain into one daemon-wide cap.
+  std::shared_ptr<MemoryBudget> total_budget;
 };
 
 // Named planner policies, for tools that take a strategy by name (the

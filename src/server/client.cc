@@ -8,24 +8,56 @@
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "util/clock.h"
+#include "util/hash.h"
 
 namespace sharpcq {
 
+bool IsRetrySafeCommand(std::string_view command) {
+  return command == "count" || command == "status" ||
+         command == "inspect" || command == "metrics";
+}
+
+namespace {
+
+// Deterministic-per-process jitter: hash the steady clock's ticks with the
+// attempt number. Good enough to decorrelate independent clients; no
+// global RNG state, no wall clock.
+double JitterFactor(int attempt, double jitter) {
+  const auto ticks = MonotonicNow().time_since_epoch().count();
+  const std::uint64_t h =
+      HashCombine(static_cast<std::size_t>(ticks),
+                  static_cast<std::size_t>(attempt) * 0x9e3779b97f4a7c15ULL);
+  const double unit = static_cast<double>(h % 10000) / 10000.0;  // [0, 1)
+  return 1.0 + jitter * (2.0 * unit - 1.0);                      // 1 +/- j
+}
+
+}  // namespace
+
 Client::~Client() { Close(); }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), host_(std::move(other.host_)), port_(other.port_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = std::exchange(other.fd_, -1);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
   }
   return *this;
 }
 
 bool Client::Connect(const std::string& host, int port, std::string* error) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
@@ -63,6 +95,49 @@ std::optional<Response> Client::Call(const Request& request,
                                      std::string* error) {
   if (!Send(request, error)) return std::nullopt;
   return Receive(error);
+}
+
+std::optional<Response> Client::CallWithRetry(const Request& request,
+                                              const RetryPolicy& policy,
+                                              std::string* error,
+                                              int* attempts_out) {
+  const bool retry_safe = IsRetrySafeCommand(request.command);
+  const int max_attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  double delay_ms =
+      static_cast<double>(policy.initial_backoff.count());
+  std::string attempt_error;
+  for (int attempt = 1;; ++attempt) {
+    if (attempts_out != nullptr) *attempts_out = attempt;
+    bool retryable = false;
+    if (!connected() && !Connect(host_, port_, &attempt_error)) {
+      // Nothing was delivered, so even a non-retry-safe request may try
+      // again (the connect-refused window of a restarting daemon).
+      retryable = true;
+    } else {
+      std::optional<Response> response = Call(request, &attempt_error);
+      if (response.has_value()) {
+        if (response->ok || response->code != wire::kOverloaded) {
+          return response;
+        }
+        attempt_error = "server overloaded: " + response->message;
+        retryable = retry_safe;
+      } else {
+        // Transport failure after the request may have been sent: the
+        // outcome is ambiguous, so only read-only requests retry.
+        Close();
+        retryable = retry_safe;
+      }
+    }
+    if (!retryable || attempt >= max_attempts) {
+      if (error != nullptr) *error = attempt_error;
+      return std::nullopt;
+    }
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          delay_ms * JitterFactor(attempt, policy.jitter)));
+    }
+    delay_ms *= policy.multiplier;
+  }
 }
 
 bool Client::Send(const Request& request, std::string* error) {

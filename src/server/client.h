@@ -1,6 +1,7 @@
 #ifndef SHARPCQ_SERVER_CLIENT_H_
 #define SHARPCQ_SERVER_CLIENT_H_
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -8,6 +9,24 @@
 #include "server/protocol.h"
 
 namespace sharpcq {
+
+// Bounded-retry policy for CallWithRetry: exponential backoff with
+// deterministic jitter (derived from the steady clock, no global RNG
+// state). Attempt n sleeps ~initial_backoff * multiplier^(n-1), spread by
+// +/- jitter to decorrelate clients hammering a recovering daemon.
+struct RetryPolicy {
+  int max_attempts = 3;  // total tries, including the first
+  std::chrono::milliseconds initial_backoff{50};
+  double multiplier = 2.0;
+  double jitter = 0.2;  // fraction of the delay, +/-
+};
+
+// True for commands a client may safely re-send after a transport failure:
+// they are read-only, so executing twice (or once after an ambiguous
+// failure) changes nothing. `ingest` is deliberately absent — a mid-call
+// disconnect leaves "did generation N+1 commit?" unknowable, and blind
+// re-send would double-append.
+bool IsRetrySafeCommand(std::string_view command);
 
 // Blocking client for the sharpcqd protocol: one TCP connection, strictly
 // request-response. Used by the `sharpcqd send` subcommand, the server
@@ -31,6 +50,18 @@ class Client {
   // errors come back as a Response with ok == false.
   std::optional<Response> Call(const Request& request, std::string* error);
 
+  // Call with bounded retries: reconnects (to the host/port of the last
+  // Connect) and retries on connect failure and on OVERLOADED responses.
+  // Retry after the request was actually sent — a mid-call transport
+  // failure or an OVERLOADED rejection — happens only for retry-safe
+  // (read-only) commands; a non-retry-safe command (ingest) is retried
+  // only while connecting, i.e. while provably never delivered.
+  // *attempts_out (optional) reports how many tries ran.
+  std::optional<Response> CallWithRetry(const Request& request,
+                                        const RetryPolicy& policy,
+                                        std::string* error,
+                                        int* attempts_out = nullptr);
+
   // Split halves, for tests that disconnect between them.
   bool Send(const Request& request, std::string* error);
   std::optional<Response> Receive(std::string* error);
@@ -44,6 +75,9 @@ class Client {
 
  private:
   int fd_ = -1;
+  // Reconnect target for CallWithRetry (stamped by Connect).
+  std::string host_;
+  int port_ = 0;
 };
 
 }  // namespace sharpcq

@@ -18,6 +18,8 @@
 #include "engine/engine.h"
 #include "query/parser.h"
 #include "util/count_int.h"
+#include "util/failpoint.h"
+#include "util/status.h"
 #include "util/string_util.h"
 #include "util/trace.h"
 
@@ -44,6 +46,43 @@ std::string FormatMs(double ms) {
   return buffer;
 }
 
+// Maps a storage-layer Status onto the wire's error codes. Most codes
+// mirror StatusCodeName 1:1 (the taxonomy was designed for that); the two
+// exceptions keep historical client expectations stable.
+Response CatalogError(const Status& status) {
+  const char* code = wire::kInternal;
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      code = wire::kNotFound;
+      break;
+    case StatusCode::kInvalidArgument:
+      code = wire::kBadRequest;
+      break;
+    case StatusCode::kCorruptData:
+      code = wire::kCorruptData;
+      break;
+    case StatusCode::kIoError:
+      code = wire::kIoError;
+      break;
+    default:
+      break;
+  }
+  return ErrorResponse(code, status.message());
+}
+
+// Installs the daemon-level memory budgets into the engine options every
+// per-database engine is built from: the per-query cap rides as a plain
+// limit, the daemon-wide cap as one shared MemoryBudget (all engines
+// charge the same pool).
+DaemonOptions ApplyMemoryBudgets(DaemonOptions options) {
+  options.catalog.engine.max_query_bytes = options.max_query_bytes;
+  if (options.max_total_bytes > 0) {
+    options.catalog.engine.total_budget =
+        std::make_shared<MemoryBudget>(options.max_total_bytes);
+  }
+  return options;
+}
+
 // RAII registration with the disconnect watcher.
 class DisconnectWatch {
  public:
@@ -63,7 +102,7 @@ class DisconnectWatch {
 }  // namespace
 
 Daemon::Daemon(DaemonOptions options)
-    : options_(std::move(options)),
+    : options_(ApplyMemoryBudgets(std::move(options))),
       catalog_(options_.catalog_root, options_.catalog) {}
 
 Daemon::~Daemon() { Stop(); }
@@ -173,6 +212,10 @@ void Daemon::AcceptLoop() {
       ::close(fd);
       return;
     }
+    if (SHARPCQ_FAILPOINT("daemon.accept") != FailpointAction::kNone) {
+      ::close(fd);  // injected accept failure: drop, keep listening
+      continue;
+    }
     // Request/response round trips are latency-bound; without this, Nagle
     // can couple small frames to the peer's delayed ACK.
     int one = 1;
@@ -211,6 +254,7 @@ void Daemon::ServeConnection(int fd) {
   for (;;) {
     std::string payload;
     std::string error;
+    if (SHARPCQ_FAILPOINT("daemon.recv") != FailpointAction::kNone) break;
     FrameStatus status =
         RecvFrame(fd, options_.max_frame_bytes, &payload, &error);
     if (status == FrameStatus::kClosed || status == FrameStatus::kError) break;
@@ -252,6 +296,7 @@ void Daemon::ServeConnection(int fd) {
         ++stats_.responses_error;
       }
     }
+    if (SHARPCQ_FAILPOINT("daemon.send") != FailpointAction::kNone) break;
     if (!SendFrame(fd, SerializeResponse(response), &error)) break;
     if (is_shutdown) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -357,8 +402,10 @@ Response Daemon::HandleCount(const Request& request, int fd) {
                          "count requires the query text as the request body");
   }
   std::string error;
-  std::shared_ptr<const Catalog::Entry> entry = catalog_.Open(*db_name, &error);
-  if (entry == nullptr) return ErrorResponse(wire::kNotFound, error);
+  Status open_status;
+  std::shared_ptr<const Catalog::Entry> entry =
+      catalog_.Open(*db_name, &open_status);
+  if (entry == nullptr) return CatalogError(open_status);
 
   const std::string* strategy = request.Arg("strategy");
   std::optional<PlannerOptions> planner = PlannerOptionsForStrategy(
@@ -416,6 +463,15 @@ Response Daemon::HandleCount(const Request& request, int fd) {
       ++stats_.cancelled_disconnect;
     }
     response = ErrorResponse(wire::kCancelled, "request cancelled");
+  } else if (result.status == CountStatus::kResourceExhausted) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.resource_exhausted;
+    }
+    response = ErrorResponse(
+        wire::kResourceExhausted,
+        "memory budget exhausted (refused an allocation of " +
+            std::to_string(result.mem_refused_bytes) + " bytes)");
   } else {
     response = OkResponse();
     response.Add("count", CountToString(result.count));
@@ -460,13 +516,13 @@ Response Daemon::HandleIngest(const Request& request) {
   // Read-copy-swap under the ingest lock: counts keep serving the pinned
   // old generation throughout (ingest-while-serving).
   std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
-  std::string error;
+  Status status;
   Database db;
   ValueDict dict;
-  if (catalog_.CurrentGeneration(*db_name, &error).has_value()) {
+  if (catalog_.CurrentGeneration(*db_name, &status).has_value()) {
     std::shared_ptr<const Catalog::Entry> entry =
-        catalog_.Open(*db_name, &error);
-    if (entry == nullptr) return ErrorResponse(wire::kInternal, error);
+        catalog_.Open(*db_name, &status);
+    if (entry == nullptr) return CatalogError(status);
     db = *entry->db;
     dict = *entry->dict;
   }
@@ -478,9 +534,9 @@ Response Daemon::HandleIngest(const Request& request) {
                          "relation " + *relation + ": " + loaded.message);
   }
   std::optional<std::uint64_t> generation =
-      catalog_.Ingest(*db_name, db, &dict, &error);
+      catalog_.Ingest(*db_name, db, &dict, &status);
   if (!generation.has_value()) {
-    return ErrorResponse(wire::kInternal, error);
+    return CatalogError(status);
   }
   Response response = OkResponse();
   response.Add("db", *db_name);
@@ -511,6 +567,8 @@ Response Daemon::HandleStatus() {
                std::to_string(snapshot.deadline_exceeded));
   response.Add("cancelled_disconnect",
                std::to_string(snapshot.cancelled_disconnect));
+  response.Add("resource_exhausted",
+               std::to_string(snapshot.resource_exhausted));
   response.Add("frames_too_large", std::to_string(snapshot.frames_too_large));
   response.Add("malformed_requests",
                std::to_string(snapshot.malformed_requests));
@@ -532,6 +590,13 @@ Response Daemon::HandleStatus() {
 #endif
   response.Add("cost_model",
                options_.catalog.engine.enable_cost_model ? "on" : "off");
+  response.Add("max_query_bytes", std::to_string(options_.max_query_bytes));
+  response.Add("max_total_bytes", std::to_string(options_.max_total_bytes));
+  if (const MemoryBudget* budget =
+          options_.catalog.engine.total_budget.get();
+      budget != nullptr) {
+    response.Add("mem_inflight_bytes", std::to_string(budget->used()));
+  }
   std::vector<std::string> names = catalog_.ListDatabases();
   response.Add("databases", JoinStrings(names, ","));
   return response;
@@ -583,6 +648,19 @@ Response Daemon::HandleMetrics() {
   body += "# TYPE sharpcqd_cancelled_disconnect_total counter\n";
   AppendPrometheusLine(&body, "sharpcqd_cancelled_disconnect_total", "",
                        s.cancelled_disconnect);
+  body += "# TYPE sharpcqd_resource_exhausted_total counter\n";
+  AppendPrometheusLine(&body, "sharpcqd_resource_exhausted_total", "",
+                       s.resource_exhausted);
+  if (const MemoryBudget* budget =
+          options_.catalog.engine.total_budget.get();
+      budget != nullptr) {
+    body += "# TYPE sharpcqd_memory_budget_bytes gauge\n";
+    AppendPrometheusLine(&body, "sharpcqd_memory_budget_bytes", "",
+                         budget->limit());
+    body += "# TYPE sharpcqd_memory_inflight_bytes gauge\n";
+    AppendPrometheusLine(&body, "sharpcqd_memory_inflight_bytes", "",
+                         budget->used());
+  }
   body += "# TYPE sharpcqd_frames_too_large_total counter\n";
   AppendPrometheusLine(&body, "sharpcqd_frames_too_large_total", "",
                        s.frames_too_large);
@@ -609,9 +687,10 @@ Response Daemon::HandleInspect(const Request& request) {
   if (db_name == nullptr || !ValidDbName(*db_name)) {
     return ErrorResponse(wire::kBadRequest, "inspect requires db=<name>");
   }
-  std::string error;
-  std::shared_ptr<const Catalog::Entry> entry = catalog_.Open(*db_name, &error);
-  if (entry == nullptr) return ErrorResponse(wire::kNotFound, error);
+  Status open_status;
+  std::shared_ptr<const Catalog::Entry> entry =
+      catalog_.Open(*db_name, &open_status);
+  if (entry == nullptr) return CatalogError(open_status);
   Response response = OkResponse();
   response.Add("db", entry->name);
   response.Add("generation", std::to_string(entry->generation));

@@ -29,6 +29,7 @@ struct DaemonStats {
   std::uint64_t rejected_overload = 0;
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t cancelled_disconnect = 0;
+  std::uint64_t resource_exhausted = 0;
   std::uint64_t frames_too_large = 0;
   std::uint64_t malformed_requests = 0;
   // Per-command request totals (unknown commands count toward none).
@@ -57,6 +58,13 @@ struct DaemonOptions {
   std::chrono::milliseconds default_deadline{0};
   // How often the disconnect watcher polls executing requests' sockets.
   std::chrono::milliseconds watch_interval{5};
+  // Memory budgets (graceful degradation): max_query_bytes caps what one
+  // count may allocate; max_total_bytes caps the sum across all in-flight
+  // counts over every database (one shared MemoryBudget installed into
+  // each per-database engine). An over-budget count gets a
+  // RESOURCE_EXHAUSTED response; the daemon keeps serving. 0 = unlimited.
+  std::uint64_t max_query_bytes = 0;
+  std::uint64_t max_total_bytes = 0;
   Catalog::Options catalog;
 };
 

@@ -48,6 +48,15 @@ inline constexpr const char kNotFound[] = "NOT_FOUND";
 inline constexpr const char kParseError[] = "PARSE_ERROR";
 inline constexpr const char kDeadlineExceeded[] = "DEADLINE_EXCEEDED";
 inline constexpr const char kCancelled[] = "CANCELLED";
+// A memory budget refused the request's allocations (distinct from
+// OVERLOADED: the daemon is healthy and keeps serving; retrying the same
+// query will exhaust the same budget unless the budget was process-wide
+// and other queries have since finished).
+inline constexpr const char kResourceExhausted[] = "RESOURCE_EXHAUSTED";
+// Storage-layer failures surfaced over the wire; mirror StatusCodeName
+// (util/status.h) so the daemon maps Status codes 1:1.
+inline constexpr const char kCorruptData[] = "CORRUPT_DATA";
+inline constexpr const char kIoError[] = "IO_ERROR";
 inline constexpr const char kOverloaded[] = "OVERLOADED";
 inline constexpr const char kFrameTooLarge[] = "FRAME_TOO_LARGE";
 inline constexpr const char kShuttingDown[] = "SHUTTING_DOWN";

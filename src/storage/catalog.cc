@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace sharpcq {
@@ -22,11 +23,14 @@ namespace {
 
 constexpr std::string_view kManifestHeader = "sharpcq-manifest v1";
 
-bool EnsureDir(const std::string& path, std::string* error) {
+void SetStatus(Status* status, StatusCode code, std::string message) {
+  if (status != nullptr) *status = Status(code, std::move(message));
+}
+
+bool EnsureDir(const std::string& path, Status* status) {
   if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return true;
-  if (error != nullptr) {
-    *error = "cannot create directory " + path + ": " + std::strerror(errno);
-  }
+  SetStatus(status, StatusCode::kIoError,
+            "cannot create directory " + path + ": " + std::strerror(errno));
   return false;
 }
 
@@ -101,7 +105,7 @@ std::string Catalog::SnapshotPath(const std::string& name,
 
 bool Catalog::WriteManifest(const std::string& name, std::uint64_t current,
                             const std::vector<std::uint64_t>& generations,
-                            std::string* error) {
+                            Status* status) {
   std::ostringstream out;
   out << kManifestHeader << "\n";
   out << "current " << current << "\n";
@@ -112,25 +116,22 @@ bool Catalog::WriteManifest(const std::string& name, std::uint64_t current,
   return AtomicWriteFile(
       ManifestPath(name),
       {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()},
-      error);
+      status);
 }
 
 std::optional<std::vector<std::uint64_t>> Catalog::ReadGenerations(
-    const std::string& name, std::uint64_t* current,
-    std::string* error) const {
+    const std::string& name, std::uint64_t* current, Status* status) const {
   std::ifstream in(ManifestPath(name));
   if (!in) {
-    if (error != nullptr) {
-      *error = "no database '" + name + "' under " + root_ +
-               " (missing manifest)";
-    }
+    SetStatus(status, StatusCode::kNotFound,
+              "no database '" + name + "' under " + root_ +
+                  " (missing manifest)");
     return std::nullopt;
   }
   std::string line;
   if (!std::getline(in, line) || StripWhitespace(line) != kManifestHeader) {
-    if (error != nullptr) {
-      *error = "malformed manifest for database '" + name + "'";
-    }
+    SetStatus(status, StatusCode::kCorruptData,
+              "malformed manifest for database '" + name + "'");
     return std::nullopt;
   }
   bool have_current = false;
@@ -153,36 +154,78 @@ std::optional<std::vector<std::uint64_t>> Catalog::ReadGenerations(
     }
   }
   if (!have_current) {
-    if (error != nullptr) {
-      *error = "manifest for '" + name + "' has no current generation";
-    }
+    SetStatus(status, StatusCode::kCorruptData,
+              "manifest for '" + name + "' has no current generation");
     return std::nullopt;
   }
   return generations;
 }
 
 std::optional<std::uint64_t> Catalog::CurrentGeneration(
-    const std::string& name, std::string* error) const {
+    const std::string& name, Status* status) const {
   if (!ValidName(name)) {
-    if (error != nullptr) *error = "invalid database name '" + name + "'";
+    SetStatus(status, StatusCode::kInvalidArgument,
+              "invalid database name '" + name + "'");
     return std::nullopt;
   }
   std::uint64_t current = 0;
-  if (!ReadGenerations(name, &current, error).has_value()) {
+  if (!ReadGenerations(name, &current, status).has_value()) {
     return std::nullopt;
   }
   return current;
 }
 
+void Catalog::ScavengeTmpFiles(const std::string& name) const {
+  const std::string dir = DatabaseDir(name);
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string base = e->d_name;
+    if (base.find(".tmp.") == std::string::npos) continue;
+    ::unlink((dir + "/" + base).c_str());
+  }
+  ::closedir(d);
+}
+
+bool Catalog::VerifyGeneration(const std::string& name,
+                               std::uint64_t generation, Status* status) {
+  const std::string key = name + "#" + std::to_string(generation);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (verified_.count(key) != 0) return true;
+  }
+  if (!VerifySnapshot(SnapshotPath(name, generation), status)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  verified_.insert(key);
+  return true;
+}
+
+void Catalog::QuarantineGeneration(const std::string& name,
+                                   std::uint64_t generation) const {
+  const std::string src = SnapshotPath(name, generation);
+  if (!FileExists(src)) return;  // manifest pointed at a missing file
+  const std::string dir = DatabaseDir(name) + "/corrupt";
+  ::mkdir(dir.c_str(), 0755);
+  const std::string dst = dir + "/" + GenerationFile(generation);
+  if (::rename(src.c_str(), dst.c_str()) != 0) {
+    // Quarantine is best-effort evidence preservation; what matters is
+    // that the generation stops being served, which the manifest
+    // rollback guarantees. Remove it so a later re-ingest of the same
+    // generation number cannot resurrect the corrupt bytes.
+    ::unlink(src.c_str());
+  }
+}
+
 std::optional<std::uint64_t> Catalog::Ingest(const std::string& name,
                                              const Database& db,
                                              const ValueDict* dict,
-                                             std::string* error) {
+                                             Status* status) {
   if (!ValidName(name)) {
-    if (error != nullptr) *error = "invalid database name '" + name + "'";
+    SetStatus(status, StatusCode::kInvalidArgument,
+              "invalid database name '" + name + "'");
     return std::nullopt;
   }
-  if (!EnsureDir(root_, error) || !EnsureDir(DatabaseDir(name), error)) {
+  if (!EnsureDir(root_, status) || !EnsureDir(DatabaseDir(name), status)) {
     return std::nullopt;
   }
   // One ingest at a time per database: in-process via mu_-independent
@@ -190,18 +233,22 @@ std::optional<std::uint64_t> Catalog::Ingest(const std::string& name,
   // processes sharing the catalog root.
   IngestLock lock(DatabaseDir(name));
   if (!lock.ok()) {
-    if (error != nullptr) {
-      *error = "cannot lock database '" + name + "' for ingest";
-    }
+    SetStatus(status, StatusCode::kIoError,
+              "cannot lock database '" + name + "' for ingest");
     return std::nullopt;
   }
+  // No writer can be in flight while we hold the lock, so any temp file is
+  // a crash leftover. Removing them here (not just in Open) also clears a
+  // stale `.tmp.<pid>` whose pid the OS recycled to us — otherwise our own
+  // O_EXCL open below would fail on a file we never wrote.
+  ScavengeTmpFiles(name);
   std::uint64_t current = 0;
   std::vector<std::uint64_t> generations;
   if (FileExists(ManifestPath(name))) {
     // A present-but-unreadable manifest must fail the ingest: falling back
     // to generation 1 would rename over an existing immutable snapshot a
     // reader may be mapping. Only a missing manifest means "fresh".
-    auto existing = ReadGenerations(name, &current, error);
+    auto existing = ReadGenerations(name, &current, status);
     if (!existing.has_value()) return std::nullopt;
     generations = std::move(*existing);
   }
@@ -209,22 +256,43 @@ std::optional<std::uint64_t> Catalog::Ingest(const std::string& name,
   // The snapshot lands first; the manifest swap is the commit point. A
   // crash in between leaves an unreferenced snapshot file, never a
   // manifest pointing at a missing or partial one.
-  if (!WriteSnapshot(db, dict, SnapshotPath(name, next), error).has_value()) {
+  if (!WriteSnapshot(db, dict, SnapshotPath(name, next), status)
+           .has_value()) {
     return std::nullopt;
   }
   generations.push_back(next);
-  if (!WriteManifest(name, next, generations, error)) return std::nullopt;
+  if (SHARPCQ_FAILPOINT("catalog.manifest_swap") != FailpointAction::kNone) {
+    SetStatus(status, StatusCode::kIoError,
+              "manifest swap for '" + name + "': injected fault");
+    return std::nullopt;
+  }
+  if (!WriteManifest(name, next, generations, status)) return std::nullopt;
   return next;
 }
 
 std::shared_ptr<const Catalog::Entry> Catalog::Open(const std::string& name,
-                                                    std::string* error) {
+                                                    Status* status) {
   if (!ValidName(name)) {
-    if (error != nullptr) *error = "invalid database name '" + name + "'";
+    SetStatus(status, StatusCode::kInvalidArgument,
+              "invalid database name '" + name + "'");
     return nullptr;
   }
+  // First open of this name in this process: clear crash leftovers. Under
+  // the ingest flock so a live writer's temp file is never touched.
+  bool scavenge = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scavenge = scavenged_.insert(name).second;
+  }
+  if (scavenge && FileExists(DatabaseDir(name))) {
+    IngestLock lock(DatabaseDir(name));
+    if (lock.ok()) ScavengeTmpFiles(name);
+  }
+
   std::uint64_t current = 0;
-  if (!ReadGenerations(name, &current, error).has_value()) return nullptr;
+  std::optional<std::vector<std::uint64_t>> generations =
+      ReadGenerations(name, &current, status);
+  if (!generations.has_value()) return nullptr;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -234,31 +302,85 @@ std::shared_ptr<const Catalog::Entry> Catalog::Open(const std::string& name,
     }
   }
 
-  std::optional<LoadedSnapshot> loaded =
-      LoadSnapshot(SnapshotPath(name, current), options_.load_mode, error);
-  if (!loaded.has_value()) return nullptr;
+  // Candidate generations, newest first: the manifest's current, then
+  // every older retained generation. A generation that fails its checksum
+  // pass is quarantined and the next older one is tried — serving known-
+  // good data beats failing the open (graceful degradation).
+  std::vector<std::uint64_t> candidates = *generations;
+  candidates.push_back(current);
+  std::sort(candidates.begin(), candidates.end(),
+            std::greater<std::uint64_t>());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [current](std::uint64_t g) { return g > current; }),
+      candidates.end());
 
-  auto entry = std::make_shared<Entry>();
-  entry->name = name;
-  entry->generation = current;
-  entry->db = std::make_shared<const Database>(std::move(loaded->db));
-  entry->dict = std::make_shared<const ValueDict>(std::move(loaded->dict));
-  entry->info = std::move(loaded->info);
-  entry->mode = options_.load_mode;
-  entry->profile = BuildDataProfile(*entry->db);
+  std::vector<std::uint64_t> quarantined;
+  for (std::uint64_t gen : candidates) {
+    Status verify_status;
+    if (!VerifyGeneration(name, gen, &verify_status)) {
+      QuarantineGeneration(name, gen);
+      quarantined.push_back(gen);
+      continue;
+    }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  // The engine outlives generations on purpose: plans depend only on the
-  // query shape, so a data swap must not cold-start the plan cache.
-  auto [engine_it, inserted] = engines_.emplace(name, nullptr);
-  if (inserted) {
-    engine_it->second = std::make_shared<CountingEngine>(options_.engine);
+    std::optional<LoadedSnapshot> loaded =
+        LoadSnapshot(SnapshotPath(name, gen), options_.load_mode, status);
+    if (!loaded.has_value()) return nullptr;  // verified then unreadable: I/O
+
+    if (!quarantined.empty()) {
+      // Roll the manifest back to this generation so the next open (and
+      // other processes) skip the dead ones. Under the ingest lock, and
+      // only if no ingest advanced the manifest meanwhile.
+      IngestLock lock(DatabaseDir(name));
+      if (lock.ok()) {
+        std::uint64_t now_current = 0;
+        Status ignored;
+        auto now = ReadGenerations(name, &now_current, &ignored);
+        if (now.has_value() && now_current == current) {
+          std::vector<std::uint64_t> keep;
+          for (std::uint64_t g : *now) {
+            if (std::find(quarantined.begin(), quarantined.end(), g) ==
+                quarantined.end()) {
+              keep.push_back(g);
+            }
+          }
+          Status rollback_status;
+          WriteManifest(name, gen, keep, &rollback_status);
+        }
+      }
+    }
+
+    auto entry = std::make_shared<Entry>();
+    entry->name = name;
+    entry->generation = gen;
+    entry->db = std::make_shared<const Database>(std::move(loaded->db));
+    entry->dict = std::make_shared<const ValueDict>(std::move(loaded->dict));
+    entry->info = std::move(loaded->info);
+    entry->mode = options_.load_mode;
+    entry->profile = BuildDataProfile(*entry->db);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    // The engine outlives generations on purpose: plans depend only on the
+    // query shape, so a data swap must not cold-start the plan cache.
+    auto [engine_it, inserted] = engines_.emplace(name, nullptr);
+    if (inserted) {
+      engine_it->second = std::make_shared<CountingEngine>(options_.engine);
+    }
+    entry->engine = engine_it->second;
+    // Two threads may have loaded the same generation concurrently; last
+    // one wins, both entries are equivalent and immutable.
+    open_[name] = entry;
+    return entry;
   }
-  entry->engine = engine_it->second;
-  // Two threads may have loaded the same generation concurrently; last one
-  // wins, both entries are equivalent and immutable.
-  open_[name] = entry;
-  return entry;
+
+  SetStatus(status, StatusCode::kCorruptData,
+            "no retained generation of '" + name +
+                "' passes verification (all quarantined under " +
+                DatabaseDir(name) + "/corrupt)");
+  return nullptr;
 }
 
 std::vector<std::string> Catalog::ListDatabases() const {

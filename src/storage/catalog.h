@@ -7,10 +7,12 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "engine/engine.h"
 #include "storage/snapshot.h"
+#include "util/status.h"
 
 namespace sharpcq {
 
@@ -18,12 +20,23 @@ namespace sharpcq {
 //
 //   <root>/<name>/MANIFEST                    current + retained generations
 //   <root>/<name>/snapshot-<gen>.sharpcq      immutable snapshot files
+//   <root>/<name>/corrupt/                    quarantined generations
 //
 // Generations are immutable once written; ingest writes generation N+1 and
 // then swaps the manifest atomically (AtomicWriteFile), so a reader either
 // sees the old generation or the new one — never a torn state — and
 // requests already serving the old generation keep their shared_ptr alive
 // until they finish (ingest-while-serving).
+//
+// Crash recovery (see DESIGN.md "Failure model & recovery"): both Open and
+// Ingest scavenge stale `*.tmp.*` files left by crashed writers (under the
+// per-database flock, so an in-flight writer's temp file is never
+// touched — this also defuses the recycled-pid O_EXCL collision). Open
+// verifies a generation's checksums before first serving it (cached per
+// (name, generation), so the full pass runs once per process); a
+// generation that fails verification is moved to corrupt/ and the catalog
+// rolls the manifest back to the newest generation that verifies. Only
+// when no generation verifies does Open fail, with kCorruptData.
 //
 // Open() hands out the current generation as an immutable Entry: the
 // database (columnar, mapped by default), its dictionary, its data profile
@@ -60,25 +73,29 @@ class Catalog {
   };
 
   // Writes `db` as the next generation of `name` and swaps the manifest.
-  // Returns the new generation number, or nullopt with *error set.
+  // Returns the new generation number, or nullopt with *status set:
+  // kInvalidArgument (bad name), kIoError (write/lock failure, including
+  // injected faults at the storage.* / catalog.manifest_swap sites), or
+  // kCorruptData (existing manifest unreadable).
   std::optional<std::uint64_t> Ingest(const std::string& name,
                                       const Database& db,
                                       const ValueDict* dict,
-                                      std::string* error);
+                                      Status* status);
 
   // The current generation of `name`, loading it on first access or after
   // an ingest moved the manifest. Entries are cached per (name, generation)
-  // so repeated opens are O(manifest read).
-  std::shared_ptr<const Entry> Open(const std::string& name,
-                                    std::string* error);
+  // so repeated opens are O(manifest read). Failure codes: kNotFound (no
+  // such database), kCorruptData (manifest unreadable, or no retained
+  // generation passes verification), kIoError, kInvalidArgument.
+  std::shared_ptr<const Entry> Open(const std::string& name, Status* status);
 
   // Database names present under the root (directories with a MANIFEST).
   std::vector<std::string> ListDatabases() const;
 
-  // The manifest's current generation without loading data (nullopt when
+  // The manifest's current generation without loading data (kNotFound when
   // the database does not exist).
   std::optional<std::uint64_t> CurrentGeneration(const std::string& name,
-                                                 std::string* error) const;
+                                                 Status* status) const;
 
   std::string SnapshotPath(const std::string& name,
                            std::uint64_t generation) const;
@@ -89,17 +106,34 @@ class Catalog {
   std::string ManifestPath(const std::string& name) const;
   bool WriteManifest(const std::string& name, std::uint64_t current,
                      const std::vector<std::uint64_t>& generations,
-                     std::string* error);
+                     Status* status);
   std::optional<std::vector<std::uint64_t>> ReadGenerations(
-      const std::string& name, std::uint64_t* current,
-      std::string* error) const;
+      const std::string& name, std::uint64_t* current, Status* status) const;
+  // Deletes every `*.tmp.*` under the database directory. Callers must
+  // hold the per-database ingest flock: under it no writer is in flight,
+  // so every temp file is an orphan from a crash (or from an earlier
+  // incarnation of this pid — the O_EXCL collision this fixes).
+  void ScavengeTmpFiles(const std::string& name) const;
+  // Full checksum pass over a generation, memoized per (name, generation)
+  // so a mapped-mode catalog pays the page-touching verify once.
+  bool VerifyGeneration(const std::string& name, std::uint64_t generation,
+                        Status* status);
+  // Moves a failed generation's snapshot into <dbdir>/corrupt/ so the
+  // evidence survives rollback without ever being served again.
+  void QuarantineGeneration(const std::string& name,
+                            std::uint64_t generation) const;
 
   std::string root_;
   Options options_;
 
-  mutable std::mutex mu_;  // guards the two caches below
+  mutable std::mutex mu_;  // guards the caches below
   std::unordered_map<std::string, std::shared_ptr<const Entry>> open_;
   std::unordered_map<std::string, std::shared_ptr<CountingEngine>> engines_;
+  // Names already scavenged by Open this process (Ingest re-scavenges
+  // every time — it holds the lock anyway).
+  std::unordered_set<std::string> scavenged_;
+  // "<name>#<generation>" keys that passed VerifySnapshot.
+  std::unordered_set<std::string> verified_;
 };
 
 }  // namespace sharpcq

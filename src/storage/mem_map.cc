@@ -12,22 +12,26 @@ namespace sharpcq {
 
 namespace {
 
-std::string Errno(const std::string& what, const std::string& path) {
-  return what + " " + path + ": " + std::strerror(errno);
+void SetErrno(Status* status, const std::string& what,
+              const std::string& path) {
+  if (status == nullptr) return;
+  const StatusCode code =
+      errno == ENOENT ? StatusCode::kNotFound : StatusCode::kIoError;
+  *status = Status(code, what + " " + path + ": " + std::strerror(errno));
 }
 
 }  // namespace
 
 std::shared_ptr<const MemMap> MemMap::Open(const std::string& path,
-                                           std::string* error) {
+                                           Status* status) {
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
-    if (error != nullptr) *error = Errno("cannot open", path);
+    SetErrno(status, "cannot open", path);
     return nullptr;
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
-    if (error != nullptr) *error = Errno("cannot stat", path);
+    SetErrno(status, "cannot stat", path);
     ::close(fd);
     return nullptr;
   }
@@ -36,7 +40,7 @@ std::shared_ptr<const MemMap> MemMap::Open(const std::string& path,
   if (size > 0) {
     void* ptr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
     if (ptr == MAP_FAILED) {
-      if (error != nullptr) *error = Errno("cannot mmap", path);
+      SetErrno(status, "cannot mmap", path);
       ::close(fd);
       return nullptr;
     }

@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "util/status.h"
+
 namespace sharpcq {
 
 // Read-only memory mapping of a file. The mapping lives as long as the
@@ -16,10 +18,11 @@ namespace sharpcq {
 // several processes serving the same snapshot use one physical copy.
 class MemMap {
  public:
-  // Maps `path` read-only; returns nullptr with a reason in *error on
-  // failure. An empty file maps to a valid zero-length MemMap.
+  // Maps `path` read-only; returns nullptr with the reason in *status on
+  // failure — kNotFound when the file does not exist, kIoError otherwise.
+  // An empty file maps to a valid zero-length MemMap.
   static std::shared_ptr<const MemMap> Open(const std::string& path,
-                                            std::string* error);
+                                            Status* status);
 
   ~MemMap();
   MemMap(const MemMap&) = delete;

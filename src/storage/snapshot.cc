@@ -15,6 +15,7 @@
 #include "algebra/table.h"
 #include "storage/mem_map.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 
 namespace sharpcq {
@@ -33,8 +34,8 @@ bool HostIsLittleEndian() {
   return std::endian::native == std::endian::little;
 }
 
-void SetError(std::string* error, std::string message) {
-  if (error != nullptr) *error = std::move(message);
+void SetStatus(Status* status, StatusCode code, std::string message) {
+  if (status != nullptr) *status = Status(code, std::move(message));
 }
 
 // --- serialization helpers -------------------------------------------------
@@ -175,6 +176,10 @@ class AtomicFileWriter {
  public:
   explicit AtomicFileWriter(const std::string& path)
       : path_(path), tmp_(path + ".tmp." + std::to_string(::getpid())) {
+    if (SHARPCQ_FAILPOINT("storage.tmp_open") != FailpointAction::kNone) {
+      errno = EIO;  // fd_ stays -1: callers report a failed open
+      return;
+    }
     fd_ = ::open(tmp_.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
   }
 
@@ -187,14 +192,33 @@ class AtomicFileWriter {
 
   bool ok() const { return fd_ >= 0; }
 
-  bool Append(std::span<const std::uint8_t> bytes, std::string* error) {
+  bool Append(std::span<const std::uint8_t> bytes, Status* status) {
+    const FailpointAction injected = SHARPCQ_FAILPOINT("storage.write");
+    if (injected == FailpointAction::kShortWrite) {
+      // Persist a prefix, then fail — the torn shape a power cut leaves in
+      // the temp file. The commit never runs, so the torn bytes stay on the
+      // uncommitted side of the rename barrier.
+      WriteAll(bytes.subspan(0, bytes.size() / 2), nullptr);
+      SetStatus(status, StatusCode::kIoError,
+                "write " + tmp_ + ": injected short write");
+      return false;
+    }
+    if (injected != FailpointAction::kNone) {
+      SetStatus(status, StatusCode::kIoError,
+                "write " + tmp_ + ": injected fault");
+      return false;
+    }
+    return WriteAll(bytes, status);
+  }
+
+  bool WriteAll(std::span<const std::uint8_t> bytes, Status* status) {
     std::size_t written = 0;
     while (written < bytes.size()) {
       ssize_t n = ::write(fd_, bytes.data() + written,
                           bytes.size() - written);
       if (n < 0) {
         if (errno == EINTR) continue;
-        SetError(error, "write " + tmp_ + ": " + std::strerror(errno));
+        SetStatus(status, StatusCode::kIoError, "write " + tmp_ + ": " + std::strerror(errno));
         return false;
       }
       written += static_cast<std::size_t>(n);
@@ -203,15 +227,26 @@ class AtomicFileWriter {
   }
 
   // fsync + rename over the destination; the rename is the commit point.
-  bool Commit(std::string* error) {
+  bool Commit(Status* status) {
+    if (SHARPCQ_FAILPOINT("storage.fsync") != FailpointAction::kNone) {
+      SetStatus(status, StatusCode::kIoError,
+                "fsync " + tmp_ + ": injected fault");
+      return false;
+    }
     if (::fsync(fd_) != 0) {
-      SetError(error, "fsync " + tmp_ + ": " + std::strerror(errno));
+      SetStatus(status, StatusCode::kIoError, "fsync " + tmp_ + ": " + std::strerror(errno));
       return false;
     }
     ::close(fd_);
     fd_ = -1;  // past this point the dtor must not close or unlink
+    if (SHARPCQ_FAILPOINT("storage.rename") != FailpointAction::kNone) {
+      SetStatus(status, StatusCode::kIoError,
+                "rename " + tmp_ + " -> " + path_ + ": injected fault");
+      ::unlink(tmp_.c_str());
+      return false;
+    }
     if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
-      SetError(error, "rename " + tmp_ + " -> " + path_ + ": " +
+      SetStatus(status, StatusCode::kIoError, "rename " + tmp_ + " -> " + path_ + ": " +
                           std::strerror(errno));
       ::unlink(tmp_.c_str());
       return false;
@@ -230,14 +265,14 @@ class AtomicFileWriter {
 
 bool AtomicWriteFile(const std::string& path,
                      std::span<const std::uint8_t> bytes,
-                     std::string* error) {
+                     Status* status) {
   AtomicFileWriter writer(path);
   if (!writer.ok()) {
-    SetError(error, "cannot create temp file for " + path + ": " +
+    SetStatus(status, StatusCode::kIoError, "cannot create temp file for " + path + ": " +
                         std::strerror(errno));
     return false;
   }
-  return writer.Append(bytes, error) && writer.Commit(error);
+  return writer.Append(bytes, status) && writer.Commit(status);
 }
 
 // --- SnapshotWriter --------------------------------------------------------
@@ -309,7 +344,7 @@ std::size_t SnapshotWriter::pending_rows() const {
 }
 
 std::optional<SnapshotWriteStats> SnapshotWriter::Finish(
-    const std::string& path, const ValueDict* dict, std::string* error) {
+    const std::string& path, const ValueDict* dict, Status* status) {
   SHARPCQ_CHECK_MSG(HostIsLittleEndian(),
                     "snapshot writing requires a little-endian host");
   // Canonicalize every relation: rows sorted lexicographically and
@@ -478,22 +513,22 @@ std::optional<SnapshotWriteStats> SnapshotWriter::Finish(
   // never the whole serialized file.
   AtomicFileWriter writer(path);
   if (!writer.ok()) {
-    SetError(error, "cannot create temp file for " + path + ": " +
+    SetStatus(status, StatusCode::kIoError, "cannot create temp file for " + path + ": " +
                         std::strerror(errno));
     return std::nullopt;
   }
-  if (!writer.Append(out, error)) return std::nullopt;
+  if (!writer.Append(out, status)) return std::nullopt;
   for (auto& [name, pending] : relations_) {
     for (auto& col : pending.cols) {
       if (!writer.Append({reinterpret_cast<const std::uint8_t*>(col.data()),
                           col.size() * sizeof(Value)},
-                         error)) {
+                         status)) {
         return std::nullopt;
       }
       std::vector<Value>().swap(col);
     }
   }
-  if (!writer.Commit(error)) return std::nullopt;
+  if (!writer.Commit(status)) return std::nullopt;
   relations_.clear();
   return stats;
 }
@@ -512,15 +547,15 @@ namespace {
 // section bounds) against the mapped bytes. Column data is untouched.
 std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
                                              std::size_t size,
-                                             std::string* error) {
+                                             Status* status) {
   if (size < kSnapshotHeaderBytesV1) {
-    SetError(error, "not a sharpcq snapshot (file shorter than the header)");
+    SetStatus(status, StatusCode::kCorruptData, "not a sharpcq snapshot (file shorter than the header)");
     return std::nullopt;
   }
   ByteReader header(data, size);
   const std::uint64_t magic = header.ReadU64();
   if (magic != kSnapshotMagic) {
-    SetError(error, "not a sharpcq snapshot (bad magic)");
+    SetStatus(status, StatusCode::kCorruptData, "not a sharpcq snapshot (bad magic)");
     return std::nullopt;
   }
   SnapshotInfo info;
@@ -528,7 +563,7 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
   info.flags = header.ReadU32();
   if (info.version != kSnapshotVersion &&
       info.version != kSnapshotVersionV1) {
-    SetError(error, "unsupported snapshot version " +
+    SetStatus(status, StatusCode::kCorruptData, "unsupported snapshot version " +
                         std::to_string(info.version));
     return std::nullopt;
   }
@@ -536,12 +571,12 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
   const std::size_t header_bytes =
       with_stats ? kSnapshotHeaderBytes : kSnapshotHeaderBytesV1;
   if (size < header_bytes) {
-    SetError(error, "not a sharpcq snapshot (file shorter than the header)");
+    SetStatus(status, StatusCode::kCorruptData, "not a sharpcq snapshot (file shorter than the header)");
     return std::nullopt;
   }
   if ((info.flags & kSnapshotFlagLittleEndian) == 0 ||
       !HostIsLittleEndian()) {
-    SetError(error, "snapshot byte order does not match this host");
+    SetStatus(status, StatusCode::kCorruptData, "snapshot byte order does not match this host");
     return std::nullopt;
   }
   const std::uint64_t relation_count = header.ReadU64();
@@ -567,11 +602,11 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
       with_stats ? kHeaderChecksumOffsetV2 : kHeaderChecksumOffsetV1;
   SHARPCQ_CHECK(header.ok() && header.offset() == header_bytes);
   if (ChecksumBytes({data, checksum_offset}) != header_checksum) {
-    SetError(error, "header checksum mismatch (corrupt snapshot)");
+    SetStatus(status, StatusCode::kCorruptData, "header checksum mismatch (corrupt snapshot)");
     return std::nullopt;
   }
   if (info.file_bytes != size) {
-    SetError(error, "snapshot truncated: header records " +
+    SetStatus(status, StatusCode::kCorruptData, "snapshot truncated: header records " +
                         std::to_string(info.file_bytes) + " bytes, file has " +
                         std::to_string(size));
     return std::nullopt;
@@ -582,20 +617,20 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
   if (!section_ok(dict_offset, dict_bytes) ||
       !section_ok(toc_offset, toc_bytes) || data_offset > size ||
       (with_stats && !section_ok(stats_offset, stats_bytes))) {
-    SetError(error, "section bounds exceed the file (corrupt snapshot)");
+    SetStatus(status, StatusCode::kCorruptData, "section bounds exceed the file (corrupt snapshot)");
     return std::nullopt;
   }
   if (ChecksumBytes({data + dict_offset, dict_bytes}) != dict_checksum) {
-    SetError(error, "dictionary checksum mismatch (corrupt snapshot)");
+    SetStatus(status, StatusCode::kCorruptData, "dictionary checksum mismatch (corrupt snapshot)");
     return std::nullopt;
   }
   if (ChecksumBytes({data + toc_offset, toc_bytes}) != toc_checksum) {
-    SetError(error, "toc checksum mismatch (corrupt snapshot)");
+    SetStatus(status, StatusCode::kCorruptData, "toc checksum mismatch (corrupt snapshot)");
     return std::nullopt;
   }
   if (with_stats &&
       ChecksumBytes({data + stats_offset, stats_bytes}) != stats_checksum) {
-    SetError(error, "stats section checksum mismatch (corrupt snapshot)");
+    SetStatus(status, StatusCode::kCorruptData, "stats section checksum mismatch (corrupt snapshot)");
     return std::nullopt;
   }
 
@@ -603,7 +638,7 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
   // beyond toc_bytes/16 cannot be satisfied; reject it before reserve()
   // can throw on a hostile value (the checksums are not cryptographic).
   if (relation_count > toc_bytes / 16) {
-    SetError(error, "relation count exceeds toc size (corrupt snapshot)");
+    SetStatus(status, StatusCode::kCorruptData, "relation count exceeds toc size (corrupt snapshot)");
     return std::nullopt;
   }
   ByteReader toc(data, static_cast<std::size_t>(toc_offset + toc_bytes));
@@ -616,7 +651,7 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
     rel.rows = toc.ReadU64();
     if (!toc.ok() || rel.arity < 0 || rel.arity > 1 << 16 ||
         rel.rows > size / 8) {
-      SetError(error, "toc entry out of range (corrupt snapshot)");
+      SetStatus(status, StatusCode::kCorruptData, "toc entry out of range (corrupt snapshot)");
       return std::nullopt;
     }
     rel.columns.resize(static_cast<std::size_t>(rel.arity));
@@ -625,20 +660,20 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
       col.checksum = toc.ReadU64();
       if (!toc.ok() || col.offset % 8 != 0 ||
           !section_ok(col.offset, rel.rows * 8) || col.offset < data_offset) {
-        SetError(error, "column segment out of bounds (corrupt snapshot)");
+        SetStatus(status, StatusCode::kCorruptData, "column segment out of bounds (corrupt snapshot)");
         return std::nullopt;
       }
     }
     std::span<const std::uint8_t> name = toc.ReadBytes(name_len);
     if (!toc.ok()) {
-      SetError(error, "toc truncated (corrupt snapshot)");
+      SetStatus(status, StatusCode::kCorruptData, "toc truncated (corrupt snapshot)");
       return std::nullopt;
     }
     rel.name.assign(name.begin(), name.end());
     info.relations.push_back(std::move(rel));
   }
   if (toc.offset() != toc_offset + toc_bytes) {
-    SetError(error, "toc size mismatch (corrupt snapshot)");
+    SetStatus(status, StatusCode::kCorruptData, "toc size mismatch (corrupt snapshot)");
     return std::nullopt;
   }
 
@@ -654,7 +689,7 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
                         kSnapshotStatsBytesPerColumn;
     }
     if (stats_bytes != expected_bytes) {
-      SetError(error, "stats section size mismatch (corrupt snapshot)");
+      SetStatus(status, StatusCode::kCorruptData, "stats section size mismatch (corrupt snapshot)");
       return std::nullopt;
     }
     ByteReader stats(data,
@@ -668,7 +703,7 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
         for (std::uint32_t& bucket : col.histogram) bucket = stats.ReadU32();
         if (!stats.ok() || col.distinct > rel.rows ||
             col.max_group > rel.rows) {
-          SetError(error, "stats entry out of range (corrupt snapshot)");
+          SetStatus(status, StatusCode::kCorruptData, "stats entry out of range (corrupt snapshot)");
           return std::nullopt;
         }
       }
@@ -682,12 +717,12 @@ std::optional<SnapshotInfo> ParseFrontMatter(const std::uint8_t* data,
     std::uint32_t len = arena.ReadU32();
     arena.ReadBytes(len);
     if (!arena.ok()) {
-      SetError(error, "dictionary arena truncated (corrupt snapshot)");
+      SetStatus(status, StatusCode::kCorruptData, "dictionary arena truncated (corrupt snapshot)");
       return std::nullopt;
     }
   }
   if (arena.offset() != dict_offset + dict_bytes) {
-    SetError(error, "dictionary size mismatch (corrupt snapshot)");
+    SetStatus(status, StatusCode::kCorruptData, "dictionary size mismatch (corrupt snapshot)");
     return std::nullopt;
   }
   return info;
@@ -697,7 +732,7 @@ std::optional<ValueDict> ParseDict(const std::uint8_t* data,
                                    const SnapshotInfo& info,
                                    std::uint64_t dict_offset,
                                    std::uint64_t dict_bytes,
-                                   std::string* error) {
+                                   Status* status) {
   ValueDict dict;
   // Bounded by the arena's own extent: this walk must not rely on having
   // mirrored ParseFrontMatter's validation exactly.
@@ -707,7 +742,7 @@ std::optional<ValueDict> ParseDict(const std::uint8_t* data,
     std::uint32_t len = arena.ReadU32();
     std::span<const std::uint8_t> bytes = arena.ReadBytes(len);
     if (!arena.ok()) {
-      SetError(error, "dictionary arena truncated (corrupt snapshot)");
+      SetStatus(status, StatusCode::kCorruptData, "dictionary arena truncated (corrupt snapshot)");
       return std::nullopt;
     }
     std::string_view name(reinterpret_cast<const char*>(bytes.data()),
@@ -717,7 +752,7 @@ std::optional<ValueDict> ParseDict(const std::uint8_t* data,
       // A duplicated string passes the arena checksum (the writer never
       // emits one, but foreign files exist); it must reject the load, not
       // kill a serving process.
-      SetError(error, "duplicate dictionary entry '" + std::string(name) +
+      SetStatus(status, StatusCode::kCorruptData, "duplicate dictionary entry '" + std::string(name) +
                           "' (corrupt snapshot)");
       return std::nullopt;
     }
@@ -741,19 +776,19 @@ void InstallPersistedStats(const SnapshotRelationInfo& rel,
 }  // namespace
 
 std::optional<SnapshotInfo> ReadSnapshotInfo(const std::string& path,
-                                             std::string* error) {
-  std::shared_ptr<const MemMap> map = MemMap::Open(path, error);
+                                             Status* status) {
+  std::shared_ptr<const MemMap> map = MemMap::Open(path, status);
   if (map == nullptr) return std::nullopt;
-  return ParseFrontMatter(map->data(), map->size(), error);
+  return ParseFrontMatter(map->data(), map->size(), status);
 }
 
 std::optional<LoadedSnapshot> LoadSnapshot(const std::string& path,
                                            SnapshotLoadMode mode,
-                                           std::string* error) {
-  std::shared_ptr<const MemMap> map = MemMap::Open(path, error);
+                                           Status* status) {
+  std::shared_ptr<const MemMap> map = MemMap::Open(path, status);
   if (map == nullptr) return std::nullopt;
   std::optional<SnapshotInfo> info =
-      ParseFrontMatter(map->data(), map->size(), error);
+      ParseFrontMatter(map->data(), map->size(), status);
   if (!info.has_value()) return std::nullopt;
 
   LoadedSnapshot loaded;
@@ -764,7 +799,7 @@ std::optional<LoadedSnapshot> LoadSnapshot(const std::string& path,
   const std::uint64_t dict_offset = header.ReadU64();
   const std::uint64_t dict_bytes = header.ReadU64();
   std::optional<ValueDict> dict =
-      ParseDict(map->data(), *info, dict_offset, dict_bytes, error);
+      ParseDict(map->data(), *info, dict_offset, dict_bytes, status);
   if (!dict.has_value()) return std::nullopt;
   loaded.dict = std::move(*dict);
 
@@ -793,7 +828,7 @@ std::optional<LoadedSnapshot> LoadSnapshot(const std::string& path,
     for (const SnapshotColumnInfo& col : rel.columns) {
       if (ChecksumRawColumn(map->data() + col.offset, rel.rows) !=
           col.checksum) {
-        SetError(error, "column checksum mismatch in relation '" + rel.name +
+        SetStatus(status, StatusCode::kCorruptData, "column checksum mismatch in relation '" + rel.name +
                             "' (corrupt snapshot)");
         return std::nullopt;
       }
@@ -814,17 +849,17 @@ std::optional<LoadedSnapshot> LoadSnapshot(const std::string& path,
   return loaded;
 }
 
-bool VerifySnapshot(const std::string& path, std::string* error) {
-  std::shared_ptr<const MemMap> map = MemMap::Open(path, error);
+bool VerifySnapshot(const std::string& path, Status* status) {
+  std::shared_ptr<const MemMap> map = MemMap::Open(path, status);
   if (map == nullptr) return false;
   std::optional<SnapshotInfo> info =
-      ParseFrontMatter(map->data(), map->size(), error);
+      ParseFrontMatter(map->data(), map->size(), status);
   if (!info.has_value()) return false;
   for (const SnapshotRelationInfo& rel : info->relations) {
     for (std::size_t c = 0; c < rel.columns.size(); ++c) {
       if (ChecksumRawColumn(map->data() + rel.columns[c].offset, rel.rows) !=
           rel.columns[c].checksum) {
-        SetError(error, "column " + std::to_string(c) + " of relation '" +
+        SetStatus(status, StatusCode::kCorruptData, "column " + std::to_string(c) + " of relation '" +
                             rel.name + "' fails its checksum");
         return false;
       }
@@ -836,10 +871,10 @@ bool VerifySnapshot(const std::string& path, std::string* error) {
 std::optional<SnapshotWriteStats> WriteSnapshot(const Database& db,
                                                 const ValueDict* dict,
                                                 const std::string& path,
-                                                std::string* error) {
+                                                Status* status) {
   SnapshotWriter writer;
   writer.AddDatabase(db);
-  return writer.Finish(path, dict, error);
+  return writer.Finish(path, dict, status);
 }
 
 namespace {

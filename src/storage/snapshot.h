@@ -13,6 +13,7 @@
 #include "data/database.h"
 #include "data/relation.h"
 #include "data/value.h"
+#include "util/status.h"
 
 namespace sharpcq {
 
@@ -102,10 +103,11 @@ class SnapshotWriter {
 
   // Canonicalizes (rows sorted + deduplicated per relation), serializes,
   // and installs the snapshot at `path` atomically. The writer is spent
-  // afterwards. Returns nullopt with a reason in *error on I/O failure.
+  // afterwards. Returns nullopt with kIoError in *status on I/O failure
+  // (including injected faults at the storage.* failpoint sites).
   std::optional<SnapshotWriteStats> Finish(const std::string& path,
                                            const ValueDict* dict,
-                                           std::string* error);
+                                           Status* status);
 
  private:
   struct Pending {
@@ -147,11 +149,11 @@ struct SnapshotInfo {
 
 // Validates magic, version, byte order, the header/dict/toc checksums, and
 // every section bound, then returns the parsed front matter. Column data is
-// not read. Returns nullopt with a reason in *error on any mismatch —
-// truncated files, foreign files, and flipped front-matter bytes all fail
-// here, never as UB later.
+// not read. Returns nullopt on any mismatch — truncated files, foreign
+// files, and flipped front-matter bytes all fail here (kCorruptData), and
+// unreadable paths fail as kIoError/kNotFound — never as UB later.
 std::optional<SnapshotInfo> ReadSnapshotInfo(const std::string& path,
-                                             std::string* error);
+                                             Status* status);
 
 // How LoadSnapshot turns column segments into algebra::Table storage.
 enum class SnapshotLoadMode {
@@ -176,17 +178,18 @@ struct LoadedSnapshot {
 
 std::optional<LoadedSnapshot> LoadSnapshot(const std::string& path,
                                            SnapshotLoadMode mode,
-                                           std::string* error);
+                                           Status* status);
 
 // Full integrity pass: ReadSnapshotInfo plus every per-column checksum
-// (touches all pages). True when the file is pristine.
-bool VerifySnapshot(const std::string& path, std::string* error);
+// (touches all pages). True when the file is pristine; false with
+// kCorruptData (validation failed) or kIoError (could not read) in *status.
+bool VerifySnapshot(const std::string& path, Status* status);
 
 // Convenience: snapshots `db` (+ optional dict) at `path` atomically.
 std::optional<SnapshotWriteStats> WriteSnapshot(const Database& db,
                                                 const ValueDict* dict,
                                                 const std::string& path,
-                                                std::string* error);
+                                                Status* status);
 
 // Streams one CSV relation straight into a snapshot writer via the
 // data-layer row sink: CSV -> snapshot ingest never materializes a
@@ -204,9 +207,10 @@ CsvResult LoadRelationCsvFileIntoWriter(const std::string& path,
 // The snapshot installer's primitive, reusable for small metadata files
 // (the catalog manifest): write to an O_EXCL temp file, fsync, rename over
 // `path`, fsync the directory. A crash leaves the old file or the new one,
-// never a torn mix.
+// never a torn mix. Failpoint sites: storage.tmp_open, storage.write,
+// storage.fsync, storage.rename.
 bool AtomicWriteFile(const std::string& path,
-                     std::span<const std::uint8_t> bytes, std::string* error);
+                     std::span<const std::uint8_t> bytes, Status* status);
 
 }  // namespace sharpcq
 

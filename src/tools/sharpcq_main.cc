@@ -25,6 +25,7 @@
 #include "storage/catalog.h"
 #include "storage/snapshot.h"
 #include "util/clock.h"
+#include "util/failpoint.h"
 #include "util/count_int.h"
 #include "util/string_util.h"
 #include "util/trace.h"
@@ -45,7 +46,7 @@ int Usage() {
   sharpcq inspect FILE [--verify]
   sharpcq count   (--snapshot FILE | --catalog DIR --name DB)
                   [--mode owned|mmap] [--strategy auto|sharp|ps13|hybrid|backtracking]
-                  [--trace] [--json]
+                  [--max-query-bytes N] [--trace] [--json]
                   'Q(X,Y) <- r(X,Z), s(Z,Y)'
   sharpcq bench-load --snapshot FILE [--iters N] [rel=data.csv...]
 )");
@@ -110,7 +111,7 @@ int CmdIngest(const std::string& out_path, const std::string& catalog_root,
   if (!csvs.has_value() || csvs->empty()) return Usage();
 
   ValueDict dict;
-  std::string error;
+  Status error;
   if (!out_path.empty()) {
     SnapshotWriter writer;
     if (int code = IngestCsvs(*csvs, &writer, &dict); code != kExitOk) {
@@ -118,7 +119,7 @@ int CmdIngest(const std::string& out_path, const std::string& catalog_root,
     }
     auto stats = writer.Finish(out_path, &dict, &error);
     if (!stats.has_value()) {
-      std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
+      std::fprintf(stderr, "sharpcq: %s\n", error.ToString().c_str());
       return kExitRuntime;
     }
     std::printf("snapshot %s: %zu relations, %zu tuples, %llu bytes\n",
@@ -146,7 +147,7 @@ int CmdIngest(const std::string& out_path, const std::string& catalog_root,
   Catalog catalog(catalog_root);
   auto generation = catalog.Ingest(db_name, db, &dict, &error);
   if (!generation.has_value()) {
-    std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
+    std::fprintf(stderr, "sharpcq: %s\n", error.ToString().c_str());
     return kExitRuntime;
   }
   std::printf("database %s: generation %llu installed under %s\n",
@@ -157,10 +158,10 @@ int CmdIngest(const std::string& out_path, const std::string& catalog_root,
 }
 
 int CmdInspect(const std::string& path, bool verify) {
-  std::string error;
+  Status error;
   auto info = ReadSnapshotInfo(path, &error);
   if (!info.has_value()) {
-    std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
+    std::fprintf(stderr, "sharpcq: %s\n", error.ToString().c_str());
     return kExitRuntime;
   }
   std::printf("snapshot %s\n", path.c_str());
@@ -189,7 +190,7 @@ int CmdInspect(const std::string& path, bool verify) {
   }
   if (verify) {
     if (!VerifySnapshot(path, &error)) {
-      std::fprintf(stderr, "sharpcq: verify FAILED: %s\n", error.c_str());
+      std::fprintf(stderr, "sharpcq: verify FAILED: %s\n", error.ToString().c_str());
       return kExitRuntime;
     }
     std::printf("  verify: all checksums OK\n");
@@ -243,7 +244,19 @@ int RunCount(const Database& db, const ValueDict& dict,
     }
     out += "}";
     std::printf("%s\n", out.c_str());
-    return kExitOk;
+    // The JSON carries the status either way; the exit code still tells
+    // scripts an aborted count from a successful one.
+    return result.ok() ? kExitOk : kExitRuntime;
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "sharpcq: count aborted: %s",
+                 CountStatusName(result.status));
+    if (result.status == CountStatus::kResourceExhausted) {
+      std::fprintf(stderr, " (refused allocation of %llu bytes)",
+                   static_cast<unsigned long long>(result.mem_refused_bytes));
+    }
+    std::fprintf(stderr, "\n");
+    return kExitRuntime;
   }
   std::printf("count: %s\n", CountToString(result.count).c_str());
   std::printf("method: %s\n", result.method.c_str());
@@ -262,7 +275,8 @@ int RunCount(const Database& db, const ValueDict& dict,
 int CmdCount(const std::string& snapshot_path, const std::string& catalog_root,
              const std::string& db_name, const std::string& mode_name,
              const std::string& strategy, const std::string& query_text,
-             bool with_trace, bool as_json) {
+             bool with_trace, bool as_json,
+             std::uint64_t max_query_bytes) {
   SnapshotLoadMode mode = SnapshotLoadMode::kMapped;
   if (mode_name == "owned") {
     mode = SnapshotLoadMode::kOwned;
@@ -270,23 +284,26 @@ int CmdCount(const std::string& snapshot_path, const std::string& catalog_root,
     std::fprintf(stderr, "sharpcq: unknown --mode '%s'\n", mode_name.c_str());
     return kExitUsage;
   }
-  std::string error;
+  Status error;
   if (!snapshot_path.empty()) {
     auto loaded = LoadSnapshot(snapshot_path, mode, &error);
     if (!loaded.has_value()) {
-      std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
+      std::fprintf(stderr, "sharpcq: %s\n", error.ToString().c_str());
       return kExitRuntime;
     }
-    CountingEngine engine;
+    EngineOptions engine_options;
+    engine_options.max_query_bytes = max_query_bytes;
+    CountingEngine engine(engine_options);
     return RunCount(loaded->db, loaded->dict, &engine, strategy, query_text,
                     with_trace, as_json);
   }
   Catalog::Options catalog_options;
   catalog_options.load_mode = mode;
+  catalog_options.engine.max_query_bytes = max_query_bytes;
   Catalog catalog(catalog_root, catalog_options);
   auto entry = catalog.Open(db_name, &error);
   if (entry == nullptr) {
-    std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
+    std::fprintf(stderr, "sharpcq: %s\n", error.ToString().c_str());
     return kExitRuntime;
   }
   if (!as_json) {
@@ -301,7 +318,7 @@ int CmdBenchLoad(const std::string& snapshot_path, int iters,
                  const std::vector<std::string>& rest) {
   auto csvs = ParseRelationArgs(rest);
   if (!csvs.has_value()) return Usage();
-  std::string error;
+  Status error;
 
   double owned_ms = 0.0;
   double mapped_ms = 0.0;
@@ -310,7 +327,7 @@ int CmdBenchLoad(const std::string& snapshot_path, int iters,
     MonotonicClock::time_point start = MonotonicNow();
     auto owned = LoadSnapshot(snapshot_path, SnapshotLoadMode::kOwned, &error);
     if (!owned.has_value()) {
-      std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
+      std::fprintf(stderr, "sharpcq: %s\n", error.ToString().c_str());
       return kExitRuntime;
     }
     owned_ms += ElapsedMs(start);
@@ -320,7 +337,7 @@ int CmdBenchLoad(const std::string& snapshot_path, int iters,
     auto mapped =
         LoadSnapshot(snapshot_path, SnapshotLoadMode::kMapped, &error);
     if (!mapped.has_value()) {
-      std::fprintf(stderr, "sharpcq: %s\n", error.c_str());
+      std::fprintf(stderr, "sharpcq: %s\n", error.ToString().c_str());
       return kExitRuntime;
     }
     mapped_ms += ElapsedMs(start);
@@ -358,6 +375,7 @@ int CmdBenchLoad(const std::string& snapshot_path, int iters,
 }
 
 int Main(int argc, char** argv) {
+  failpoint::ArmFromEnv();  // SHARPCQ_FAILPOINTS, for fault-injection runs
   if (argc < 2) return Usage();
   std::string command = argv[1];
 
@@ -368,6 +386,7 @@ int Main(int argc, char** argv) {
   bool with_trace = false;
   bool as_json = false;
   int iters = 5;
+  std::uint64_t max_query_bytes = 0;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -404,6 +423,10 @@ int Main(int argc, char** argv) {
       if (!v) return Usage();
       iters = std::atoi(v->c_str());
       if (iters <= 0) return Usage();
+    } else if (arg == "--max-query-bytes") {
+      auto v = next();
+      if (!v) return Usage();
+      max_query_bytes = std::strtoull(v->c_str(), nullptr, 10);
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--trace") {
@@ -436,7 +459,7 @@ int Main(int argc, char** argv) {
     bool from_catalog = !catalog_root.empty() && !db_name.empty();
     if (from_snapshot == from_catalog) return Usage();
     return CmdCount(snapshot_path, catalog_root, db_name, mode, strategy,
-                    positional[0], with_trace, as_json);
+                    positional[0], with_trace, as_json, max_query_bytes);
   }
   if (command == "bench-load") {
     if (snapshot_path.empty()) return Usage();

@@ -4,8 +4,10 @@
 //   sharpcqd serve --root DIR [--host H] [--port N] [--max-inflight N]
 //                  [--max-queued N] [--default-deadline-ms N]
 //                  [--slow-query-ms MS] [--slow-query-capacity N]
-//                  [--slow-query-sample N]
-//   sharpcqd send  --port N [--host H] [--body TEXT] 'HEADER'
+//                  [--slow-query-sample N] [--max-query-bytes N]
+//                  [--max-total-bytes N]
+//   sharpcqd send  --port N [--host H] [--body TEXT] [--retries N]
+//                  [--backoff-ms N] 'HEADER'
 //
 // `serve` prints "sharpcqd listening on HOST:PORT" once ready (with
 // --port 0 the kernel-assigned port; CI's smoke job scrapes it) and blocks
@@ -16,11 +18,14 @@
 // when stdin is not a terminal, from stdin (so `echo 'Q(X) <- r(X,Y)' |
 // sharpcqd send --port N 'count db=demo'` works). Exits 0 on an ok
 // response, 1 on an error response, 2 on usage errors, 3 on transport
-// failure.
+// failure. --retries enables bounded reconnect/backoff retries; retries
+// after the request may have been delivered happen only for read-only
+// commands (never ingest).
 
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -29,6 +34,7 @@
 
 #include "server/client.h"
 #include "server/daemon.h"
+#include "util/failpoint.h"
 
 namespace sharpcq {
 namespace {
@@ -43,8 +49,10 @@ int Usage() {
   sharpcqd serve --root DIR [--host H] [--port N] [--max-inflight N]
                  [--max-queued N] [--default-deadline-ms N]
                  [--slow-query-ms MS] [--slow-query-capacity N]
-                 [--slow-query-sample N]
-  sharpcqd send  --port N [--host H] [--body TEXT] 'HEADER LINE'
+                 [--slow-query-sample N] [--max-query-bytes N]
+                 [--max-total-bytes N]
+  sharpcqd send  --port N [--host H] [--body TEXT] [--retries N]
+                 [--backoff-ms N] 'HEADER LINE'
 )");
   return kExitUsage;
 }
@@ -70,7 +78,8 @@ int CmdServe(const DaemonOptions& options) {
 }
 
 int CmdSend(const std::string& host, int port, const std::string& header,
-            const std::optional<std::string>& body_flag) {
+            const std::optional<std::string>& body_flag,
+            const RetryPolicy& retry) {
   std::string body;
   if (body_flag.has_value()) {
     body = *body_flag;
@@ -86,14 +95,30 @@ int CmdSend(const std::string& host, int port, const std::string& header,
     return kExitUsage;
   }
   Client client;
-  if (!client.Connect(host, port, &error)) {
-    std::fprintf(stderr, "sharpcqd: %s\n", error.c_str());
-    return kExitTransport;
-  }
-  std::optional<Response> response = client.Call(*request, &error);
-  if (!response.has_value()) {
-    std::fprintf(stderr, "sharpcqd: %s\n", error.c_str());
-    return kExitTransport;
+  std::optional<Response> response;
+  if (retry.max_attempts > 1) {
+    // CallWithRetry handles the initial connect itself; the retry target
+    // must be stamped first, so do a throwaway Connect attempt (its
+    // failure is retried inside CallWithRetry).
+    client.Connect(host, port, &error);
+    if (!client.connected()) client.Close();
+    int attempts = 0;
+    response = client.CallWithRetry(*request, retry, &error, &attempts);
+    if (!response.has_value()) {
+      std::fprintf(stderr, "sharpcqd: %s (after %d attempts)\n", error.c_str(),
+                   attempts);
+      return kExitTransport;
+    }
+  } else {
+    if (!client.Connect(host, port, &error)) {
+      std::fprintf(stderr, "sharpcqd: %s\n", error.c_str());
+      return kExitTransport;
+    }
+    response = client.Call(*request, &error);
+    if (!response.has_value()) {
+      std::fprintf(stderr, "sharpcqd: %s\n", error.c_str());
+      return kExitTransport;
+    }
   }
   if (response->ok) {
     std::printf("ok\n");
@@ -111,6 +136,7 @@ int CmdSend(const std::string& host, int port, const std::string& header,
 }
 
 int Main(int argc, char** argv) {
+  failpoint::ArmFromEnv();
   if (argc < 2) return Usage();
   std::string command = argv[1];
 
@@ -127,6 +153,10 @@ int Main(int argc, char** argv) {
   double slow_query_ms = engine_defaults.slow_query_threshold_ms;
   std::size_t slow_query_capacity = engine_defaults.slow_query_log_capacity;
   std::size_t slow_query_sample = engine_defaults.slow_query_sample_every;
+  unsigned long long max_query_bytes = 0;
+  unsigned long long max_total_bytes = 0;
+  int retries = 1;
+  long long backoff_ms = 50;
   std::optional<std::string> body;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
@@ -173,6 +203,24 @@ int Main(int argc, char** argv) {
       if (!v) return Usage();
       slow_query_sample = static_cast<std::size_t>(std::atoll(v->c_str()));
       if (slow_query_sample == 0) return Usage();
+    } else if (arg == "--max-query-bytes") {
+      auto v = next();
+      if (!v) return Usage();
+      max_query_bytes = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (arg == "--max-total-bytes") {
+      auto v = next();
+      if (!v) return Usage();
+      max_total_bytes = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (arg == "--retries") {
+      auto v = next();
+      if (!v) return Usage();
+      retries = std::atoi(v->c_str());
+      if (retries < 1) return Usage();
+    } else if (arg == "--backoff-ms") {
+      auto v = next();
+      if (!v) return Usage();
+      backoff_ms = std::atoll(v->c_str());
+      if (backoff_ms < 0) return Usage();
     } else if (arg == "--body") {
       auto v = next();
       if (!v) return Usage();
@@ -198,11 +246,16 @@ int Main(int argc, char** argv) {
     options.catalog.engine.slow_query_threshold_ms = slow_query_ms;
     options.catalog.engine.slow_query_log_capacity = slow_query_capacity;
     options.catalog.engine.slow_query_sample_every = slow_query_sample;
+    options.max_query_bytes = max_query_bytes;
+    options.max_total_bytes = max_total_bytes;
     return CmdServe(options);
   }
   if (command == "send") {
     if (!have_port || port <= 0 || positional.size() != 1) return Usage();
-    return CmdSend(host, port, positional[0], body);
+    RetryPolicy retry;
+    retry.max_attempts = retries;
+    retry.initial_backoff = std::chrono::milliseconds(backoff_ms);
+    return CmdSend(host, port, positional[0], body, retry);
   }
   return Usage();
 }

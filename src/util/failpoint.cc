@@ -1,0 +1,186 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace sharpcq {
+namespace failpoint {
+
+namespace internal {
+std::atomic<int> armed_sites{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  Trigger trigger;
+  bool armed = false;
+  std::uint64_t hits = 0;    // hits since the site was first armed
+  std::int64_t fired = 0;    // firings so far
+};
+
+// Registry of sites that have ever been armed. Guarded by a mutex: the
+// macro's fast path never reaches here, and sites live on cold paths
+// (storage I/O, connection handling), so contention is irrelevant.
+std::mutex registry_mu;
+std::unordered_map<std::string, SiteState>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, SiteState>();
+  return *registry;
+}
+
+bool ParseOne(const std::string& item, std::string* error) {
+  const std::size_t eq = item.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    if (error != nullptr) *error = "missing '=' in '" + item + "'";
+    return false;
+  }
+  std::string site = item.substr(0, eq);
+  std::string rest = item.substr(eq + 1);
+  Trigger trigger;
+  // Split off :DELAYms, then xM, then @N, leaving the action name.
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    std::string delay = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+    if (delay.size() < 3 || delay.substr(delay.size() - 2) != "ms") {
+      if (error != nullptr) *error = "bad delay '" + delay + "' (want Nms)";
+      return false;
+    }
+    trigger.delay_ms = static_cast<std::uint32_t>(
+        std::strtoul(delay.c_str(), nullptr, 10));
+  }
+  const std::size_t x = rest.find('x');
+  if (x != std::string::npos) {
+    trigger.fire_count = std::strtoll(rest.c_str() + x + 1, nullptr, 10);
+    if (trigger.fire_count <= 0) {
+      if (error != nullptr) *error = "bad fire count in '" + item + "'";
+      return false;
+    }
+    rest = rest.substr(0, x);
+  }
+  const std::size_t at = rest.find('@');
+  if (at != std::string::npos) {
+    trigger.after_hits = std::strtoull(rest.c_str() + at + 1, nullptr, 10);
+    rest = rest.substr(0, at);
+  }
+  if (rest == "error") {
+    trigger.action = FailpointAction::kError;
+  } else if (rest == "crash") {
+    trigger.action = FailpointAction::kCrash;
+  } else if (rest == "short-write") {
+    trigger.action = FailpointAction::kShortWrite;
+  } else if (rest == "delay") {
+    trigger.action = FailpointAction::kDelay;
+  } else {
+    if (error != nullptr) *error = "unknown action '" + rest + "'";
+    return false;
+  }
+  Arm(site, trigger);
+  return true;
+}
+
+}  // namespace
+
+namespace internal {
+
+FailpointAction Hit(const char* site) {
+  Trigger trigger;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu);
+    auto it = Registry().find(site);
+    if (it == Registry().end() || !it->second.armed) {
+      return FailpointAction::kNone;
+    }
+    SiteState& state = it->second;
+    const std::uint64_t hit = ++state.hits;
+    if (hit <= state.trigger.after_hits) return FailpointAction::kNone;
+    if (state.trigger.fire_count >= 0 &&
+        state.fired >= state.trigger.fire_count) {
+      return FailpointAction::kNone;
+    }
+    ++state.fired;
+    trigger = state.trigger;
+  }
+  switch (trigger.action) {
+    case FailpointAction::kCrash:
+      // Simulated power-cut: no destructors, no atexit, no stream flushes.
+      // Whatever the process had (or had not) persisted stays exactly as
+      // the kernel saw it, which is the state recovery must handle.
+      ::_exit(kFailpointCrashExit);
+    case FailpointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(trigger.delay_ms));
+      return FailpointAction::kNone;
+    default:
+      return trigger.action;
+  }
+}
+
+}  // namespace internal
+
+void Arm(const std::string& site, Trigger trigger) {
+  std::lock_guard<std::mutex> lock(registry_mu);
+  SiteState& state = Registry()[site];
+  if (!state.armed) {
+    internal::armed_sites.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.armed = true;
+  state.trigger = trigger;
+  state.hits = 0;
+  state.fired = 0;
+}
+
+void Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mu);
+  auto it = Registry().find(site);
+  if (it == Registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  internal::armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(registry_mu);
+  for (auto& [site, state] : Registry()) {
+    if (state.armed) {
+      state.armed = false;
+      internal::armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint64_t HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mu);
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+bool ArmFromSpec(const std::string& spec, std::string* error) {
+  std::size_t begin = 0;
+  while (begin < spec.size()) {
+    std::size_t end = spec.find_first_of(";,", begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(begin, end - begin);
+    if (!item.empty() && !ParseOne(item, error)) return false;
+    begin = end + 1;
+  }
+  return true;
+}
+
+void ArmFromEnv() {
+  const char* spec = std::getenv("SHARPCQ_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return;
+  std::string error;
+  if (!ArmFromSpec(spec, &error)) {
+    std::fprintf(stderr, "sharpcq: bad SHARPCQ_FAILPOINTS: %s\n",
+                 error.c_str());
+  }
+}
+
+}  // namespace failpoint
+}  // namespace sharpcq

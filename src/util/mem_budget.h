@@ -1,0 +1,54 @@
+#ifndef SHARPCQ_UTIL_MEM_BUDGET_H_
+#define SHARPCQ_UTIL_MEM_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sharpcq {
+
+// A concurrent byte budget. Charges are estimates made at allocation
+// granularity (a table's columns, an index's slot arrays) — never per row —
+// so accounting stays off the probe kernel's inner loops. 0 = unlimited.
+//
+// Two budgets exist in practice: a per-execution one created by the engine
+// for each Count call (tracking bytes allocated during that execution), and
+// an optional process-wide one shared by every engine in a daemon. The
+// engine releases an execution's total from the process budget when the
+// execution ends, so the process budget tracks the bytes of all in-flight
+// queries — the quantity that decides whether one more oversized join OOMs
+// the daemon.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(std::uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  // Adds `bytes`; backs the charge out and returns false if it would push
+  // usage past the limit. Unlimited budgets always succeed (they still
+  // count, so a tracker budget reports what to release elsewhere).
+  bool TryCharge(std::uint64_t bytes) {
+    const std::uint64_t now =
+        used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limit_ != 0 && now > limit_) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  void Release(std::uint64_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  std::uint64_t limit() const { return limit_; }
+
+ private:
+  std::atomic<std::uint64_t> used_{0};
+  const std::uint64_t limit_;
+};
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_UTIL_MEM_BUDGET_H_

@@ -1,0 +1,87 @@
+#ifndef SHARPCQ_UTIL_STATUS_H_
+#define SHARPCQ_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sharpcq {
+
+// Error taxonomy for fallible operations (storage, server, engine edges).
+// Replaces the earlier string-or-abort convention: callers branch on the
+// code (a corrupt generation is recoverable, a bad argument is not) and
+// surface the message to humans. Codes deliberately mirror the wire
+// protocol's error strings so the daemon maps them 1:1.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument,    // caller misuse: bad name, bad header, bad flag
+  kNotFound,           // database / file / key absent
+  kAlreadyExists,      // create raced an existing object
+  kIoError,            // the OS failed us: open/write/fsync/rename/mmap
+  kCorruptData,        // bytes exist but fail validation (checksums, magic)
+  kResourceExhausted,  // a memory budget (or injected allocation) refused
+  kDeadlineExceeded,
+  kCancelled,
+  kUnavailable,        // transient: retry may succeed (connect refused, ...)
+  kFailedPrecondition,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A code plus a human-readable message. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status CorruptData(std::string m) {
+    return Status(StatusCode::kCorruptData, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CORRUPT_DATA: dict checksum mismatch" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+// errno-flavored helper: "cannot open /x/y: No such file or directory".
+Status ErrnoStatus(StatusCode code, const std::string& what,
+                   const std::string& path);
+
+}  // namespace sharpcq
+
+#endif  // SHARPCQ_UTIL_STATUS_H_

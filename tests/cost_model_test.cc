@@ -135,7 +135,7 @@ TEST(CostModelUnitTest, FingerprintIsRowOrderInsensitive) {
   shuffled.AddTuple("r", {1, 2});
 
   const std::string dir = MakeScratchDir();
-  std::string error;
+  Status error;
   ASSERT_TRUE(WriteSnapshot(forward, nullptr, dir + "/a.sharpcq", &error)
                   .has_value())
       << error;
@@ -157,7 +157,7 @@ TEST(CostModelUnitTest, FingerprintTracksSizeClassNotExactCounts) {
     Database db;
     for (int i = 0; i < rows; ++i) db.AddTuple("e", {i, i + 100});
     const std::string dir = MakeScratchDir();
-    std::string error;
+    Status error;
     EXPECT_TRUE(
         WriteSnapshot(db, nullptr, dir + "/p.sharpcq", &error).has_value());
     auto loaded =
@@ -179,7 +179,7 @@ TEST(CostModelUnitTest, SnapshotPersistedStatsEqualLazyComputation) {
   }
   const std::string dir = MakeScratchDir();
   const std::string path = dir + "/stats.sharpcq";
-  std::string error;
+  Status error;
   ASSERT_TRUE(WriteSnapshot(db, nullptr, path, &error).has_value()) << error;
 
   for (SnapshotLoadMode mode :
@@ -203,7 +203,7 @@ TEST(CostModelUnitTest, SnapshotPersistedStatsEqualLazyComputation) {
 
 TEST(CostModelCacheTest, ProfileClassChangeReplansSameClassStaysWarm) {
   const std::string dir = MakeScratchDir();
-  std::string error;
+  Status error;
   auto snapshot_db = [&](const std::string& name, int rows) {
     Database db;
     for (int i = 0; i < rows; ++i) db.AddTuple("e", {i, i + 1});
@@ -300,7 +300,7 @@ void RunDifferential(const std::vector<DiffCase>& cases, bool via_snapshot) {
       // serving shape).
       const std::string path =
           dir + "/case_" + std::to_string(c.seed) + ".sharpcq";
-      std::string error;
+      Status error;
       ASSERT_TRUE(WriteSnapshot(c.db, nullptr, path, &error).has_value())
           << error;
       auto loaded = LoadSnapshot(path, SnapshotLoadMode::kMapped, &error);
@@ -404,7 +404,7 @@ TEST(CostModelConcurrencyTest, ConcurrentCountsWithCostModelOn) {
   }
   const std::string dir = MakeScratchDir();
   const std::string path = dir + "/batch.sharpcq";
-  std::string error;
+  Status error;
   ASSERT_TRUE(WriteSnapshot(source, nullptr, path, &error).has_value())
       << error;
   auto loaded = LoadSnapshot(path, SnapshotLoadMode::kMapped, &error);

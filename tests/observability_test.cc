@@ -473,7 +473,7 @@ TEST(DaemonObservabilityTest, MetricsCommandServesParseableExposition) {
   options.catalog.engine.slow_query_threshold_ms = 0.0;
   {
     Catalog catalog(options.catalog_root);
-    std::string error;
+    Status error;
     ASSERT_TRUE(
         catalog.Ingest("demo", MakeChainDatabase(), nullptr, &error)
             .has_value())

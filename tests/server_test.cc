@@ -239,7 +239,7 @@ TEST(EngineCancelTest, DeadlineExpiryMidBacktrackingReturnsDeadlineExceeded) {
 // random relation above), so daemon tests can count both fast and long.
 void SeedCatalog(const std::string& root) {
   Catalog catalog(root);
-  std::string error;
+  Status error;
   Database demo;
   demo.AddTuple("r", {1, 2});
   demo.AddTuple("r", {2, 3});

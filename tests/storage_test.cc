@@ -84,7 +84,7 @@ TEST(SnapshotRoundTripTest, RandomInstancesAgreeUnderEveryStrategy) {
     const CountInt expected = engine.Count(q, db).count;
 
     const std::string path = dir + "/rt_" + std::to_string(seed) + ".sharpcq";
-    std::string error;
+    Status error;
     auto stats = WriteSnapshot(db, nullptr, path, &error);
     ASSERT_TRUE(stats.has_value()) << error;
 
@@ -126,7 +126,7 @@ TEST(SnapshotWriterTest, ByteStableAcrossInsertionOrders) {
   shuffled.AddTuple("r", {1, 2});
   shuffled.AddTuple("r", {3, 4});
 
-  std::string error;
+  Status error;
   ASSERT_TRUE(
       WriteSnapshot(forward, nullptr, dir + "/a.sharpcq", &error).has_value())
       << error;
@@ -141,7 +141,7 @@ TEST(SnapshotWriterTest, V2FilesAreByteDeterministic) {
   // The stats section aggregates through a hash map; the bytes must still
   // be independent of iteration order (aggregates, not sequences).
   const std::string dir = MakeScratchDir();
-  std::string error;
+  Status error;
   for (int trial = 0; trial < 2; ++trial) {
     Database db;
     for (int i = 0; i < 64; ++i) {
@@ -177,7 +177,7 @@ TEST(SnapshotRoundTripTest, ValueDictSurvives) {
   db.AddTuple("works_on", {dict.Intern("alice"), dict.Intern("project_x")});
   db.AddTuple("works_on", {dict.Intern("bob"), dict.Intern("project_x")});
 
-  std::string error;
+  Status error;
   ASSERT_TRUE(WriteSnapshot(db, &dict, path, &error).has_value()) << error;
   auto loaded = LoadSnapshot(path, SnapshotLoadMode::kMapped, &error);
   ASSERT_TRUE(loaded.has_value()) << error;
@@ -201,7 +201,7 @@ TEST(SnapshotMappedTest, TablesAliasTheMappingAndAtomBridgeStaysZeroCopy) {
   for (int i = 0; i < 16; ++i) {
     db.AddTuple("e", {i, (i + 1) % 16});
   }
-  std::string error;
+  Status error;
   ASSERT_TRUE(WriteSnapshot(db, nullptr, path, &error).has_value()) << error;
   auto loaded = LoadSnapshot(path, SnapshotLoadMode::kMapped, &error);
   ASSERT_TRUE(loaded.has_value()) << error;
@@ -232,7 +232,7 @@ TEST(SnapshotMappedTest, MappingOutlivesTheLoadedDatabase) {
   Database db;
   db.AddTuple("e", {1, 2});
   db.AddTuple("e", {2, 3});
-  std::string error;
+  Status error;
   ASSERT_TRUE(WriteSnapshot(db, nullptr, path, &error).has_value()) << error;
 
   // Keep only a table handle; the LoadedSnapshot (and its Database) die.
@@ -257,7 +257,7 @@ TEST(ColumnarDatabaseTest, LazyMaterializationMatchesBacking) {
   Database db;
   db.AddTuple("r", {5, 6});
   db.AddTuple("r", {1, 2});
-  std::string error;
+  Status error;
   ASSERT_TRUE(WriteSnapshot(db, nullptr, path, &error).has_value()) << error;
   auto loaded = LoadSnapshot(path, SnapshotLoadMode::kMapped, &error);
   ASSERT_TRUE(loaded.has_value()) << error;
@@ -288,7 +288,7 @@ TEST(ColumnarDatabaseTest, ConcurrentCountsAndMaterializationAreSafe) {
     source.AddTuple("e", {i % 8, (i * 3) % 8});
     source.AddTuple("f", {(i * 5) % 8, i % 8});
   }
-  std::string error;
+  Status error;
   ASSERT_TRUE(WriteSnapshot(source, nullptr, path, &error).has_value())
       << error;
   auto loaded = LoadSnapshot(path, SnapshotLoadMode::kMapped, &error);
@@ -326,7 +326,7 @@ class SnapshotCorruptionTest : public ::testing::Test {
     path_ = dir_ + "/victim.sharpcq";
     Database db;
     for (int i = 0; i < 32; ++i) db.AddTuple("e", {i, i * 7 % 13});
-    std::string error;
+    Status error;
     ASSERT_TRUE(WriteSnapshot(db, nullptr, path_, &error).has_value())
         << error;
     pristine_ = ReadFileBytes(path_);
@@ -335,11 +335,11 @@ class SnapshotCorruptionTest : public ::testing::Test {
 
   // Both load modes and the verifier must reject the current file.
   void ExpectRejected(const std::string& label) {
-    std::string error;
+    Status error;
     EXPECT_FALSE(
         LoadSnapshot(path_, SnapshotLoadMode::kOwned, &error).has_value())
         << label;
-    EXPECT_FALSE(error.empty()) << label;
+    EXPECT_FALSE(error.ok()) << label;
     EXPECT_FALSE(VerifySnapshot(path_, &error)) << label;
   }
 
@@ -352,9 +352,9 @@ TEST_F(SnapshotCorruptionTest, BadMagic) {
   auto bytes = pristine_;
   bytes[0] ^= 0xff;
   WriteFileBytes(path_, bytes);
-  std::string error;
+  Status error;
   EXPECT_FALSE(ReadSnapshotInfo(path_, &error).has_value());
-  EXPECT_NE(error.find("magic"), std::string::npos);
+  EXPECT_NE(error.message().find("magic"), std::string::npos);
   ExpectRejected("bad magic");
 }
 
@@ -387,10 +387,10 @@ TEST_F(SnapshotCorruptionTest, FlippedDataByteFailsOwnedLoadAndVerify) {
   auto bytes = pristine_;
   bytes[bytes.size() - 3] ^= 0x08;  // inside the last column segment
   WriteFileBytes(path_, bytes);
-  std::string error;
+  Status error;
   EXPECT_FALSE(
       LoadSnapshot(path_, SnapshotLoadMode::kOwned, &error).has_value());
-  EXPECT_NE(error.find("checksum"), std::string::npos);
+  EXPECT_NE(error.message().find("checksum"), std::string::npos);
   EXPECT_FALSE(VerifySnapshot(path_, &error));
   // Mapped mode defers data validation to VerifySnapshot by design (O(header)
   // loads); the front matter is intact, so the load itself succeeds.
@@ -421,9 +421,9 @@ TEST_F(SnapshotCorruptionTest, FlippedStatsSectionByte) {
   auto bytes = pristine_;
   bytes[stats_offset] ^= 0x04;  // first column's distinct count
   WriteFileBytes(path_, bytes);
-  std::string error;
+  Status error;
   EXPECT_FALSE(ReadSnapshotInfo(path_, &error).has_value());
-  EXPECT_NE(error.find("stats"), std::string::npos) << error;
+  EXPECT_NE(error.message().find("stats"), std::string::npos) << error;
   ExpectRejected("flipped stats byte");
 }
 
@@ -431,9 +431,9 @@ TEST_F(SnapshotCorruptionTest, UnsupportedFutureVersionIsRejected) {
   auto bytes = pristine_;
   bytes[0x08] = 3;  // version field: a format this reader does not know
   WriteFileBytes(path_, bytes);
-  std::string error;
+  Status error;
   EXPECT_FALSE(ReadSnapshotInfo(path_, &error).has_value());
-  EXPECT_NE(error.find("unsupported snapshot version"), std::string::npos)
+  EXPECT_NE(error.message().find("unsupported snapshot version"), std::string::npos)
       << error;
   ExpectRejected("future version");
 }
@@ -451,7 +451,7 @@ TEST(SnapshotV1CompatTest, V1FilesLoadWithLazyStatsInBothModes) {
   SnapshotWriter writer;
   writer.AddDatabase(db);
   writer.set_format_version(kSnapshotVersionV1);
-  std::string error;
+  Status error;
   ASSERT_TRUE(writer.Finish(path, nullptr, &error).has_value()) << error;
 
   auto info = ReadSnapshotInfo(path, &error);
@@ -492,7 +492,7 @@ TEST(SnapshotV1CompatTest, V1AndV2CarryIdenticalDataSections) {
   ValueDict dict;
   db.AddTuple("works", {dict.Intern("ann"), dict.Intern("rome")});
   db.AddTuple("works", {dict.Intern("bo"), dict.Intern("oslo")});
-  std::string error;
+  Status error;
   SnapshotWriter v1;
   v1.AddDatabase(db);
   v1.set_format_version(kSnapshotVersionV1);
@@ -528,7 +528,7 @@ TEST(SnapshotWriterTest, CsvStreamsStraightIntoSnapshot) {
   CsvResult result = LoadRelationCsvIntoWriter(csv, "e", &writer);
   ASSERT_TRUE(result.ok()) << result.message;
   EXPECT_EQ(result.tuples, 3u);
-  std::string error;
+  Status error;
   ASSERT_TRUE(writer.Finish(path, nullptr, &error).has_value()) << error;
 
   auto loaded = LoadSnapshot(path, SnapshotLoadMode::kOwned, &error);
@@ -555,7 +555,7 @@ TEST(SnapshotWriterTest, ArityConflictAcrossCsvFilesIsAParseError) {
 TEST(CatalogTest, GenerationSwapKeepsOldEntryServableAndPlanCacheWarm) {
   const std::string root = MakeScratchDir() + "/catalog";
   Catalog catalog(root);
-  std::string error;
+  Status error;
 
   Database gen1;
   gen1.AddTuple("e", {1, 2});
@@ -627,7 +627,7 @@ TEST(CatalogTest, MalformedManifestFailsIngestInsteadOfResetting) {
   // immutable snapshot a reader may be mapping).
   const std::string root = MakeScratchDir() + "/catalog";
   Catalog catalog(root);
-  std::string error;
+  Status error;
   Database db;
   db.AddTuple("e", {1, 2});
   ASSERT_TRUE(catalog.Ingest("g", db, nullptr, &error).has_value()) << error;
@@ -639,7 +639,7 @@ TEST(CatalogTest, MalformedManifestFailsIngestInsteadOfResetting) {
     manifest << "garbage\n";
   }
   EXPECT_FALSE(catalog.Ingest("g", db, nullptr, &error).has_value());
-  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(error.ok());
   // Generation 1 was not overwritten.
   EXPECT_EQ(ReadFileBytes(root + "/g/snapshot-000001.sharpcq"), gen1_bytes);
 }
@@ -647,13 +647,13 @@ TEST(CatalogTest, MalformedManifestFailsIngestInsteadOfResetting) {
 TEST(CatalogTest, RejectsEscapingNamesAndMissingDatabases) {
   const std::string root = MakeScratchDir() + "/catalog";
   Catalog catalog(root);
-  std::string error;
+  Status error;
   Database db;
   db.AddTuple("e", {1});
   EXPECT_FALSE(catalog.Ingest("../evil", db, nullptr, &error).has_value());
   EXPECT_FALSE(catalog.Ingest("a/b", db, nullptr, &error).has_value());
   EXPECT_EQ(catalog.Open("absent", &error), nullptr);
-  EXPECT_NE(error.find("absent"), std::string::npos);
+  EXPECT_NE(error.message().find("absent"), std::string::npos);
 }
 
 // --- paper example through snapshots (acceptance criterion) ----------------
@@ -667,7 +667,7 @@ TEST(SnapshotRoundTripTest, WorkforceQ0AgreesThroughBothLoadPaths) {
   CountingEngine engine;
   const CountInt expected = engine.Count(q0, db).count;
 
-  std::string error;
+  Status error;
   ASSERT_TRUE(WriteSnapshot(db, nullptr, path, &error).has_value()) << error;
   auto owned = LoadSnapshot(path, SnapshotLoadMode::kOwned, &error);
   ASSERT_TRUE(owned.has_value()) << error;
